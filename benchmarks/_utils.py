@@ -1,0 +1,33 @@
+"""Helpers shared by the benchmark files.
+
+``emit``/``header`` buffer the paper-vs-measured rows each bench prints;
+the ``pytest_terminal_summary`` hook in ``conftest.py`` flushes the buffer
+to the terminal after the run (pytest's capture would otherwise swallow
+mid-test prints) and mirrors it to ``benchmarks/results/latest.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Accumulated report lines for the terminal-summary flush.
+LINES: List[str] = []
+
+
+def emit(text: str = "") -> None:
+    """Queue one benchmark report line (also printed inline for -s runs)."""
+    LINES.append(text)
+    print(text)
+
+
+def header(title: str) -> None:
+    emit()
+    emit("=" * 72)
+    emit(title)
+    emit("=" * 72)
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (simulation benches are deterministic and
+    expensive; repeated rounds would only re-measure the same work)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""Ablation — Aalo modeling choices (EXPERIMENTS.md deviation #2).
+
+Our Figure-8 Aalo is *stronger* than the paper's (Sunflow/Aalo ≈ 1.0
+instead of 0.5–0.8).  This ablation quantifies how much each modeling
+choice flatters Aalo:
+
+* reallocation granularity — ideal (on every flow completion, Δ→0) vs
+  coarse (only at Coflow arrivals/completions, like Varys);
+* inter-queue discipline — strict priority vs weighted sharing.
+
+All variants keep D-CLAS queue semantics; the variant ordering bounds
+where the paper's Aalo sits.
+"""
+
+from repro.sim import AaloAllocator, VarysAllocator, simulate_packet
+
+from _utils import emit, header, run_once
+from conftest import BANDWIDTH
+
+
+def test_aalo_variants(benchmark, trace, sunflow_inter_1g):
+    def compute():
+        rows = []
+        variants = [
+            ("ideal + strict", AaloAllocator(discipline="strict"), True),
+            ("ideal + weighted", AaloAllocator(discipline="weighted"), True),
+            ("coarse + strict", AaloAllocator(discipline="strict"), False),
+            ("coarse + weighted", AaloAllocator(discipline="weighted"), False),
+        ]
+        varys = simulate_packet(trace, VarysAllocator(), BANDWIDTH)
+        for label, allocator, fine in variants:
+            allocator.reallocate_on_flow_completion = fine
+            report = simulate_packet(trace, allocator, BANDWIDTH)
+            rows.append((label, report.average_cct()))
+        return varys.average_cct(), rows
+
+    varys_avg, rows = run_once(benchmark, compute)
+    sunflow_avg = sunflow_inter_1g.average_cct()
+
+    header("Ablation: Aalo modeling variants (inter mode, original load)")
+    emit(f"reference: Varys avg CCT {varys_avg:.2f}s, "
+         f"Sunflow avg CCT {sunflow_avg:.2f}s")
+    emit()
+    emit(f"{'Aalo variant':>18} {'avg CCT':>9} {'Sunflow/Aalo':>13} {'Varys/Aalo':>11}")
+    for label, avg in rows:
+        emit(f"{label:>18} {avg:>8.2f}s {sunflow_avg / avg:>12.2f}x "
+             f"{varys_avg / avg:>10.2f}x")
+    emit()
+    emit("paper's Figure 8 has Sunflow/Aalo at 0.48-0.83 under load; every")
+    emit("variant here keeps Aalo within ~10% of Varys, so the paper's Aalo")
+    emit("was likely further degraded by implementation factors we idealize.")
+
+    by_label = dict(rows)
+    # Coarse reallocation wastes freed bandwidth: never faster than ideal.
+    assert by_label["coarse + strict"] >= by_label["ideal + strict"] - 1e-9
+    # Aalo (non-clairvoyant) never beats Varys (clairvoyant) on average.
+    for _, avg in rows:
+        assert avg >= varys_avg * 0.98

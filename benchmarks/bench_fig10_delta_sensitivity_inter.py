@@ -1,0 +1,57 @@
+"""Figure 10 — inter-Coflow sensitivity to the reconfiguration delay δ.
+
+Paper (Sunflow trace replay, B = 1 Gbps; per-Coflow CCT normalized to its
+δ = 10 ms CCT):
+
+    δ        100ms  10ms   1ms  100µs  10µs
+    average   4.91  1.00  0.65   0.61  0.61
+    p95       7.22  1.00  0.98   0.98  0.98
+
+As at the intra level, optimizing switches below ~1 ms buys little.
+"""
+
+from repro.sim import mean, percentile, simulate_inter_sunflow
+from repro.units import MS, US
+
+from _utils import emit, header, run_once
+from conftest import BANDWIDTH
+
+DELTAS = [(100 * MS, "100ms"), (10 * MS, "10ms"), (1 * MS, "1ms"),
+          (100 * US, "100us"), (10 * US, "10us")]
+PAPER_AVG = {"100ms": 4.91, "10ms": 1.00, "1ms": 0.65, "100us": 0.61, "10us": 0.61}
+PAPER_P95 = {"100ms": 7.22, "10ms": 1.00, "1ms": 0.98, "100us": 0.98, "10us": 0.98}
+
+
+def test_fig10_delta_sensitivity_inter(benchmark, trace, sunflow_inter_1g):
+    def sweep():
+        reports = {}
+        for delta, label in DELTAS:
+            if label == "10ms":
+                reports[label] = sunflow_inter_1g
+            else:
+                reports[label] = simulate_inter_sunflow(trace, BANDWIDTH, delta)
+        baseline = reports["10ms"].by_id()
+        return {
+            label: [
+                record.cct / baseline[record.coflow_id].cct
+                for record in report.records
+            ]
+            for label, report in reports.items()
+        }
+
+    normalized = run_once(benchmark, sweep)
+
+    header("Figure 10: inter-Coflow δ sensitivity (CCT normalized to δ=10 ms)")
+    emit(f"{'δ':>7} {'avg paper':>10} {'avg ours':>9} {'p95 paper':>10} {'p95 ours':>9}")
+    for _, label in DELTAS:
+        values = normalized[label]
+        emit(
+            f"{label:>7} {PAPER_AVG[label]:>10.2f} {mean(values):>9.2f} "
+            f"{PAPER_P95[label]:>10.2f} {percentile(values, 95):>9.2f}"
+        )
+
+    averages = [mean(normalized[label]) for _, label in DELTAS]
+    assert averages[0] > 1.5  # 100 ms clearly hurts
+    assert all(a >= b - 0.02 for a, b in zip(averages, averages[1:]))
+    # Diminishing returns below 1 ms.
+    assert abs(mean(normalized["100us"]) - mean(normalized["10us"])) < 0.05

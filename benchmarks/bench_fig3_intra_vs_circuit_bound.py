@@ -1,0 +1,76 @@
+"""Figure 3 — intra-Coflow CCT vs the circuit-switched lower bound T^c_L.
+
+Paper (B = 1 Gbps, δ = 10 ms): Sunflow CCT/T^c_L is 1.03 on average and
+1.18 at p95 (always < 2); Solstice is 1.48 / 4.74 (up to 10.63×).
+Scaling B to 10 and 100 Gbps keeps Sunflow flat (1.03/1.24, 1.04/1.27)
+while Solstice degrades to 2.30/10.06 and 3.17/13.83.
+"""
+
+import pytest
+
+from repro.schedulers import SolsticeScheduler
+from repro.sim import (
+    mean,
+    percentile,
+    simulate_intra_assignment,
+    simulate_intra_sunflow,
+)
+from repro.units import GBPS
+
+from _utils import emit, header, run_once
+from conftest import DELTA
+
+PAPER = {
+    # bandwidth Gbps -> {scheduler: (mean, p95)}
+    1: {"sunflow": (1.03, 1.18), "solstice": (1.48, 4.74)},
+    10: {"sunflow": (1.03, 1.24), "solstice": (2.30, 10.06)},
+    100: {"sunflow": (1.04, 1.27), "solstice": (3.17, 13.83)},
+}
+
+
+@pytest.fixture(scope="module")
+def reports(trace, report_cache, sunflow_intra_1g, solstice_intra_1g):
+    """CCT/T^c_L reports for both schedulers across the B sweep."""
+    results = {1: {"sunflow": sunflow_intra_1g, "solstice": solstice_intra_1g}}
+    for gbps in (10, 100):
+        bandwidth = gbps * GBPS
+        results[gbps] = {
+            "sunflow": simulate_intra_sunflow(trace, bandwidth, DELTA),
+            "solstice": simulate_intra_assignment(
+                trace, SolsticeScheduler(), bandwidth, DELTA
+            ),
+        }
+    return results
+
+
+def test_fig3_cct_over_circuit_bound(benchmark, reports):
+    results = run_once(benchmark, lambda: {
+        gbps: {
+            name: [r.cct_over_circuit_lower for r in report.records]
+            for name, report in by_name.items()
+        }
+        for gbps, by_name in reports.items()
+    })
+
+    header("Figure 3: intra-Coflow CCT / TcL across link rates (δ = 10 ms)")
+    emit(f"{'B':>6} {'scheduler':>10} {'mean paper':>11} {'mean ours':>10} "
+         f"{'p95 paper':>10} {'p95 ours':>9} {'max ours':>9}")
+    for gbps, by_name in results.items():
+        for name, ratios in by_name.items():
+            paper_mean, paper_p95 = PAPER[gbps][name]
+            emit(
+                f"{gbps:>4}G {name:>11} {paper_mean:>11.2f} {mean(ratios):>10.2f} "
+                f"{paper_p95:>10.2f} {percentile(ratios, 95):>9.2f} "
+                f"{max(ratios):>9.2f}"
+            )
+
+    for gbps, by_name in results.items():
+        sunflow = by_name["sunflow"]
+        solstice = by_name["solstice"]
+        # Lemma 1: Sunflow always below 2× the bound.
+        assert max(sunflow) < 2.0
+        # Sunflow near-optimal and flat across B; Solstice worse and
+        # degrading as B grows (switching overhead dominates).
+        assert mean(sunflow) < 1.2
+        assert mean(solstice) > mean(sunflow)
+    assert mean(results[100]["solstice"]) > mean(results[1]["solstice"])

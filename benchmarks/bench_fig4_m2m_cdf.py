@@ -1,0 +1,75 @@
+"""Figure 4 — CDF of CCT/T^c_L and CCT/T^p_L for many-to-many Coflows.
+
+Paper (B = 1 Gbps, δ = 10 ms): Sunflow's M2M CCT/T^c_L is 1.10 mean /
+1.46 p95 (bounded by 2); Solstice's is 2.81 / 7.70.  Sunflow's CCT/T^p_L
+is bounded by 4.5 (Lemma 2 with α = 1.25).
+"""
+
+from repro.core.coflow import CoflowCategory
+from repro.sim import mean, percentile
+from repro.analysis import ecdf
+
+from _utils import emit, header, run_once
+
+PAPER = {
+    "sunflow": {"tcl_mean": 1.10, "tcl_p95": 1.46},
+    "solstice": {"tcl_mean": 2.81, "tcl_p95": 7.70},
+}
+
+
+def _m2m(report):
+    return report.filtered(lambda r: r.category is CoflowCategory.MANY_TO_MANY)
+
+
+def test_fig4_m2m_ratio_cdfs(benchmark, sunflow_intra_1g, solstice_intra_1g):
+    def compute():
+        out = {}
+        for name, report in (
+            ("sunflow", sunflow_intra_1g),
+            ("solstice", solstice_intra_1g),
+        ):
+            m2m = _m2m(report)
+            out[name] = {
+                "tcl": [r.cct_over_circuit_lower for r in m2m.records],
+                "tpl": [r.cct_over_packet_lower for r in m2m.records],
+            }
+        return out
+
+    ratios = run_once(benchmark, compute)
+
+    header("Figure 4: CCT over lower bounds, many-to-many Coflows")
+    emit(f"{'scheduler':>10} {'ratio':>6} {'mean paper':>11} {'mean ours':>10} "
+         f"{'p95 paper':>10} {'p95 ours':>9}")
+    for name in ("sunflow", "solstice"):
+        tcl = ratios[name]["tcl"]
+        emit(
+            f"{name:>10} {'TcL':>6} {PAPER[name]['tcl_mean']:>11.2f} "
+            f"{mean(tcl):>10.2f} {PAPER[name]['tcl_p95']:>10.2f} "
+            f"{percentile(tcl, 95):>9.2f}"
+        )
+        tpl = ratios[name]["tpl"]
+        emit(
+            f"{name:>10} {'TpL':>6} {'-':>11} {mean(tpl):>10.2f} "
+            f"{'-':>10} {percentile(tpl, 95):>9.2f}"
+        )
+
+    emit()
+    emit("CDF checkpoints (fraction of M2M coflows with ratio <= x):")
+    for name in ("sunflow", "solstice"):
+        points = ecdf(ratios[name]["tcl"])
+        checkpoints = [1.5, 2.0, 4.0]
+        fractions = []
+        for threshold in checkpoints:
+            below = [frac for value, frac in points if value <= threshold]
+            fractions.append(below[-1] if below else 0.0)
+        emit(
+            f"  {name}: " + "  ".join(
+                f"P(<= {t}) = {f:.2f}" for t, f in zip(checkpoints, fractions)
+            )
+        )
+
+    # Shape assertions: Lemma 1 cap for Sunflow, Lemma 2 cap at 4.5 (the
+    # trace's alpha = 1.25), Solstice strictly worse on M2M.
+    assert max(ratios["sunflow"]["tcl"]) < 2.0
+    assert max(ratios["sunflow"]["tpl"]) < 4.5
+    assert mean(ratios["solstice"]["tcl"]) > mean(ratios["sunflow"]["tcl"])

@@ -1,0 +1,77 @@
+"""Figure 5 — switching count normalized by the minimum (|C|), M2M Coflows.
+
+Paper: Sunflow's switching count is *always* the minimum (ratio ≡ 1);
+Solstice schedules many switchings per subflow (ratios spread up to >10),
+and its normalized count grows with |C| (linear correlation 0.84).
+"""
+
+from repro.analysis import pearson, spearman
+from repro.core.coflow import CoflowCategory
+from repro.sim import mean, percentile
+
+from _utils import emit, header, run_once
+
+PAPER_SOLSTICE_CORRELATION = 0.84
+
+
+def _m2m(report):
+    return report.filtered(lambda r: r.category is CoflowCategory.MANY_TO_MANY)
+
+
+def test_fig5_switching_counts(benchmark, sunflow_intra_1g, solstice_intra_1g):
+    def compute():
+        sunflow = _m2m(sunflow_intra_1g)
+        solstice = _m2m(solstice_intra_1g)
+        records = sorted(solstice.records, key=lambda r: r.num_flows)
+        sizes = [float(r.num_flows) for r in records]
+        normalized = [r.normalized_switching for r in records]
+        quarter = max(1, len(records) // 4)
+        quartiles = [
+            (
+                records[i * quarter].num_flows,
+                records[min(len(records), (i + 1) * quarter) - 1].num_flows,
+                mean(normalized[i * quarter : (i + 1) * quarter or None]),
+            )
+            for i in range(4)
+        ]
+        return {
+            "sunflow": [r.normalized_switching for r in sunflow.records],
+            "solstice": normalized,
+            "pearson": pearson(sizes, normalized),
+            "spearman": spearman(sizes, normalized),
+            "quartiles": quartiles,
+        }
+
+    results = run_once(benchmark, compute)
+
+    header("Figure 5: switching count / minimum (|C|), many-to-many Coflows")
+    emit(f"{'scheduler':>10} {'mean':>7} {'median':>7} {'p95':>7} {'max':>7}")
+    for name in ("sunflow", "solstice"):
+        values = results[name]
+        emit(
+            f"{name:>10} {mean(values):>7.2f} {percentile(values, 50):>7.2f} "
+            f"{percentile(values, 95):>7.2f} {max(values):>7.2f}"
+        )
+    emit()
+    emit(
+        "Solstice normalized-switching vs |C| correlation: "
+        f"paper {PAPER_SOLSTICE_CORRELATION:.2f} (linear), ours "
+        f"{results['pearson']:.2f} (linear) / {results['spearman']:.2f} (rank)"
+    )
+    emit("Solstice normalized switching by |C| quartile:")
+    for low, high, value in results["quartiles"]:
+        emit(f"  |C| {low:>5}-{high:<5}  mean {value:.2f}")
+    emit(
+        "  (the overhead rises with |C| and saturates at the threshold-"
+    )
+    emit(
+        "   cascade depth ~log2(peak/quantum); the paper's linear 0.84 lives"
+    )
+    emit("   on the rising range, asserted here via the quartile trend)")
+
+    # Sunflow is exactly minimal for every Coflow; Solstice is not, and its
+    # overhead grows with subflow count until the cascade-depth ceiling.
+    assert all(v == 1.0 for v in results["sunflow"])
+    assert mean(results["solstice"]) > 1.5
+    quartile_means = [value for _, _, value in results["quartiles"]]
+    assert quartile_means[2] > quartile_means[0]

@@ -1,0 +1,56 @@
+"""Figure 6 — intra-Coflow sensitivity to the reconfiguration delay δ.
+
+Paper (Sunflow, B = 1 Gbps; per-Coflow CCT normalized to its δ = 10 ms
+CCT):
+
+    δ        100ms  10ms   1ms  100µs  10µs
+    average   5.71  1.00  0.65   0.61  0.61
+    p95      13.12  1.00  0.99   0.99  0.99
+
+The marginal benefit of switches faster than ~1 ms is tiny.
+"""
+
+from repro.sim import mean, percentile, simulate_intra_sunflow
+from repro.units import MS, US
+
+from _utils import emit, header, run_once
+from conftest import BANDWIDTH
+
+DELTAS = [(100 * MS, "100ms"), (10 * MS, "10ms"), (1 * MS, "1ms"),
+          (100 * US, "100us"), (10 * US, "10us")]
+PAPER_AVG = {"100ms": 5.71, "10ms": 1.00, "1ms": 0.65, "100us": 0.61, "10us": 0.61}
+PAPER_P95 = {"100ms": 13.12, "10ms": 1.00, "1ms": 0.99, "100us": 0.99, "10us": 0.99}
+
+
+def test_fig6_delta_sensitivity_intra(benchmark, trace):
+    def sweep():
+        reports = {
+            label: simulate_intra_sunflow(trace, BANDWIDTH, delta)
+            for delta, label in DELTAS
+        }
+        baseline = reports["10ms"].by_id()
+        normalized = {}
+        for label, report in reports.items():
+            normalized[label] = [
+                record.cct / baseline[record.coflow_id].cct
+                for record in report.records
+            ]
+        return normalized
+
+    normalized = run_once(benchmark, sweep)
+
+    header("Figure 6: intra-Coflow δ sensitivity (CCT normalized to δ=10 ms)")
+    emit(f"{'δ':>7} {'avg paper':>10} {'avg ours':>9} {'p95 paper':>10} {'p95 ours':>9}")
+    for _, label in DELTAS:
+        values = normalized[label]
+        emit(
+            f"{label:>7} {PAPER_AVG[label]:>10.2f} {mean(values):>9.2f} "
+            f"{PAPER_P95[label]:>10.2f} {percentile(values, 95):>9.2f}"
+        )
+
+    averages = [mean(normalized[label]) for _, label in DELTAS]
+    # Monotone improvement as δ shrinks…
+    assert all(a >= b - 1e-9 for a, b in zip(averages, averages[1:]))
+    # …with a big win from 100 ms → 10 ms and diminishing returns ≤ 100 µs.
+    assert averages[0] > 2.0
+    assert abs(mean(normalized["100us"]) - mean(normalized["10us"])) < 0.02

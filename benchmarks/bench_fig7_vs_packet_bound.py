@@ -1,0 +1,76 @@
+"""Figure 7 — Sunflow CCT vs the packet-switched lower bound T^p_L.
+
+Paper (B = 1 Gbps, δ = 10 ms): long Coflows (p_avg > 40δ; 25.2 % of
+Coflows, 98.8 % of bytes) achieve CCT/T^p_L of 1.09 mean / 1.25 p95;
+overall 1.86 / 2.31; all Coflows below the 4.5 Lemma-2 cap; rank
+correlation between p_avg and CCT/T^p_L is −0.96.
+"""
+
+from repro.analysis import spearman
+from repro.sim import mean, percentile
+
+from _utils import emit, header, run_once
+from conftest import DELTA
+
+PAPER = {
+    "long": (1.09, 1.25),
+    "overall": (1.86, 2.31),
+    "rank_correlation": -0.96,
+    "lemma2_cap": 4.5,
+}
+LONG_THRESHOLD = 40.0
+
+
+def test_fig7_vs_packet_bound(benchmark, trace, sunflow_intra_1g):
+    def compute():
+        records = sunflow_intra_1g.records
+        long_records = [
+            r for r in records if r.average_processing_time > LONG_THRESHOLD * DELTA
+        ]
+        short_records = [
+            r for r in records if r.average_processing_time <= LONG_THRESHOLD * DELTA
+        ]
+        return {
+            "overall": [r.cct_over_packet_lower for r in records],
+            "long": [r.cct_over_packet_lower for r in long_records],
+            "short": [r.cct_over_packet_lower for r in short_records],
+            "long_fraction": len(long_records) / len(records),
+            "long_bytes_fraction": sum(r.total_bytes for r in long_records)
+            / sum(r.total_bytes for r in records),
+            "rank_correlation": spearman(
+                [r.average_processing_time for r in records],
+                [r.cct_over_packet_lower for r in records],
+            ),
+        }
+
+    results = run_once(benchmark, compute)
+
+    header("Figure 7: Sunflow CCT / TpL (B = 1 Gbps, δ = 10 ms)")
+    emit(f"{'group':>8} {'mean paper':>11} {'mean ours':>10} "
+         f"{'p95 paper':>10} {'p95 ours':>9}")
+    for group in ("long", "overall"):
+        paper_mean, paper_p95 = PAPER[group]
+        values = results[group]
+        emit(
+            f"{group:>8} {paper_mean:>11.2f} {mean(values):>10.2f} "
+            f"{paper_p95:>10.2f} {percentile(values, 95):>9.2f}"
+        )
+    emit()
+    emit(
+        f"long coflows: {100 * results['long_fraction']:.1f}% of coflows "
+        f"(paper 25.2%), {100 * results['long_bytes_fraction']:.1f}% of bytes "
+        f"(paper 98.8%)"
+    )
+    emit(
+        "rank correlation p_avg vs CCT/TpL: "
+        f"paper {PAPER['rank_correlation']:.2f}, ours "
+        f"{results['rank_correlation']:.2f}"
+    )
+
+    # Lemma 2 cap (α = 1.25 after the 1 MB floor at 1 Gbps).
+    assert max(results["overall"]) <= PAPER["lemma2_cap"]
+    # Long Coflows approach the packet bound; short ones sit farther away.
+    assert mean(results["long"]) < 1.35
+    assert mean(results["short"]) > mean(results["long"])
+    assert results["rank_correlation"] < -0.5
+    assert results["long_bytes_fraction"] > 0.9

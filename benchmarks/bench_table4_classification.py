@@ -1,0 +1,48 @@
+"""Table 4 — Coflows classified by sender-to-receiver ratio.
+
+Paper (Facebook trace):
+
+    Category   O2O    O2M    M2O    M2M
+    Coflow %   23.4    9.9   40.1   26.6
+    Bytes  %  0.005  0.024  0.028 99.943
+"""
+
+from repro.analysis import classify
+from repro.core.coflow import CoflowCategory
+
+from _utils import emit, header, run_once
+
+PAPER_COFLOW_PERCENT = {
+    CoflowCategory.ONE_TO_ONE: 23.4,
+    CoflowCategory.ONE_TO_MANY: 9.9,
+    CoflowCategory.MANY_TO_ONE: 40.1,
+    CoflowCategory.MANY_TO_MANY: 26.6,
+}
+PAPER_BYTES_PERCENT = {
+    CoflowCategory.ONE_TO_ONE: 0.005,
+    CoflowCategory.ONE_TO_MANY: 0.024,
+    CoflowCategory.MANY_TO_ONE: 0.028,
+    CoflowCategory.MANY_TO_MANY: 99.943,
+}
+
+
+def test_table4_classification(benchmark, trace):
+    breakdown = run_once(benchmark, lambda: classify(trace))
+
+    header("Table 4: Coflow classification by sender-to-receiver ratio")
+    emit(f"{'category':>10} {'coflow% paper':>14} {'coflow% ours':>13} "
+         f"{'bytes% paper':>13} {'bytes% ours':>12}")
+    for category in CoflowCategory:
+        emit(
+            f"{category.value:>10} {PAPER_COFLOW_PERCENT[category]:>14.1f} "
+            f"{breakdown.coflow_percent(category):>13.1f} "
+            f"{PAPER_BYTES_PERCENT[category]:>13.3f} "
+            f"{breakdown.bytes_percent(category):>12.3f}"
+        )
+
+    # The generator targets the published mix; assert the shape holds.
+    for category in CoflowCategory:
+        assert abs(
+            breakdown.coflow_percent(category) - PAPER_COFLOW_PERCENT[category]
+        ) < 3.0
+    assert breakdown.bytes_percent(CoflowCategory.MANY_TO_MANY) > 98.0

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Deployment-stack walkthrough: controller, switch and host agents (§6).
+
+Runs the same workload twice — once through the idealized flow-level
+simulator, once through the component-level system simulation (central
+controller issuing just-in-time circuit commands, a runtime-validating
+optical switch, REACToR-style circuit-live signaling, and per-host agents
+reporting transfers) — and shows they agree exactly at zero control
+latency, then prices realistic control-plane delays.
+
+Run:
+    python examples/deployment_system.py
+"""
+
+from repro.sim import simulate_inter_sunflow
+from repro.system import LatencyConfig, simulate_system
+from repro.units import GBPS, MS
+from repro.workloads import FacebookLikeTraceGenerator, GeneratorConfig, perturb_sizes
+
+BANDWIDTH = 1 * GBPS
+DELTA = 10 * MS
+
+
+def main() -> None:
+    config = GeneratorConfig(
+        num_ports=40, num_coflows=40, max_width=10, mean_interarrival=2.0, seed=7
+    )
+    trace = perturb_sizes(FacebookLikeTraceGenerator(config).generate(), seed=7)
+    print(
+        f"workload: {len(trace)} coflows, {trace.total_bytes / 1e9:.1f} GB on "
+        f"{trace.num_ports} ports; B = 1 Gbps, δ = 10 ms\n"
+    )
+
+    flow_model = simulate_inter_sunflow(trace, BANDWIDTH, DELTA)
+    print(f"{'configuration':>28} {'avg CCT':>9} {'vs model':>9}")
+    print(f"{'flow-level model':>28} {flow_model.average_cct():>8.3f}s {'1.000x':>9}")
+
+    scenarios = [
+        ("system, ideal control plane", LatencyConfig()),
+        ("system, 0.5ms ctrl RTTs", LatencyConfig(
+            registration=0.25 * MS, command=0.25 * MS, report=0.25 * MS
+        )),
+        ("system, +2ms live signal", LatencyConfig(
+            registration=0.25 * MS, command=0.25 * MS, report=0.25 * MS,
+            signal=2 * MS,
+        )),
+    ]
+    for label, latency in scenarios:
+        report = simulate_system(trace, BANDWIDTH, DELTA, latency=latency)
+        ratio = report.average_cct() / flow_model.average_cct()
+        print(f"{label:>28} {report.average_cct():>8.3f}s {ratio:>8.3f}x")
+
+    print()
+    print("The component stack reproduces the idealized model exactly when")
+    print("control is free; compensated command/report delays are nearly")
+    print("free too (commands are issued just-in-time, one per circuit),")
+    print("while uncompensated circuit-live signal latency directly eats")
+    print("transmit windows and is replanned as REACToR 'glitch' leftovers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Multi-tenant cluster: priority classes and the starvation guard (§4.2).
+
+A privileged tenant submits a huge production backup while a regular
+tenant runs small interactive queries on the same input rack.  With strict
+priority classes alone, the regular tenant starves until the backup
+drains.  Sunflow's (T + τ) starvation guard bounds the regular tenant's
+wait to at most N(T + τ) while costing the privileged tenant only the τ
+slices.
+
+Run:
+    python examples/multi_tenant_priorities.py
+"""
+
+from repro import Coflow, StarvationGuard
+from repro.core.coflow import CoflowTrace
+from repro.sim import simulate_inter_sunflow
+from repro.units import GBPS, MB, MS
+
+BANDWIDTH = 1 * GBPS
+DELTA = 10 * MS
+NUM_PORTS = 8
+
+
+def build_trace() -> CoflowTrace:
+    # Privileged tenant: a 3 GB backup from rack 0 to rack 1.
+    backup = Coflow.from_demand(1, {(0, 1): 3000 * MB}, arrival_time=0.0)
+    # Regular tenant: interactive queries also sourced at rack 0.
+    queries = [
+        Coflow.from_demand(2, {(0, 2): 2 * MB}, arrival_time=0.0),
+        Coflow.from_demand(3, {(0, 3): 4 * MB}, arrival_time=5.0),
+        Coflow.from_demand(4, {(0, 4): 1 * MB}, arrival_time=10.0),
+    ]
+    return CoflowTrace(num_ports=NUM_PORTS, coflows=[backup] + queries)
+
+
+def run(label: str, guard: StarvationGuard = None) -> None:
+    classes = {1: 0, 2: 1, 3: 1, 4: 1}  # lower class = more privileged
+    report = simulate_inter_sunflow(
+        build_trace(),
+        BANDWIDTH,
+        DELTA,
+        priority_classes=classes,
+        guard=guard,
+    ).by_id()
+    print(f"\n{label}")
+    print(f"  {'coflow':>20} {'class':>6} {'CCT (s)':>9}")
+    names = {1: "backup (privileged)", 2: "query A", 3: "query B", 4: "query C"}
+    for cid in sorted(report):
+        print(f"  {names[cid]:>20} {classes[cid]:>6} {report[cid].cct:>9.2f}")
+
+
+def main() -> None:
+    print("Privileged backup vs regular queries sharing input rack 0")
+    print(f"fabric: {NUM_PORTS} ports, B = 1 Gbps, δ = 10 ms")
+
+    run("strict priority classes, no guard (queries starve):")
+
+    guard = StarvationGuard(
+        num_ports=NUM_PORTS, period=1.0, tau=0.1, delta=DELTA
+    )
+    run(
+        f"with starvation guard T=1.0s τ=0.1s "
+        f"(service gap <= N(T+τ) = {guard.max_service_gap:.1f}s):",
+        guard=guard,
+    )
+
+    print()
+    print("The guard's τ slices round-robin through all N configurations,")
+    print("so every circuit — and therefore every tenant — is served within")
+    print("one guard cycle, at a small utilization cost to the backup.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Sunflow reproduction: optical circuit scheduling for Coflows (CoNEXT 2016).
+
+Public API re-exported at package level; see README.md for a tour.
+"""
+
+from repro import units
+from repro.core import (
+    Coflow,
+    CoflowCategory,
+    CoflowSchedule,
+    CoflowTrace,
+    Flow,
+    PortReservationTable,
+    ReservationOrder,
+    ShortestFirst,
+    StarvationGuard,
+    SunflowScheduler,
+    circuit_lower_bound,
+    packet_lower_bound,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "units",
+    "Coflow",
+    "CoflowCategory",
+    "CoflowSchedule",
+    "CoflowTrace",
+    "Flow",
+    "PortReservationTable",
+    "ReservationOrder",
+    "ShortestFirst",
+    "StarvationGuard",
+    "SunflowScheduler",
+    "circuit_lower_bound",
+    "packet_lower_bound",
+]

@@ -1,0 +1,36 @@
+"""Trace analysis: classification, idleness, statistics."""
+
+from repro.analysis.classify import CategoryBreakdown, classify
+from repro.analysis.idleness import (
+    active_intervals,
+    merge_intervals,
+    network_idleness,
+)
+from repro.analysis.export import (
+    records_csv_text,
+    write_cdf_csv,
+    write_records_csv,
+    write_sweep_csv,
+)
+from repro.analysis.stats import cdf_at, ecdf, pearson, spearman
+from repro.analysis.timeline import render_timeline
+from repro.analysis.tracestats import TraceStatistics, trace_statistics
+
+__all__ = [
+    "CategoryBreakdown",
+    "classify",
+    "active_intervals",
+    "merge_intervals",
+    "network_idleness",
+    "cdf_at",
+    "ecdf",
+    "pearson",
+    "spearman",
+    "records_csv_text",
+    "write_cdf_csv",
+    "write_records_csv",
+    "write_sweep_csv",
+    "render_timeline",
+    "TraceStatistics",
+    "trace_statistics",
+]

@@ -1,0 +1,54 @@
+"""Coflow classification by sender-to-receiver ratio (paper Table 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.core.coflow import Coflow, CoflowCategory
+
+
+@dataclass
+class CategoryBreakdown:
+    """Coflow-count and byte shares per category, as Table 4 reports them."""
+
+    coflow_counts: Dict[CoflowCategory, int]
+    byte_totals: Dict[CoflowCategory, float]
+
+    @property
+    def total_coflows(self) -> int:
+        return sum(self.coflow_counts.values())
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self.byte_totals.values())
+
+    def coflow_percent(self, category: CoflowCategory) -> float:
+        total = self.total_coflows
+        return 100.0 * self.coflow_counts[category] / total if total else 0.0
+
+    def bytes_percent(self, category: CoflowCategory) -> float:
+        total = self.total_bytes
+        return 100.0 * self.byte_totals[category] / total if total else 0.0
+
+    def as_table(self) -> List[Dict[str, object]]:
+        """Rows in Table 4's layout (category, Coflow %, bytes %)."""
+        return [
+            {
+                "category": category.value,
+                "coflow_percent": self.coflow_percent(category),
+                "bytes_percent": self.bytes_percent(category),
+            }
+            for category in CoflowCategory
+        ]
+
+
+def classify(coflows: Iterable[Coflow]) -> CategoryBreakdown:
+    """Tally Coflows and bytes per sender-to-receiver category."""
+    counts = {category: 0 for category in CoflowCategory}
+    bytes_total = {category: 0.0 for category in CoflowCategory}
+    for coflow in coflows:
+        category = coflow.category
+        counts[category] += 1
+        bytes_total[category] += coflow.total_bytes
+    return CategoryBreakdown(coflow_counts=counts, byte_totals=bytes_total)

@@ -1,0 +1,139 @@
+"""Export simulation results as CSV for external plotting.
+
+The benchmark harness prints paper-vs-measured rows; users who want the
+actual figures (CDFs, scatters, sweeps) in their own plotting stack need
+the underlying series.  These helpers write plain CSV — no plotting
+dependency — in the layouts the paper's figures use:
+
+* per-Coflow records (Figures 3, 7, 9 scatters),
+* empirical CDFs (Figures 4, 5),
+* labeled series from sweeps (Figures 6, 8, 10).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Sequence, TextIO, Union
+
+from repro.analysis.stats import ecdf
+from repro.sim.results import SimulationReport
+
+Destination = Union[str, Path, TextIO]
+
+
+def _open(destination: Destination):
+    if isinstance(destination, (str, Path)):
+        return open(destination, "w", newline="", encoding="utf-8"), True
+    return destination, False
+
+
+RECORD_FIELDS = [
+    "coflow_id",
+    "arrival_time",
+    "completion_time",
+    "cct",
+    "num_flows",
+    "total_bytes",
+    "category",
+    "circuit_lower",
+    "packet_lower",
+    "cct_over_circuit_lower",
+    "cct_over_packet_lower",
+    "switching_count",
+    "normalized_switching",
+]
+
+
+def write_records_csv(report: SimulationReport, destination: Destination) -> int:
+    """Write one row per Coflow record; returns the number of rows.
+
+    The columns carry everything the paper's per-Coflow scatters need —
+    CCT, both lower bounds, their ratios, switching counts, category.
+    """
+    stream, owned = _open(destination)
+    try:
+        writer = csv.writer(stream)
+        writer.writerow(["scheduler", "bandwidth_bps", "delta"] + RECORD_FIELDS)
+        for record in report.records:
+            writer.writerow(
+                [report.scheduler, report.bandwidth_bps, report.delta]
+                + [
+                    record.coflow_id,
+                    record.arrival_time,
+                    record.completion_time,
+                    record.cct,
+                    record.num_flows,
+                    record.total_bytes,
+                    record.category.value,
+                    record.circuit_lower,
+                    record.packet_lower,
+                    record.cct_over_circuit_lower,
+                    record.cct_over_packet_lower,
+                    record.switching_count,
+                    record.normalized_switching,
+                ]
+            )
+        return len(report.records)
+    finally:
+        if owned:
+            stream.close()
+
+
+def write_cdf_csv(
+    series: Mapping[str, Sequence[float]], destination: Destination
+) -> int:
+    """Write empirical CDFs as ``series,value,fraction`` rows.
+
+    One ECDF per named series (e.g. ``{"sunflow": ratios, "solstice":
+    ratios}`` for Figure 4).  Returns the number of data rows written.
+    """
+    stream, owned = _open(destination)
+    rows = 0
+    try:
+        writer = csv.writer(stream)
+        writer.writerow(["series", "value", "fraction"])
+        for name in sorted(series):
+            for value, fraction in ecdf(list(series[name])):
+                writer.writerow([name, value, fraction])
+                rows += 1
+        return rows
+    finally:
+        if owned:
+            stream.close()
+
+
+def write_sweep_csv(
+    rows: Sequence[Mapping[str, object]],
+    destination: Destination,
+    fieldnames: Sequence[str] = (),
+) -> int:
+    """Write sweep results (one dict per point) as CSV.
+
+    ``fieldnames`` fixes the column order; by default the first row's
+    insertion order is used.  Missing keys become empty cells.
+    """
+    if not rows:
+        raise ValueError("no sweep rows to write")
+    names = list(fieldnames) if fieldnames else list(rows[0].keys())
+    stream, owned = _open(destination)
+    try:
+        writer = csv.DictWriter(stream, fieldnames=names, restval="")
+        writer.writeheader()
+        for row in rows:
+            unknown = set(row) - set(names)
+            if unknown:
+                raise ValueError(f"sweep row has unknown fields: {sorted(unknown)}")
+            writer.writerow(dict(row))
+        return len(rows)
+    finally:
+        if owned:
+            stream.close()
+
+
+def records_csv_text(report: SimulationReport) -> str:
+    """Convenience: :func:`write_records_csv` into a string."""
+    buffer = io.StringIO()
+    write_records_csv(report, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,72 @@
+"""Statistics helpers used by the evaluation harness.
+
+Percentiles live in :mod:`repro.sim.results`; here are the correlation
+measures the paper quotes — the linear (Pearson) correlation between
+Solstice's normalized switching count and ``|C|`` (0.84, §5.3.1), and the
+rank (Spearman) correlation between ``p_avg`` and CCT/``T^p_L``
+(−0.96, §5.3.2) — plus an empirical CDF sampler for the figure benches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Linear correlation coefficient; raises on mismatched/short input."""
+    if len(xs) != len(ys):
+        raise ValueError("sequences must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        raise ValueError("zero variance input")
+    return cov / math.sqrt(var_x * var_y)
+
+
+def _ranks(values: Sequence[float]) -> List[float]:
+    """Fractional ranks (ties get the average rank)."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average_rank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Rank correlation coefficient (Pearson over fractional ranks)."""
+    return pearson(_ranks(xs), _ranks(ys))
+
+
+def ecdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as ``(value, fraction ≤ value)`` steps."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    points = []
+    for index, value in enumerate(ordered, start=1):
+        if index < n and ordered[index] == value:
+            continue  # collapse ties to the last occurrence
+        points.append((value, index / n))
+    return points
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values ≤ ``threshold``."""
+    if not values:
+        raise ValueError("cdf of empty sequence")
+    return sum(1 for value in values if value <= threshold) / len(values)

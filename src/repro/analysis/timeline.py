@@ -1,0 +1,71 @@
+"""ASCII rendering of circuit schedules.
+
+Draws the kind of per-input-port timeline the paper's Figures 1 and 2 use:
+one row per input port, time flowing right, each reservation shown as a
+``≡`` setup region followed by the destination port number repeated for
+the transmit region.  Useful for eyeballing schedules in examples, tests
+and notebooks without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.prt import Reservation
+
+#: Glyph for the reconfiguration (setup) part of a reservation.
+SETUP_GLYPH = "="
+#: Glyph for idle port time.
+IDLE_GLYPH = "."
+
+
+def render_timeline(
+    reservations: Iterable[Reservation],
+    width: int = 72,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> str:
+    """Render reservations as one text row per input port.
+
+    Args:
+        reservations: any iterable of reservations (e.g. a
+            :class:`~repro.core.sunflow.CoflowSchedule`'s, or a whole PRT).
+        width: characters available for the time axis.
+        start, end: time window; defaults to the reservations' span.
+
+    Returns:
+        A multi-line string; empty input renders as an empty string.
+    """
+    items: List[Reservation] = sorted(reservations, key=lambda r: (r.src, r.start))
+    if not items:
+        return ""
+    lo = min(r.start for r in items) if start is None else start
+    hi = max(r.end for r in items) if end is None else end
+    if hi <= lo:
+        raise ValueError(f"empty time window [{lo}, {hi})")
+    scale = width / (hi - lo)
+
+    def column(t: float) -> int:
+        return max(0, min(width, int(round((t - lo) * scale))))
+
+    lines = []
+    ports = sorted({r.src for r in items})
+    label_width = max(len(f"in.{port}") for port in ports)
+    for port in ports:
+        row = [IDLE_GLYPH] * width
+        for reservation in items:
+            if reservation.src != port:
+                continue
+            first = column(reservation.start)
+            setup_end = column(reservation.transmit_start)
+            last = column(reservation.end)
+            for i in range(first, min(setup_end, width)):
+                row[i] = SETUP_GLYPH
+            glyph = str(reservation.dst)[-1]
+            for i in range(setup_end, min(last, width)):
+                row[i] = glyph
+        lines.append(f"in.{port}".rjust(label_width) + " |" + "".join(row) + "|")
+    axis = " " * label_width + "  " + f"{lo:<10.3f}".ljust(width // 2)
+    axis += f"{hi:>10.3f}".rjust(width - width // 2)
+    lines.append(axis)
+    return "\n".join(lines)

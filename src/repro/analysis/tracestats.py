@@ -1,0 +1,98 @@
+"""Descriptive statistics of a Coflow trace.
+
+One-stop summary of the workload characteristics the paper's §5.1 quotes
+(Coflow counts, byte shares, widths, size distributions, arrival process)
+— used by the ``repro-sunflow stats`` CLI command, by EXPERIMENTS.md's
+workload description, and by tests validating the synthetic generator
+against the published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.classify import CategoryBreakdown, classify
+from repro.core.coflow import CoflowCategory, CoflowTrace
+from repro.sim.results import percentile
+from repro.units import MB
+
+
+@dataclass
+class TraceStatistics:
+    """Aggregate description of one trace."""
+
+    num_ports: int
+    num_coflows: int
+    total_bytes: float
+    span_seconds: float
+    breakdown: CategoryBreakdown
+    #: Subflow counts per Coflow.
+    widths: List[int]
+    #: Flow sizes in bytes.
+    flow_sizes: List[float]
+    #: Inter-arrival gaps in seconds (sorted trace).
+    interarrivals: List[float]
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_interarrival(self) -> float:
+        if not self.interarrivals:
+            return 0.0
+        return sum(self.interarrivals) / len(self.interarrivals)
+
+    def width_percentile(self, q: float) -> float:
+        return percentile([float(w) for w in self.widths], q)
+
+    def flow_size_percentile(self, q: float) -> float:
+        return percentile(self.flow_sizes, q)
+
+    def as_text(self) -> str:
+        """Human-readable multi-line summary (the CLI's output)."""
+        lines = [
+            f"ports: {self.num_ports}   coflows: {self.num_coflows}   "
+            f"total: {self.total_bytes / 1e9:.1f} GB   span: {self.span_seconds:.0f} s",
+            f"mean inter-arrival: {self.mean_interarrival:.2f} s",
+            "",
+            f"{'category':>10} {'coflow %':>9} {'bytes %':>9}",
+        ]
+        for category in CoflowCategory:
+            lines.append(
+                f"{category.value:>10} "
+                f"{self.breakdown.coflow_percent(category):>9.1f} "
+                f"{self.breakdown.bytes_percent(category):>9.3f}"
+            )
+        lines.extend(
+            [
+                "",
+                f"width |C|: median {self.width_percentile(50):.0f}, "
+                f"p95 {self.width_percentile(95):.0f}, max {max(self.widths)}",
+                f"flow size: median {self.flow_size_percentile(50) / MB:.1f} MB, "
+                f"p95 {self.flow_size_percentile(95) / MB:.1f} MB, "
+                f"max {max(self.flow_sizes) / MB:.0f} MB",
+            ]
+        )
+        return "\n".join(lines)
+
+
+def trace_statistics(trace: CoflowTrace) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for a trace.
+
+    Raises:
+        ValueError: for an empty trace (no statistics to speak of).
+    """
+    if len(trace) == 0:
+        raise ValueError("cannot summarize an empty trace")
+    ordered = trace.sorted_by_arrival()
+    arrivals = [coflow.arrival_time for coflow in ordered]
+    interarrivals = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    return TraceStatistics(
+        num_ports=trace.num_ports,
+        num_coflows=len(trace),
+        total_bytes=trace.total_bytes,
+        span_seconds=trace.span,
+        breakdown=classify(trace),
+        widths=[coflow.num_flows for coflow in trace],
+        flow_sizes=[flow.size_bytes for coflow in trace for flow in coflow.flows],
+        interarrivals=interarrivals,
+    )

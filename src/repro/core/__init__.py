@@ -1,0 +1,94 @@
+"""Core Sunflow contribution: traffic model, PRT, Algorithm 1, bounds, policies."""
+
+from repro.core.bounds import (
+    alpha,
+    circuit_lower_bound,
+    flow_circuit_time,
+    packet_lower_bound,
+    port_loads,
+    sunflow_circuit_bound,
+    sunflow_packet_bound,
+)
+from repro.core.coflow import Coflow, CoflowCategory, CoflowTrace, Flow
+from repro.core.multiswitch import (
+    MultiSwitchSchedule,
+    MultiSwitchSunflow,
+    PlanedReservation,
+)
+from repro.core.policies import (
+    POLICIES,
+    ClassThen,
+    EarliestDeadlineFirst,
+    CoflowView,
+    Fifo,
+    NarrowestFirst,
+    Policy,
+    ShortestFirst,
+    SmallestTotalFirst,
+    views_from_coflows,
+)
+from repro.core.prt import (
+    PortConflictError,
+    PortReservationTable,
+    Reservation,
+    TIME_EPS,
+)
+from repro.core.starvation import (
+    GUARD_COFLOW_ID,
+    GuardWindow,
+    StarvationGuard,
+    round_robin_assignments,
+)
+from repro.core.sunflow import CoflowSchedule, ReservationOrder, SunflowScheduler
+from repro.core.validate import (
+    ScheduleValidationError,
+    check_coverage,
+    check_lemma_one,
+    check_non_preemption,
+    check_port_constraint,
+    validate_schedule,
+)
+
+__all__ = [
+    "alpha",
+    "circuit_lower_bound",
+    "flow_circuit_time",
+    "packet_lower_bound",
+    "port_loads",
+    "sunflow_circuit_bound",
+    "sunflow_packet_bound",
+    "Coflow",
+    "CoflowCategory",
+    "CoflowTrace",
+    "Flow",
+    "MultiSwitchSchedule",
+    "MultiSwitchSunflow",
+    "PlanedReservation",
+    "POLICIES",
+    "ClassThen",
+    "EarliestDeadlineFirst",
+    "CoflowView",
+    "Fifo",
+    "NarrowestFirst",
+    "Policy",
+    "ShortestFirst",
+    "SmallestTotalFirst",
+    "views_from_coflows",
+    "PortConflictError",
+    "PortReservationTable",
+    "Reservation",
+    "TIME_EPS",
+    "GUARD_COFLOW_ID",
+    "GuardWindow",
+    "StarvationGuard",
+    "round_robin_assignments",
+    "CoflowSchedule",
+    "ReservationOrder",
+    "SunflowScheduler",
+    "ScheduleValidationError",
+    "check_coverage",
+    "check_lemma_one",
+    "check_non_preemption",
+    "check_port_constraint",
+    "validate_schedule",
+]

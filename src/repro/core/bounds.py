@@ -1,0 +1,106 @@
+"""CCT lower bounds (paper §2.4, Equations 1–4) and Lemma bounds (§4.1.2).
+
+Two theoretical, schedule-independent lower bounds on Coflow Completion
+Time:
+
+* ``T^p_L`` (*packet-switched*): the busiest port's total processing time —
+  Equation (2).
+* ``T^c_L`` (*circuit-switched*): same, but every non-zero flow pays at
+  least one circuit reconfiguration ``δ`` — Equations (3) and (4).  This is
+  tighter than the all-stop-model bound used by prior work because it is
+  derived under the not-all-stop switch model.
+
+Both are per-Coflow quantities; the inter-Coflow simulators use ``T^p_L``
+for shortest-Coflow-first ordering (paper §4.2) and for the idleness metric
+(§5.4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Tuple
+
+from repro.core.coflow import Coflow
+from repro.units import processing_time
+
+
+def port_loads(
+    coflow: Coflow, bandwidth_bps: float
+) -> Tuple[Dict[int, float], Dict[int, float]]:
+    """Per-port total processing time ``Σ_j p_ij`` and ``Σ_i p_ij``.
+
+    Returns:
+        ``(input_load, output_load)`` — seconds of work each input/output
+        port must serve for this Coflow, excluding reconfiguration delays.
+    """
+    input_load: Dict[int, float] = defaultdict(float)
+    output_load: Dict[int, float] = defaultdict(float)
+    for flow in coflow.flows:
+        p = processing_time(flow.size_bytes, bandwidth_bps)
+        input_load[flow.src] += p
+        output_load[flow.dst] += p
+    return dict(input_load), dict(output_load)
+
+
+def packet_lower_bound(coflow: Coflow, bandwidth_bps: float) -> float:
+    """``T^p_L``, Equation (2): the maximum port load in seconds.
+
+    The CCT in *any* network (packet or circuit) is at least the time the
+    busiest port needs to push its bytes at full line rate.
+    """
+    input_load, output_load = port_loads(coflow, bandwidth_bps)
+    loads = list(input_load.values()) + list(output_load.values())
+    return max(loads) if loads else 0.0
+
+
+def flow_circuit_time(size_bytes: float, bandwidth_bps: float, delta: float) -> float:
+    """``t_ij``, Equation (3): processing time plus one setup ``δ`` (0 if no demand)."""
+    if size_bytes <= 0:
+        return 0.0
+    return processing_time(size_bytes, bandwidth_bps) + delta
+
+
+def circuit_lower_bound(coflow: Coflow, bandwidth_bps: float, delta: float) -> float:
+    """``T^c_L``, Equation (4): max port load including one ``δ`` per flow.
+
+    Valid for the not-all-stop switch model: each flow must pay at least one
+    reconfiguration on both its ports, and a port serves one circuit at a
+    time.
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta!r}")
+    input_load: Dict[int, float] = defaultdict(float)
+    output_load: Dict[int, float] = defaultdict(float)
+    for flow in coflow.flows:
+        t = flow_circuit_time(flow.size_bytes, bandwidth_bps, delta)
+        input_load[flow.src] += t
+        output_load[flow.dst] += t
+    loads = list(input_load.values()) + list(output_load.values())
+    return max(loads) if loads else 0.0
+
+
+def alpha(coflow: Coflow, bandwidth_bps: float, delta: float) -> float:
+    """``α = δ / min_f (d_f / B)`` from Lemma 2.
+
+    The ratio of the switching delay to the smallest flow's transmission
+    time.  Sunflow's CCT is at most ``2(1+α)`` times the packet-switched
+    optimum.  Returns 0 for an empty Coflow.
+    """
+    if not coflow.flows:
+        return 0.0
+    min_p = min(processing_time(f.size_bytes, bandwidth_bps) for f in coflow.flows)
+    if min_p == 0:
+        raise ValueError("alpha is undefined for zero-size flows")
+    return delta / min_p
+
+
+def sunflow_circuit_bound(coflow: Coflow, bandwidth_bps: float, delta: float) -> float:
+    """Lemma 1 guarantee: Sunflow CCT is at most ``2 · T^c_L``."""
+    return 2.0 * circuit_lower_bound(coflow, bandwidth_bps, delta)
+
+
+def sunflow_packet_bound(coflow: Coflow, bandwidth_bps: float, delta: float) -> float:
+    """Lemma 2 guarantee: Sunflow CCT is at most ``2(1+α) · T^p_L``."""
+    return 2.0 * (1.0 + alpha(coflow, bandwidth_bps, delta)) * packet_lower_bound(
+        coflow, bandwidth_bps
+    )

@@ -1,0 +1,273 @@
+"""Coflow traffic model (paper §2.2).
+
+A *Coflow* is a collection of independent flows sharing one performance
+objective.  Its demand is a sparse matrix ``D`` where ``d[i][j]`` is the
+number of bytes flow ``f_(i,j)`` must move from input port ``in.i`` to
+output port ``out.j``.  ``|C|`` — the number of subflows — is the number of
+non-zero entries.
+
+The classes here are the data model used by every scheduler and simulator
+in the library:
+
+* :class:`Flow` — one (source, destination, size) demand entry,
+* :class:`Coflow` — a set of flows plus an arrival time,
+* :class:`CoflowTrace` — an ordered collection of Coflows over a fabric.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.units import processing_time
+
+
+class CoflowCategory(enum.Enum):
+    """Sender-to-receiver structure of a Coflow (paper Table 4)."""
+
+    ONE_TO_ONE = "O2O"
+    ONE_TO_MANY = "O2M"
+    MANY_TO_ONE = "M2O"
+    MANY_TO_MANY = "M2M"
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A single subflow: ``size_bytes`` from input port ``src`` to output port ``dst``.
+
+    Ports are zero-based indices into the fabric's input/output port sets.
+    A :class:`Flow` is immutable; mutable transfer progress lives in the
+    simulators, not in the traffic model.
+    """
+
+    src: int
+    dst: int
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"ports must be non-negative, got ({self.src}, {self.dst})")
+        if self.size_bytes <= 0:
+            raise ValueError(f"flow size must be positive, got {self.size_bytes!r}")
+
+    def processing_time(self, bandwidth_bps: float) -> float:
+        """Equation (1): seconds of circuit time to drain this flow at full rate."""
+        return processing_time(self.size_bytes, bandwidth_bps)
+
+
+@dataclass
+class Coflow:
+    """A Coflow: flows sharing a completion-time objective (paper §2.2).
+
+    Attributes:
+        coflow_id: identifier, unique within a trace.
+        arrival_time: seconds since the start of the trace.
+        flows: the subflows.  At most one flow per (src, dst) pair; use
+            :meth:`from_demand` or :meth:`merged` to combine duplicates.
+    """
+
+    coflow_id: int
+    arrival_time: float
+    flows: List[Flow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError(f"arrival time must be non-negative, got {self.arrival_time!r}")
+        seen: set = set()
+        for flow in self.flows:
+            key = (flow.src, flow.dst)
+            if key in seen:
+                raise ValueError(
+                    f"coflow {self.coflow_id} has duplicate flows on circuit {key}; "
+                    "merge them with Coflow.from_demand()"
+                )
+            seen.add(key)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_demand(
+        cls,
+        coflow_id: int,
+        demand: Dict[Tuple[int, int], float],
+        arrival_time: float = 0.0,
+    ) -> "Coflow":
+        """Build a Coflow from a ``{(src, dst): bytes}`` mapping.
+
+        Entries with zero size are dropped (a zero entry in the demand
+        matrix is the absence of a flow).
+        """
+        flows = [
+            Flow(src, dst, size)
+            for (src, dst), size in sorted(demand.items())
+            if size > 0
+        ]
+        return cls(coflow_id=coflow_id, arrival_time=arrival_time, flows=flows)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def num_flows(self) -> int:
+        """``|C|``: the number of subflows (non-zero demand entries)."""
+        return len(self.flows)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(flow.size_bytes for flow in self.flows)
+
+    @property
+    def senders(self) -> List[int]:
+        """Distinct input ports with demand, sorted."""
+        return sorted({flow.src for flow in self.flows})
+
+    @property
+    def receivers(self) -> List[int]:
+        """Distinct output ports with demand, sorted."""
+        return sorted({flow.dst for flow in self.flows})
+
+    @property
+    def category(self) -> CoflowCategory:
+        """Sender-to-receiver classification used by Table 4."""
+        many_senders = len(self.senders) > 1
+        many_receivers = len(self.receivers) > 1
+        if many_senders and many_receivers:
+            return CoflowCategory.MANY_TO_MANY
+        if many_senders:
+            return CoflowCategory.MANY_TO_ONE
+        if many_receivers:
+            return CoflowCategory.ONE_TO_MANY
+        return CoflowCategory.ONE_TO_ONE
+
+    def demand(self) -> Dict[Tuple[int, int], float]:
+        """Demand matrix as a sparse ``{(src, dst): bytes}`` mapping."""
+        return {(flow.src, flow.dst): flow.size_bytes for flow in self.flows}
+
+    def processing_times(self, bandwidth_bps: float) -> Dict[Tuple[int, int], float]:
+        """Equation (1) applied to every subflow: ``{(src, dst): seconds}``."""
+        return {
+            (flow.src, flow.dst): flow.processing_time(bandwidth_bps)
+            for flow in self.flows
+        }
+
+    def average_processing_time(self, bandwidth_bps: float) -> float:
+        """``p_avg = (Σ p_ij) / |C|`` (paper §5.3.2), 0 for an empty Coflow."""
+        if not self.flows:
+            return 0.0
+        total = sum(flow.processing_time(bandwidth_bps) for flow in self.flows)
+        return total / self.num_flows
+
+    def is_long(self, bandwidth_bps: float, delta: float, threshold: float = 40.0) -> bool:
+        """Paper §5.3.2: a Coflow is *long* if ``p_avg > threshold × δ``."""
+        return self.average_processing_time(bandwidth_bps) > threshold * delta
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float, min_bytes: float = 0.0) -> "Coflow":
+        """Return a copy with every flow size multiplied by ``factor``.
+
+        Sizes are floored at ``min_bytes`` (used when perturbing/scaling the
+        trace: the paper lower-bounds flow sizes at 1 MB).
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor!r}")
+        flows = [
+            Flow(f.src, f.dst, max(f.size_bytes * factor, min_bytes)) for f in self.flows
+        ]
+        return Coflow(self.coflow_id, self.arrival_time, flows)
+
+    def with_arrival(self, arrival_time: float) -> "Coflow":
+        """Return a copy arriving at ``arrival_time``."""
+        return Coflow(self.coflow_id, arrival_time, list(self.flows))
+
+    @staticmethod
+    def merged(coflow_id: int, coflows: Iterable["Coflow"], arrival_time: Optional[float] = None) -> "Coflow":
+        """Combine several Coflows into one (paper §4.2, equal-priority option).
+
+        Demands on the same circuit are summed; the arrival time defaults to
+        the earliest constituent arrival.
+        """
+        demand: Dict[Tuple[int, int], float] = {}
+        arrivals: List[float] = []
+        for coflow in coflows:
+            arrivals.append(coflow.arrival_time)
+            for flow in coflow.flows:
+                key = (flow.src, flow.dst)
+                demand[key] = demand.get(key, 0.0) + flow.size_bytes
+        if not arrivals:
+            raise ValueError("merged() needs at least one coflow")
+        when = min(arrivals) if arrival_time is None else arrival_time
+        return Coflow.from_demand(coflow_id, demand, arrival_time=when)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Coflow(id={self.coflow_id}, arrival={self.arrival_time:.3f}s, "
+            f"|C|={self.num_flows}, bytes={self.total_bytes:.0f}, "
+            f"category={self.category.value})"
+        )
+
+
+@dataclass
+class CoflowTrace:
+    """An ordered collection of Coflows over an ``num_ports``-port fabric.
+
+    The fabric is the non-blocking N-port switch of paper §2.1; input port
+    ``i`` and output port ``i`` both attach to the same ToR switch.
+    """
+
+    num_ports: int
+    coflows: List[Coflow] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_ports <= 0:
+            raise ValueError(f"port count must be positive, got {self.num_ports!r}")
+        for coflow in self.coflows:
+            self._check_ports(coflow)
+
+    def _check_ports(self, coflow: Coflow) -> None:
+        for flow in coflow.flows:
+            if flow.src >= self.num_ports or flow.dst >= self.num_ports:
+                raise ValueError(
+                    f"coflow {coflow.coflow_id} uses port ({flow.src}, {flow.dst}) "
+                    f"outside a {self.num_ports}-port fabric"
+                )
+
+    def add(self, coflow: Coflow) -> None:
+        self._check_ports(coflow)
+        self.coflows.append(coflow)
+
+    def sorted_by_arrival(self) -> "CoflowTrace":
+        """Return a copy with Coflows ordered by (arrival time, id)."""
+        ordered = sorted(self.coflows, key=lambda c: (c.arrival_time, c.coflow_id))
+        return CoflowTrace(self.num_ports, ordered)
+
+    def __len__(self) -> int:
+        return len(self.coflows)
+
+    def __iter__(self) -> Iterator[Coflow]:
+        return iter(self.coflows)
+
+    def __getitem__(self, index: int) -> Coflow:
+        return self.coflows[index]
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(coflow.total_bytes for coflow in self.coflows)
+
+    @property
+    def span(self) -> float:
+        """Last arrival time in the trace (0 for an empty trace)."""
+        if not self.coflows:
+            return 0.0
+        return max(coflow.arrival_time for coflow in self.coflows)
+
+    def map_sizes(self, fn) -> "CoflowTrace":
+        """Return a new trace with ``fn(flow) -> new_size_bytes`` applied to every flow."""
+        coflows = []
+        for coflow in self.coflows:
+            flows = [Flow(f.src, f.dst, fn(f)) for f in coflow.flows]
+            coflows.append(Coflow(coflow.coflow_id, coflow.arrival_time, flows))
+        return CoflowTrace(self.num_ports, coflows)

@@ -1,0 +1,266 @@
+"""Sunflow over multiple parallel optical switches (paper §6 future work).
+
+"Sunflow is meant for controlling a single optical circuit switch.
+Adapting Sunflow for controlling a network of circuit switches is a
+subject of our future work."  This module implements the natural first
+step: a fabric of ``k`` parallel switch *planes*, where every rack has one
+transceiver per plane (the multi-plane OCS topology of Helios-style
+designs).  A flow may be served by any plane; each plane enforces its own
+port constraint.
+
+The scheduler generalizes Algorithm 1's MakeReservation to "reserve on the
+first plane where both ports are free and the gap fits": everything else —
+non-preemption, priority ordering across Coflows, the event-driven release
+scan — carries over unchanged.  Lemma 1's argument also survives per
+plane: whenever a flow waits, all planes of its ports are busy, so the
+waiting bound divides by ``k`` in the best case.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.coflow import Coflow
+from repro.core.prt import PortReservationTable, Reservation, TIME_EPS
+from repro.core.sunflow import ReservationOrder, _Entry
+from repro.units import DEFAULT_BANDWIDTH, DEFAULT_DELTA
+
+
+@dataclass(frozen=True)
+class PlanedReservation:
+    """A reservation bound to one switch plane."""
+
+    plane: int
+    reservation: Reservation
+
+
+@dataclass
+class MultiSwitchSchedule:
+    """The planned per-plane reservations for one Coflow."""
+
+    coflow_id: int
+    start_time: float
+    reservations: List[PlanedReservation] = field(default_factory=list)
+
+    @property
+    def completion_time(self) -> float:
+        if not self.reservations:
+            return self.start_time
+        return max(item.reservation.end for item in self.reservations)
+
+    @property
+    def makespan(self) -> float:
+        return self.completion_time - self.start_time
+
+    @property
+    def num_setups(self) -> int:
+        return sum(1 for item in self.reservations if item.reservation.setup > 0)
+
+    def per_plane_counts(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for item in self.reservations:
+            counts[item.plane] = counts.get(item.plane, 0) + 1
+        return counts
+
+
+class MultiSwitchSunflow:
+    """Sunflow planning over ``num_planes`` parallel switch planes.
+
+    Args:
+        num_planes: number of parallel OCS planes (``k``).
+        delta: per-plane circuit reconfiguration delay.
+        order: demand consideration order, as in the single-switch case.
+        rng: randomness for :attr:`ReservationOrder.RANDOM`.
+    """
+
+    def __init__(
+        self,
+        num_planes: int,
+        delta: float = DEFAULT_DELTA,
+        order: ReservationOrder = ReservationOrder.ORDERED_PORT,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if num_planes <= 0:
+            raise ValueError(f"plane count must be positive, got {num_planes!r}")
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta!r}")
+        self.num_planes = num_planes
+        self.delta = delta
+        self.order = order
+        self._rng = rng if rng is not None else random.Random(0)
+
+    # ------------------------------------------------------------------
+    def new_tables(self) -> List[PortReservationTable]:
+        """Fresh per-plane reservation tables."""
+        return [PortReservationTable() for _ in range(self.num_planes)]
+
+    def schedule_demand(
+        self,
+        tables: Sequence[PortReservationTable],
+        coflow_id: int,
+        demand_times: Mapping[Tuple[int, int], float],
+        start_time: float = 0.0,
+    ) -> MultiSwitchSchedule:
+        """Reserve circuits for one Coflow across the planes.
+
+        ``tables`` must have one PRT per plane; reservations made by
+        higher-priority Coflows constrain this call exactly as in the
+        single-switch scheduler.
+        """
+        if len(tables) != self.num_planes:
+            raise ValueError(
+                f"expected {self.num_planes} tables, got {len(tables)}"
+            )
+        entries = self._make_entries(demand_times)
+        schedule = MultiSwitchSchedule(coflow_id=coflow_id, start_time=start_time)
+        if not entries:
+            return schedule
+
+        pending_by_port: Dict[Tuple[int, str, int], Set[_Entry]] = {}
+        for entry in entries:
+            for plane in range(self.num_planes):
+                pending_by_port.setdefault((plane, "in", entry.src), set()).add(entry)
+                pending_by_port.setdefault((plane, "out", entry.dst), set()).add(entry)
+        outstanding = len(entries)
+
+        counter = itertools.count()
+        events: List[Tuple[float, int, int, int, int]] = []
+        used_inputs = {entry.src for entry in entries}
+        used_outputs = {entry.dst for entry in entries}
+        seeded = set()
+        for plane, prt in enumerate(tables):
+            for port in used_inputs:
+                for reservation in prt.reservations_for_input(port):
+                    if reservation.end > start_time + TIME_EPS:
+                        seeded.add((reservation.end, plane, reservation.src, reservation.dst))
+            for port in used_outputs:
+                for reservation in prt.reservations_for_output(port):
+                    if reservation.end > start_time + TIME_EPS:
+                        seeded.add((reservation.end, plane, reservation.src, reservation.dst))
+        for end, plane, src, dst in seeded:
+            heapq.heappush(events, (end, next(counter), plane, src, dst))
+
+        def attempt(batch, t: float) -> None:
+            nonlocal outstanding
+            for entry in sorted(batch, key=lambda e: e.order_index):
+                if entry.remaining <= TIME_EPS:
+                    continue
+                placed = self._make_reservation(tables, schedule, entry, t)
+                if placed is not None:
+                    plane, reservation = placed
+                    heapq.heappush(
+                        events,
+                        (reservation.end, next(counter), plane,
+                         reservation.src, reservation.dst),
+                    )
+                if entry.remaining <= TIME_EPS:
+                    for plane in range(self.num_planes):
+                        pending_by_port[(plane, "in", entry.src)].discard(entry)
+                        pending_by_port[(plane, "out", entry.dst)].discard(entry)
+                    outstanding -= 1
+
+        attempt(entries, start_time)
+        while outstanding > 0:
+            if not events:
+                raise RuntimeError(
+                    f"coflow {coflow_id}: demand left but no future release"
+                )
+            t = events[0][0]
+            released: Set[Tuple[int, str, int]] = set()
+            while events and events[0][0] <= t + TIME_EPS:
+                _, _, plane, src, dst = heapq.heappop(events)
+                released.add((plane, "in", src))
+                released.add((plane, "out", dst))
+            candidates: Set[_Entry] = set()
+            for key in released:
+                candidates.update(pending_by_port.get(key, ()))
+            if candidates:
+                attempt(candidates, t)
+        return schedule
+
+    def schedule_coflow(
+        self,
+        coflow: Coflow,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH,
+        tables: Optional[Sequence[PortReservationTable]] = None,
+        start_time: float = 0.0,
+    ) -> MultiSwitchSchedule:
+        """Convenience wrapper for a whole Coflow on fresh (or given) tables."""
+        if tables is None:
+            tables = self.new_tables()
+        return self.schedule_demand(
+            tables, coflow.coflow_id, coflow.processing_times(bandwidth_bps),
+            start_time=start_time,
+        )
+
+    def schedule_coflows(
+        self,
+        coflows: Sequence[Coflow],
+        bandwidth_bps: float = DEFAULT_BANDWIDTH,
+        start_time: float = 0.0,
+    ) -> Tuple[List[PortReservationTable], Dict[int, MultiSwitchSchedule]]:
+        """Priority-ordered inter-Coflow scheduling across the planes."""
+        tables = self.new_tables()
+        schedules = {}
+        for coflow in coflows:
+            schedules[coflow.coflow_id] = self.schedule_demand(
+                tables,
+                coflow.coflow_id,
+                coflow.processing_times(bandwidth_bps),
+                start_time=start_time,
+            )
+        return list(tables), schedules
+
+    # ------------------------------------------------------------------
+    def _make_entries(self, demand_times) -> List[_Entry]:
+        entries = [
+            _Entry(src, dst, p)
+            for (src, dst), p in demand_times.items()
+            if p > TIME_EPS
+        ]
+        if self.order is ReservationOrder.ORDERED_PORT:
+            entries.sort(key=lambda e: (e.src, e.dst))
+        elif self.order is ReservationOrder.RANDOM:
+            entries.sort(key=lambda e: (e.src, e.dst))
+            self._rng.shuffle(entries)
+        else:
+            entries.sort(key=lambda e: (-e.remaining, e.src, e.dst))
+        for index, entry in enumerate(entries):
+            entry.order_index = index
+        return entries
+
+    def _make_reservation(
+        self,
+        tables: Sequence[PortReservationTable],
+        schedule: MultiSwitchSchedule,
+        entry: _Entry,
+        t: float,
+    ) -> Optional[Tuple[int, Reservation]]:
+        """Try each plane in turn; reserve on the first feasible one."""
+        for plane, prt in enumerate(tables):
+            if not (
+                prt.input_free_at(entry.src, t) and prt.output_free_at(entry.dst, t)
+            ):
+                continue
+            t_next = prt.next_reserved_time(entry.src, entry.dst, t)
+            max_length = t_next - t
+            desired_length = self.delta + entry.remaining
+            if max_length <= self.delta + TIME_EPS:
+                continue
+            length = min(max_length, desired_length)
+            reservation = prt.reserve(
+                entry.src,
+                entry.dst,
+                start=t,
+                end=t + length,
+                coflow_id=schedule.coflow_id,
+                setup=self.delta,
+            )
+            schedule.reservations.append(PlanedReservation(plane, reservation))
+            entry.remaining = desired_length - length
+            return plane, reservation
+        return None

@@ -1,0 +1,239 @@
+"""Port Reservation Table (paper §4.1.1).
+
+The PRT is the data structure at the heart of Sunflow.  It records, for
+every input and output port of the optical circuit switch, the time
+intervals during which the port is taken by a circuit.  A circuit
+``[in.i, out.j]`` is scheduled by making a *reservation* on both ports for
+the same interval; the first ``setup`` seconds of a reservation model the
+circuit reconfiguration delay ``δ`` (no data moves), the remainder
+transmits at full link rate.
+
+Reservations are half-open intervals ``[start, end)``: a reservation ending
+at ``t`` frees its ports at exactly ``t``, and a new reservation may begin
+at ``t``.  The table enforces the port constraint of §2.1 — an input
+(output) port carries at most one circuit at any instant — by refusing
+overlapping reservations.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Tolerance for floating-point time comparisons throughout the scheduler.
+TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """One circuit held on ``[start, end)`` between ``src`` and ``dst``.
+
+    Attributes:
+        start: when the ports become taken (reconfiguration begins).
+        end: when the ports are released.
+        src: input port index.
+        dst: output port index.
+        coflow_id: the Coflow whose flow this circuit serves.
+        setup: leading seconds spent reconfiguring; data flows only during
+            ``[start + setup, end)``.
+    """
+
+    start: float
+    end: float
+    src: int
+    dst: int
+    coflow_id: int
+    setup: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty reservation [{self.start}, {self.end})")
+        if self.setup < 0 or self.setup > (self.end - self.start) + TIME_EPS:
+            raise ValueError(
+                f"setup {self.setup} outside reservation of length {self.end - self.start}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def transmit_start(self) -> float:
+        """First instant at which data moves on this circuit."""
+        return self.start + self.setup
+
+    @property
+    def transmit_duration(self) -> float:
+        return max(0.0, self.end - self.transmit_start)
+
+    def transmitted_before(self, t: float) -> float:
+        """Seconds of transmission completed strictly before time ``t``."""
+        return max(0.0, min(t, self.end) - self.transmit_start)
+
+    @property
+    def circuit(self) -> Tuple[int, int]:
+        return (self.src, self.dst)
+
+
+class PortConflictError(ValueError):
+    """Raised when a reservation would overlap an existing one on a port."""
+
+
+class PortReservationTable:
+    """Reservation timelines for every input and output port.
+
+    The table is write-once per interval: Sunflow never preempts an existing
+    reservation, so reservations only accumulate.  Lookups the scheduler
+    needs — "is this port free at ``t``?", "when is the next reservation on
+    this port after ``t``?", "when is the next circuit release anywhere?" —
+    are all O(log n) via per-port sorted lists plus a global sorted list of
+    release (end) times.
+    """
+
+    def __init__(self) -> None:
+        self._in: Dict[int, List[Reservation]] = {}
+        self._out: Dict[int, List[Reservation]] = {}
+        self._in_starts: Dict[int, List[float]] = {}
+        self._out_starts: Dict[int, List[float]] = {}
+        self._ends: List[float] = []
+        self._reservations: List[Reservation] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._reservations)
+
+    def __iter__(self) -> Iterator[Reservation]:
+        return iter(self._reservations)
+
+    def reservations_for_input(self, port: int) -> List[Reservation]:
+        return list(self._in.get(port, ()))
+
+    def reservations_for_output(self, port: int) -> List[Reservation]:
+        return list(self._out.get(port, ()))
+
+    @staticmethod
+    def _covering(
+        reservations: List[Reservation], starts: List[float], t: float
+    ) -> Optional[Reservation]:
+        """The reservation whose ``[start, end)`` contains ``t``, if any."""
+        idx = bisect.bisect_right(starts, t + TIME_EPS) - 1
+        if idx >= 0:
+            candidate = reservations[idx]
+            if candidate.start <= t + TIME_EPS and t < candidate.end - TIME_EPS:
+                return candidate
+        return None
+
+    def input_reservation_at(self, port: int, t: float) -> Optional[Reservation]:
+        return self._covering(self._in.get(port, []), self._in_starts.get(port, []), t)
+
+    def output_reservation_at(self, port: int, t: float) -> Optional[Reservation]:
+        return self._covering(self._out.get(port, []), self._out_starts.get(port, []), t)
+
+    def input_free_at(self, port: int, t: float) -> bool:
+        return self.input_reservation_at(port, t) is None
+
+    def output_free_at(self, port: int, t: float) -> bool:
+        return self.output_reservation_at(port, t) is None
+
+    @staticmethod
+    def _next_start(starts: List[float], t: float) -> float:
+        """Earliest reservation start at or after ``t`` (inf if none)."""
+        idx = bisect.bisect_left(starts, t - TIME_EPS)
+        # Skip starts that are effectively equal to t only if they are in the
+        # past; bisect_left with the epsilon already lands us on the first
+        # start >= t - eps, which is what "next reservation" means here.
+        while idx < len(starts) and starts[idx] < t - TIME_EPS:
+            idx += 1
+        return starts[idx] if idx < len(starts) else float("inf")
+
+    def next_reserved_time(self, src: int, dst: int, t: float) -> float:
+        """``t_m`` of Algorithm 1 line 16: earliest upcoming reservation start
+        on either ``in.src`` or ``out.dst``, at or after ``t`` (inf if none)."""
+        next_in = self._next_start(self._in_starts.get(src, []), t)
+        next_out = self._next_start(self._out_starts.get(dst, []), t)
+        return min(next_in, next_out)
+
+    def next_release_after(self, t: float) -> Optional[float]:
+        """Earliest reservation end strictly after ``t`` across all ports.
+
+        Algorithm 1 line 10 advances the scheduling clock to this instant.
+        """
+        idx = bisect.bisect_right(self._ends, t + TIME_EPS)
+        if idx < len(self._ends):
+            return self._ends[idx]
+        return None
+
+    def makespan(self) -> float:
+        """Latest reservation end in the table (0 when empty)."""
+        return self._ends[-1] if self._ends else 0.0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _check_no_overlap(
+        self, reservations: List[Reservation], starts: List[float], new: Reservation
+    ) -> None:
+        idx = bisect.bisect_left(starts, new.start)
+        # The previous reservation must end before the new one starts...
+        if idx > 0 and reservations[idx - 1].end > new.start + TIME_EPS:
+            raise PortConflictError(
+                f"{new} overlaps existing {reservations[idx - 1]}"
+            )
+        # ...and the next must start after the new one ends.
+        if idx < len(reservations) and reservations[idx].start < new.end - TIME_EPS:
+            raise PortConflictError(f"{new} overlaps existing {reservations[idx]}")
+
+    def reserve(
+        self,
+        src: int,
+        dst: int,
+        start: float,
+        end: float,
+        coflow_id: int,
+        setup: float,
+    ) -> Reservation:
+        """Reserve circuit ``[in.src, out.dst]`` on ``[start, end)``.
+
+        Raises:
+            PortConflictError: if either port is already taken anywhere in
+                the interval (Sunflow never preempts).
+        """
+        reservation = Reservation(
+            start=start, end=end, src=src, dst=dst, coflow_id=coflow_id, setup=setup
+        )
+        in_list = self._in.setdefault(src, [])
+        in_starts = self._in_starts.setdefault(src, [])
+        out_list = self._out.setdefault(dst, [])
+        out_starts = self._out_starts.setdefault(dst, [])
+        self._check_no_overlap(in_list, in_starts, reservation)
+        self._check_no_overlap(out_list, out_starts, reservation)
+
+        idx = bisect.bisect_left(in_starts, reservation.start)
+        in_list.insert(idx, reservation)
+        in_starts.insert(idx, reservation.start)
+        idx = bisect.bisect_left(out_starts, reservation.start)
+        out_list.insert(idx, reservation)
+        out_starts.insert(idx, reservation.start)
+        bisect.insort(self._ends, reservation.end)
+        self._reservations.append(reservation)
+        return reservation
+
+    # ------------------------------------------------------------------
+    # Validation (used heavily by the test suite)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Assert the port constraint holds for every port timeline.
+
+        Raises:
+            PortConflictError: if any two reservations overlap on a port.
+        """
+        for table in (self._in, self._out):
+            for port, reservations in table.items():
+                for earlier, later in zip(reservations, reservations[1:]):
+                    if earlier.end > later.start + TIME_EPS:
+                        raise PortConflictError(
+                            f"port {port}: {earlier} overlaps {later}"
+                        )

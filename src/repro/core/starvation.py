@@ -1,0 +1,147 @@
+"""Starvation guard for inter-Coflow scheduling (paper §4.2).
+
+Priority scheduling can starve low-priority Coflows indefinitely — e.g. if
+an attacker keeps submitting small high-priority Coflows.  The paper's
+remedy: fix a list of ``N`` circuit assignments ``Φ = {A_1 … A_N}`` that
+together cover all ``N²`` circuits, and carve time into recurring
+``(T + τ)`` intervals.  During each ``T`` slice Sunflow's priority-ordered
+InterCoflow runs as usual; during the following ``τ`` slice the fabric is
+configured as ``A_k`` (round-robin over ``Φ``) and *every* Coflow with
+demand on an enabled circuit shares its bandwidth.
+
+Every Coflow therefore receives non-zero service at least once per
+``N(T + τ)`` seconds, at the cost of some utilization during ``τ`` slices
+whose enabled circuits carry no demand.
+
+This module provides the assignment list, the interval geometry, and a
+helper that pre-reserves the ``τ`` slices in a Port Reservation Table so
+that the priority scheduler plans around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.core.prt import PortReservationTable, TIME_EPS
+
+#: Sentinel Coflow id for guard reservations in a PRT.
+GUARD_COFLOW_ID = -1
+
+
+def round_robin_assignments(num_ports: int) -> List[List[Tuple[int, int]]]:
+    """The fixed assignment list ``Φ``: N rotations covering all N² circuits.
+
+    ``A_k`` connects input ``i`` to output ``(i + k) mod N``.  Each ``A_k``
+    is a perfect matching (respects the port constraint), and the union over
+    ``k = 0 … N-1`` is every possible circuit.
+    """
+    if num_ports <= 0:
+        raise ValueError(f"port count must be positive, got {num_ports!r}")
+    return [
+        [(i, (i + k) % num_ports) for i in range(num_ports)]
+        for k in range(num_ports)
+    ]
+
+
+@dataclass(frozen=True)
+class GuardWindow:
+    """One ``τ`` slice: the fabric holds assignment ``Φ[assignment_index]``."""
+
+    start: float
+    end: float
+    assignment_index: int
+
+
+class StarvationGuard:
+    """Geometry of the recurring ``(T + τ)`` guard intervals.
+
+    Args:
+        num_ports: fabric size ``N``.
+        period: the priority-scheduling slice ``T`` (seconds).
+        tau: the shared round-robin slice ``τ`` (seconds).
+        delta: circuit reconfiguration delay; must satisfy ``τ > δ`` or the
+            guard slice could not transmit anything.
+        origin: absolute time of the first interval's start.
+    """
+
+    def __init__(
+        self,
+        num_ports: int,
+        period: float,
+        tau: float,
+        delta: float,
+        origin: float = 0.0,
+    ) -> None:
+        if period <= 0 or tau <= 0:
+            raise ValueError(f"T and tau must be positive, got T={period}, tau={tau}")
+        if tau <= delta:
+            raise ValueError(
+                f"tau ({tau}) must exceed the reconfiguration delay ({delta}) "
+                "or guard slices transmit nothing"
+            )
+        self.num_ports = num_ports
+        self.period = period
+        self.tau = tau
+        self.delta = delta
+        self.origin = origin
+        self.assignments = round_robin_assignments(num_ports)
+
+    @property
+    def cycle(self) -> float:
+        """Length of one ``(T + τ)`` interval."""
+        return self.period + self.tau
+
+    @property
+    def max_service_gap(self) -> float:
+        """Worst-case wait for a given circuit to be enabled: ``N(T + τ)``."""
+        return self.num_ports * self.cycle
+
+    def window(self, interval_index: int) -> GuardWindow:
+        """The ``τ`` slice of the ``interval_index``-th ``(T + τ)`` interval."""
+        start = self.origin + interval_index * self.cycle + self.period
+        return GuardWindow(
+            start=start,
+            end=start + self.tau,
+            assignment_index=interval_index % self.num_ports,
+        )
+
+    def windows_between(self, start: float, end: float) -> Iterator[GuardWindow]:
+        """All ``τ`` slices overlapping ``[start, end)``, in time order."""
+        if end <= start:
+            return
+        first = max(0, int((start - self.origin - self.period - self.tau) // self.cycle))
+        index = first
+        while True:
+            window = self.window(index)
+            if window.start >= end - TIME_EPS:
+                return
+            if window.end > start + TIME_EPS:
+                yield window
+            index += 1
+
+    def reserve_windows(
+        self, prt: PortReservationTable, start: float, end: float
+    ) -> List[GuardWindow]:
+        """Reserve every ``τ`` slice in ``[start, end)`` on all ports of ``prt``.
+
+        The priority scheduler then plans around the slices automatically
+        (its reservations never overlap existing ones).  Only slices lying
+        entirely within ``[start, end)`` and not conflicting with existing
+        reservations are booked; returns the slices reserved.
+        """
+        reserved = []
+        for window in self.windows_between(start, end):
+            if window.start < start - TIME_EPS or window.end > end + TIME_EPS:
+                continue
+            for src, dst in self.assignments[window.assignment_index]:
+                prt.reserve(
+                    src,
+                    dst,
+                    start=window.start,
+                    end=window.end,
+                    coflow_id=GUARD_COFLOW_ID,
+                    setup=self.delta,
+                )
+            reserved.append(window)
+        return reserved

@@ -1,0 +1,440 @@
+"""The Sunflow scheduling algorithm (paper §4, Algorithm 1).
+
+Sunflow schedules optical circuits for Coflows under the not-all-stop
+switch model.  Its two design rules:
+
+* **intra-Coflow non-preemption** — once a circuit is reserved for a flow
+  it is held until the reservation ends; in the single-Coflow case each
+  flow needs exactly one setup, which is the minimum possible switching
+  count;
+* **inter-Coflow priority** — Coflows are scheduled one after another, in
+  priority order, against the *same* Port Reservation Table.  A later
+  (lower-priority) Coflow can only claim port time the earlier ones left
+  free, so it can never block them.  Its reservations may be truncated to
+  fit the free gaps (Algorithm 1 line 19), in which case the flow pays an
+  extra ``δ`` to resume later — this is the only way a flow ever needs more
+  than one setup.
+
+The scheduler is an *offline* planner: given demands (expressed as
+remaining processing time per circuit) and a start time, it fills a PRT.
+The discrete-event simulators in :mod:`repro.sim` call it at every Coflow
+arrival/completion to (re)plan, then execute the plan until the next event.
+
+Implementation note — Algorithm 1 as printed rescans every remaining
+demand entry at every circuit-release time, which is O(|C|²) with a large
+constant.  This module implements an equivalent event-driven form: an
+entry's feasibility (both ports free, gap ≥ δ) can only change when a
+reservation on one of *its own* ports is released, so entries wait in
+per-port pending sets and are re-attempted — in the same global
+consideration order — exactly when one of their ports frees up.  The
+literal pseudocode is kept as :func:`schedule_demand_reference` and the
+test suite checks the two produce identical reservations.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.coflow import Coflow
+from repro.core.prt import PortReservationTable, Reservation, TIME_EPS
+from repro.units import DEFAULT_BANDWIDTH, DEFAULT_DELTA
+
+
+class ReservationOrder(enum.Enum):
+    """Order in which Algorithm 1 considers the demand entries of a Coflow.
+
+    Lemma 1 holds for *any* order; §5.3.1 measures the (tiny) performance
+    difference between these three.
+    """
+
+    #: Sort by (src, dst) port label — the paper's default.
+    ORDERED_PORT = "ordered_port"
+    #: Uniformly random shuffle.
+    RANDOM = "random"
+    #: Largest remaining demand first.
+    SORTED_DEMAND = "sorted_demand"
+
+
+@dataclass
+class CoflowSchedule:
+    """The planned reservations for one Coflow.
+
+    ``completion_time`` is absolute (same clock as the PRT); the Coflow
+    Completion Time is ``completion_time - arrival_time``, computed by the
+    caller which knows the arrival.
+    """
+
+    coflow_id: int
+    start_time: float
+    reservations: List[Reservation] = field(default_factory=list)
+
+    @property
+    def completion_time(self) -> float:
+        if not self.reservations:
+            return self.start_time
+        return max(r.end for r in self.reservations)
+
+    @property
+    def num_setups(self) -> int:
+        """Number of circuit establishments (reservations paying a setup)."""
+        return sum(1 for r in self.reservations if r.setup > 0)
+
+    @property
+    def makespan(self) -> float:
+        return self.completion_time - self.start_time
+
+
+#: Circuits already configured for a Coflow at the schedule origin: either
+#: a set (setup complete) or a mapping ``circuit -> remaining setup seconds``.
+EstablishedCircuits = Union[
+    FrozenSet[Tuple[int, int]],
+    Set[Tuple[int, int]],
+    Mapping[Tuple[int, int], float],
+]
+
+
+def _normalize_established(established: EstablishedCircuits) -> Dict[Tuple[int, int], float]:
+    if isinstance(established, Mapping):
+        return dict(established)
+    return {circuit: 0.0 for circuit in established}
+
+
+@dataclass
+class _Entry:
+    """Mutable remaining demand for one circuit while scheduling."""
+
+    src: int
+    dst: int
+    remaining: float  # processing seconds still to transmit
+    order_index: int = 0
+
+    def __hash__(self) -> int:  # identity hash: entries live in pending sets
+        return id(self)
+
+
+class SunflowScheduler:
+    """Plans circuit reservations per Algorithm 1.
+
+    Args:
+        delta: circuit reconfiguration delay ``δ`` in seconds.
+        order: demand-consideration order (see :class:`ReservationOrder`).
+        rng: random source for :attr:`ReservationOrder.RANDOM`; a fresh
+            seeded generator is created if omitted, so runs are repeatable.
+        quantum: optional approximation knob from §6 — demand processing
+            times are rounded *up* to a multiple of ``quantum`` seconds
+            before scheduling.  Rounded-up reservations end on a coarse
+            grid, so many circuit-release events coincide and the
+            scheduling loop runs fewer iterations, at the cost of some
+            reserved-but-idle circuit time (the paper: "approximation …
+            could reduce the optimality of the resulting schedules").
+    """
+
+    def __init__(
+        self,
+        delta: float = DEFAULT_DELTA,
+        order: ReservationOrder = ReservationOrder.ORDERED_PORT,
+        rng: Optional[random.Random] = None,
+        quantum: Optional[float] = None,
+    ) -> None:
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta!r}")
+        if quantum is not None and quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum!r}")
+        self.delta = delta
+        self.order = order
+        self.quantum = quantum
+        self._rng = rng if rng is not None else random.Random(0)
+
+    # ------------------------------------------------------------------
+    # Intra-Coflow scheduling (Algorithm 1, IntraCoflow + MakeReservation)
+    # ------------------------------------------------------------------
+    def schedule_demand(
+        self,
+        prt: PortReservationTable,
+        coflow_id: int,
+        demand_times: Mapping[Tuple[int, int], float],
+        start_time: float = 0.0,
+        established: "EstablishedCircuits" = frozenset(),
+    ) -> CoflowSchedule:
+        """Reserve circuits on ``prt`` for one Coflow's remaining demand.
+
+        Args:
+            prt: shared Port Reservation Table; reservations made by
+                higher-priority Coflows constrain (and are never violated
+                by) this call.
+            coflow_id: recorded on every reservation.
+            demand_times: ``{(src, dst): remaining processing seconds}``.
+                Zero/negative entries are ignored.
+            start_time: scheduling clock origin ``t0`` (e.g. the Coflow's
+                arrival, or "now" when replanning).
+            established: circuits physically configured (or mid-setup) for
+                *this Coflow's flows* at ``start_time``.  Either a set of
+                circuits (setup fully complete) or a mapping ``circuit →
+                remaining setup seconds``; a reservation starting exactly at
+                ``start_time`` on such a circuit pays only the remaining
+                setup instead of a full ``δ``.
+
+        Returns:
+            The reservations planned for this Coflow.
+        """
+        established = _normalize_established(established)
+        entries = self._make_entries(demand_times)
+        schedule = CoflowSchedule(coflow_id=coflow_id, start_time=start_time)
+        if not entries:
+            return schedule
+
+        # Pending entries indexed by the ports they need.
+        pending_by_port: Dict[Tuple[str, int], Set[_Entry]] = {}
+        for entry in entries:
+            pending_by_port.setdefault(("in", entry.src), set()).add(entry)
+            pending_by_port.setdefault(("out", entry.dst), set()).add(entry)
+        outstanding = len(entries)
+
+        # Release events: (time, src, dst).  Seed with the ends of
+        # pre-existing reservations (higher-priority Coflows, guard slices)
+        # on the ports this Coflow actually uses — releases elsewhere cannot
+        # change any entry's feasibility; new ends are pushed as we reserve.
+        # A counter breaks ties deterministically.
+        counter = itertools.count()
+        events: List[Tuple[float, int, int, int]] = []
+        used_inputs = {entry.src for entry in entries}
+        used_outputs = {entry.dst for entry in entries}
+        seeded = set()
+        for port in used_inputs:
+            for reservation in prt.reservations_for_input(port):
+                if reservation.end > start_time + TIME_EPS:
+                    seeded.add((reservation.end, reservation.src, reservation.dst))
+        for port in used_outputs:
+            for reservation in prt.reservations_for_output(port):
+                if reservation.end > start_time + TIME_EPS:
+                    seeded.add((reservation.end, reservation.src, reservation.dst))
+        for end, src, dst in seeded:
+            heapq.heappush(events, (end, next(counter), src, dst))
+
+        def attempt(batch: Iterable[_Entry], t: float) -> None:
+            nonlocal outstanding
+            for entry in sorted(batch, key=lambda e: e.order_index):
+                if entry.remaining <= TIME_EPS:
+                    continue
+                before = entry.remaining
+                entry.remaining = self._make_reservation(
+                    prt, schedule, entry, t, start_time, established
+                )
+                if entry.remaining != before:
+                    reservation = schedule.reservations[-1]
+                    heapq.heappush(
+                        events,
+                        (reservation.end, next(counter), reservation.src, reservation.dst),
+                    )
+                if entry.remaining <= TIME_EPS:
+                    pending_by_port[("in", entry.src)].discard(entry)
+                    pending_by_port[("out", entry.dst)].discard(entry)
+                    outstanding -= 1
+
+        attempt(entries, start_time)
+        while outstanding > 0:
+            if not events:
+                raise RuntimeError(
+                    f"coflow {coflow_id}: demand left but no future release"
+                )
+            t = events[0][0]
+            released_ports: Set[Tuple[str, int]] = set()
+            while events and events[0][0] <= t + TIME_EPS:
+                _, _, src, dst = heapq.heappop(events)
+                released_ports.add(("in", src))
+                released_ports.add(("out", dst))
+            candidates: Set[_Entry] = set()
+            for port in released_ports:
+                candidates.update(pending_by_port.get(port, ()))
+            if candidates:
+                attempt(candidates, t)
+        return schedule
+
+    def schedule_coflow(
+        self,
+        coflow: Coflow,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH,
+        prt: Optional[PortReservationTable] = None,
+        start_time: Optional[float] = None,
+    ) -> CoflowSchedule:
+        """Convenience wrapper: schedule a whole :class:`Coflow` from scratch.
+
+        Uses the Coflow's arrival time as the schedule origin unless
+        ``start_time`` is given, and a fresh PRT unless one is supplied.
+        """
+        if prt is None:
+            prt = PortReservationTable()
+        origin = coflow.arrival_time if start_time is None else start_time
+        return self.schedule_demand(
+            prt,
+            coflow.coflow_id,
+            coflow.processing_times(bandwidth_bps),
+            start_time=origin,
+        )
+
+    # ------------------------------------------------------------------
+    # Inter-Coflow scheduling (Algorithm 1, InterCoflow)
+    # ------------------------------------------------------------------
+    def schedule_many(
+        self,
+        demands: Sequence[Tuple[int, Mapping[Tuple[int, int], float]]],
+        start_time: float = 0.0,
+        prt: Optional[PortReservationTable] = None,
+        established: Mapping[int, "EstablishedCircuits"] = {},
+    ) -> Tuple[PortReservationTable, Dict[int, CoflowSchedule]]:
+        """Schedule several Coflows, highest priority first, on one PRT.
+
+        Args:
+            demands: ``(coflow_id, demand_times)`` pairs in priority order.
+            start_time: common scheduling origin.
+            prt: table to fill (fresh one by default).
+            established: per-Coflow pre-configured circuits (see
+                :meth:`schedule_demand`).
+
+        Returns:
+            The filled PRT and a per-Coflow schedule map.
+        """
+        if prt is None:
+            prt = PortReservationTable()
+        schedules: Dict[int, CoflowSchedule] = {}
+        for coflow_id, demand_times in demands:
+            schedules[coflow_id] = self.schedule_demand(
+                prt,
+                coflow_id,
+                demand_times,
+                start_time=start_time,
+                established=established.get(coflow_id, frozenset()),
+            )
+        return prt, schedules
+
+    def schedule_coflows(
+        self,
+        coflows: Iterable[Coflow],
+        bandwidth_bps: float = DEFAULT_BANDWIDTH,
+        start_time: float = 0.0,
+    ) -> Tuple[PortReservationTable, Dict[int, CoflowSchedule]]:
+        """Schedule whole Coflows (already in priority order) from scratch."""
+        demands = [
+            (c.coflow_id, c.processing_times(bandwidth_bps)) for c in coflows
+        ]
+        return self.schedule_many(demands, start_time=start_time)
+
+    # ------------------------------------------------------------------
+    # Reference implementation (literal Algorithm 1; used by tests)
+    # ------------------------------------------------------------------
+    def schedule_demand_reference(
+        self,
+        prt: PortReservationTable,
+        coflow_id: int,
+        demand_times: Mapping[Tuple[int, int], float],
+        start_time: float = 0.0,
+        established: "EstablishedCircuits" = frozenset(),
+    ) -> CoflowSchedule:
+        """Literal transcription of Algorithm 1 (quadratic rescan loop).
+
+        Produces the same reservations as :meth:`schedule_demand`; kept for
+        validation and as executable documentation of the pseudocode.
+        """
+        established = _normalize_established(established)
+        entries = self._make_entries(demand_times)
+        schedule = CoflowSchedule(coflow_id=coflow_id, start_time=start_time)
+        t = start_time
+        while entries:
+            for entry in entries:
+                entry.remaining = self._make_reservation(
+                    prt, schedule, entry, t, start_time, established
+                )
+            entries = [e for e in entries if e.remaining > TIME_EPS]
+            if not entries:
+                break
+            next_t = prt.next_release_after(t)
+            if next_t is None:
+                raise RuntimeError(
+                    f"coflow {coflow_id}: demand left but no future release"
+                )
+            t = next_t
+        return schedule
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _quantize(self, seconds: float) -> float:
+        """Round a processing time up to the §6 approximation grid."""
+        if self.quantum is None:
+            return seconds
+        return math.ceil(seconds / self.quantum - TIME_EPS) * self.quantum
+
+    def _make_entries(
+        self, demand_times: Mapping[Tuple[int, int], float]
+    ) -> List[_Entry]:
+        entries = [
+            _Entry(src, dst, self._quantize(p))
+            for (src, dst), p in demand_times.items()
+            if p > TIME_EPS
+        ]
+        if self.order is ReservationOrder.ORDERED_PORT:
+            entries.sort(key=lambda e: (e.src, e.dst))
+        elif self.order is ReservationOrder.RANDOM:
+            entries.sort(key=lambda e: (e.src, e.dst))  # canonical base order
+            self._rng.shuffle(entries)
+        elif self.order is ReservationOrder.SORTED_DEMAND:
+            entries.sort(key=lambda e: (-e.remaining, e.src, e.dst))
+        else:  # pragma: no cover - enum is exhaustive
+            raise AssertionError(f"unknown order {self.order!r}")
+        for index, entry in enumerate(entries):
+            entry.order_index = index
+        return entries
+
+    def _make_reservation(
+        self,
+        prt: PortReservationTable,
+        schedule: CoflowSchedule,
+        entry: _Entry,
+        t: float,
+        start_time: float,
+        established: FrozenSet[Tuple[int, int]],
+    ) -> float:
+        """Algorithm 1, MakeReservation: try to reserve for one entry at ``t``.
+
+        Returns the remaining processing time after the reservation (the
+        unchanged remaining time if no reservation could be made).
+        """
+        if not (prt.input_free_at(entry.src, t) and prt.output_free_at(entry.dst, t)):
+            return entry.remaining
+
+        # A circuit already configured (or mid-setup) for this flow at the
+        # schedule origin only pays its remaining setup if we keep using it
+        # from that same instant.
+        reuse = (
+            abs(t - start_time) <= TIME_EPS
+            and (entry.src, entry.dst) in established
+        )
+        if reuse:
+            setup = min(self.delta, established[(entry.src, entry.dst)])
+        else:
+            setup = self.delta
+
+        t_next = prt.next_reserved_time(entry.src, entry.dst, t)
+        max_length = t_next - t
+        desired_length = setup + entry.remaining
+        if max_length <= setup + TIME_EPS:
+            # The gap cannot fit even the reconfiguration: reserving would
+            # transmit nothing, so skip (Algorithm 1 line 19, lm < δ).
+            return entry.remaining
+        length = min(max_length, desired_length)
+        reservation = prt.reserve(
+            entry.src,
+            entry.dst,
+            start=t,
+            end=t + length,
+            coflow_id=schedule.coflow_id,
+            setup=setup,
+        )
+        schedule.reservations.append(reservation)
+        return desired_length - length

@@ -1,0 +1,151 @@
+"""Schedule validation: check any circuit schedule against its contract.
+
+A downstream user extending the scheduler (new policies, new orderings,
+approximations) needs to know their schedules are still *legal* and still
+carry Sunflow's guarantees.  This module provides those checks as a public
+API — the same invariants the test suite asserts:
+
+* **port constraint** — no two reservations overlap on an input or output
+  port (paper §2.1);
+* **coverage** — every flow's demand is fully served by its reservations'
+  transmit windows;
+* **non-preemption** — in the single-Coflow case, exactly one reservation
+  (one setup) per flow;
+* **Lemma 1** — makespan within ``2 × T^c_L``.
+
+Each check returns a list of human-readable violation strings (empty =
+pass); :func:`validate_schedule` bundles them and can raise.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.core.bounds import circuit_lower_bound
+from repro.core.coflow import Coflow
+from repro.core.prt import Reservation, TIME_EPS
+from repro.core.sunflow import CoflowSchedule
+
+Circuit = Tuple[int, int]
+
+
+class ScheduleValidationError(AssertionError):
+    """Raised by :func:`validate_schedule` when violations are found."""
+
+    def __init__(self, violations: List[str]) -> None:
+        super().__init__("\n".join(violations))
+        self.violations = violations
+
+
+def check_port_constraint(reservations: Iterable[Reservation]) -> List[str]:
+    """No input (output) port carries two circuits at once."""
+    violations = []
+    by_input: Dict[int, List[Reservation]] = defaultdict(list)
+    by_output: Dict[int, List[Reservation]] = defaultdict(list)
+    for reservation in reservations:
+        by_input[reservation.src].append(reservation)
+        by_output[reservation.dst].append(reservation)
+    for side, table in (("input", by_input), ("output", by_output)):
+        for port, items in table.items():
+            items.sort(key=lambda r: r.start)
+            for earlier, later in zip(items, items[1:]):
+                if earlier.end > later.start + TIME_EPS:
+                    violations.append(
+                        f"{side} port {port}: {earlier} overlaps {later}"
+                    )
+    return violations
+
+
+def check_coverage(
+    schedule: CoflowSchedule,
+    demand_times: Mapping[Circuit, float],
+    tolerance: float = 1e-6,
+) -> List[str]:
+    """Every demanded circuit receives its full processing time."""
+    violations = []
+    served: Dict[Circuit, float] = defaultdict(float)
+    for reservation in schedule.reservations:
+        served[reservation.circuit] += reservation.transmit_duration
+    for circuit, needed in demand_times.items():
+        if needed <= TIME_EPS:
+            continue
+        got = served.get(circuit, 0.0)
+        if got < needed * (1 - tolerance) - TIME_EPS:
+            violations.append(
+                f"circuit {circuit}: served {got:.9f}s of {needed:.9f}s demanded"
+            )
+    return violations
+
+
+def check_non_preemption(
+    schedule: CoflowSchedule, demand_times: Mapping[Circuit, float]
+) -> List[str]:
+    """Intra-Coflow rule: one reservation per non-zero flow (isolated case).
+
+    Only meaningful for schedules planned on an empty PRT — inter-Coflow
+    gap truncation legitimately splits flows.
+    """
+    violations = []
+    counts: Dict[Circuit, int] = defaultdict(int)
+    for reservation in schedule.reservations:
+        counts[reservation.circuit] += 1
+    for circuit, needed in demand_times.items():
+        if needed <= TIME_EPS:
+            continue
+        if counts.get(circuit, 0) != 1:
+            violations.append(
+                f"circuit {circuit}: {counts.get(circuit, 0)} reservations "
+                "(expected exactly 1 in the isolated case)"
+            )
+    return violations
+
+
+def check_lemma_one(
+    schedule: CoflowSchedule,
+    coflow: Coflow,
+    bandwidth_bps: float,
+    delta: float,
+) -> List[str]:
+    """Makespan within twice the circuit-switched lower bound."""
+    bound = circuit_lower_bound(coflow, bandwidth_bps, delta)
+    if schedule.makespan > 2 * bound * (1 + 1e-9) + TIME_EPS:
+        return [
+            f"Lemma 1 violated: makespan {schedule.makespan:.6f}s exceeds "
+            f"2 x TcL = {2 * bound:.6f}s"
+        ]
+    return []
+
+
+def validate_schedule(
+    schedule: CoflowSchedule,
+    coflow: Coflow,
+    bandwidth_bps: float,
+    delta: float,
+    isolated: bool = True,
+    raise_on_error: bool = True,
+) -> List[str]:
+    """Run every applicable check on a Coflow's schedule.
+
+    Args:
+        schedule: the planned reservations.
+        coflow: the Coflow they should serve.
+        bandwidth_bps / delta: the network parameters the plan assumed.
+        isolated: the schedule was planned on an empty PRT — enables the
+            non-preemption and Lemma 1 checks (they do not apply under
+            inter-Coflow interference).
+        raise_on_error: raise :class:`ScheduleValidationError` instead of
+            returning violations.
+
+    Returns:
+        The list of violations (empty when the schedule is valid).
+    """
+    demand_times = coflow.processing_times(bandwidth_bps)
+    violations = check_port_constraint(schedule.reservations)
+    violations += check_coverage(schedule, demand_times)
+    if isolated:
+        violations += check_non_preemption(schedule, demand_times)
+        violations += check_lemma_one(schedule, coflow, bandwidth_bps, delta)
+    if violations and raise_on_error:
+        raise ScheduleValidationError(violations)
+    return violations

@@ -1,0 +1,43 @@
+"""Bipartite matching and matrix-decomposition substrates.
+
+Everything the circuit-scheduling baselines (Solstice, TMS, Edmond) need,
+implemented from scratch: Hopcroft–Karp maximum matching, the Hungarian
+assignment algorithm, Sinkhorn/QuickStuff matrix stuffing, and the
+Birkhoff–von-Neumann decomposition.
+"""
+
+from repro.matching.birkhoff import BvnTerm, birkhoff_von_neumann, reconstruct
+from repro.matching.hopcroft_karp import (
+    matching_from_matrix,
+    maximum_bipartite_matching,
+    perfect_matching,
+)
+from repro.matching.hungarian import (
+    max_weight_assignment,
+    max_weight_matching,
+    min_cost_assignment,
+)
+from repro.matching.stuffing import (
+    has_equal_line_sums,
+    is_doubly_stochastic,
+    line_sums,
+    quick_stuff,
+    sinkhorn_scale,
+)
+
+__all__ = [
+    "BvnTerm",
+    "birkhoff_von_neumann",
+    "reconstruct",
+    "matching_from_matrix",
+    "maximum_bipartite_matching",
+    "perfect_matching",
+    "max_weight_assignment",
+    "max_weight_matching",
+    "min_cost_assignment",
+    "has_equal_line_sums",
+    "is_doubly_stochastic",
+    "line_sums",
+    "quick_stuff",
+    "sinkhorn_scale",
+]

@@ -1,0 +1,23 @@
+"""Baseline circuit schedulers the paper compares Sunflow against."""
+
+from repro.schedulers.base import (
+    Assignment,
+    AssignmentSchedule,
+    AssignmentScheduler,
+    compact_demand,
+)
+from repro.schedulers.bvn import BvnScheduler
+from repro.schedulers.edmond import EdmondScheduler
+from repro.schedulers.solstice import SolsticeScheduler
+from repro.schedulers.tms import TmsScheduler
+
+__all__ = [
+    "Assignment",
+    "AssignmentSchedule",
+    "AssignmentScheduler",
+    "compact_demand",
+    "BvnScheduler",
+    "EdmondScheduler",
+    "SolsticeScheduler",
+    "TmsScheduler",
+]

@@ -1,0 +1,153 @@
+"""Solstice circuit scheduler (Liu et al., CoNEXT 2015; paper §3.1.1).
+
+Solstice is the strongest preemptive baseline in the paper.  Two stages:
+
+1. **QuickStuff** — pad the demand matrix with dummy demand until every row
+   and column sums to the same value.  The padded matrix always admits a
+   perfect matching over its positive entries.
+2. **BigSlice** — repeatedly extract a perfect matching over entries at
+   least a threshold ``r`` (starting at the largest power of two not
+   exceeding the biggest entry and halving on failure), scheduling each
+   matching as an assignment of duration ``r``.
+
+The geometric threshold schedule leaves a fine-grained tail; we drain it
+with an exact Birkhoff–von-Neumann decomposition once ``r`` falls below the
+smallest positive entry, so the emitted schedule covers the demand exactly.
+This mirrors Solstice's long tail of short slots (and is what produces the
+many switching events Figure 5 counts).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Tuple
+
+from repro.matching.birkhoff import birkhoff_von_neumann
+from repro.matching.hopcroft_karp import matching_from_matrix
+from repro.schedulers.base import (
+    Assignment,
+    AssignmentSchedule,
+    AssignmentScheduler,
+    Circuit,
+    compact_demand,
+)
+
+#: Entries below this fraction of the largest entry are treated as drained.
+_ZERO_FRACTION = 1e-9
+
+
+class SolsticeScheduler(AssignmentScheduler):
+    """QuickStuff + BigSlice, with an exact BvN tail drain.
+
+    Args:
+        tail_fraction: once the halving threshold falls below this fraction
+            of the largest stuffed entry, the residual is drained exactly
+            with a BvN decomposition instead of halving further.  Real
+            demands have unbounded binary expansions, so without a floor
+            the threshold cascade would emit arbitrarily short slots; the
+            floor mirrors Solstice's demand quantum.
+    """
+
+    name = "solstice"
+
+    def __init__(self, tail_fraction: float = 2.0**-10) -> None:
+        if not 0 < tail_fraction < 1:
+            raise ValueError(f"tail_fraction must be in (0, 1), got {tail_fraction!r}")
+        self.tail_fraction = tail_fraction
+
+    def schedule(
+        self, demand_times: Mapping[Circuit, float], num_ports: int
+    ) -> AssignmentSchedule:
+        matrix, src_labels, dst_labels = compact_demand(demand_times)
+        if not matrix:
+            return AssignmentSchedule(assignments=[])
+        stuffed, _dummy = _quick_stuff(matrix)
+        assignments = _big_slice(stuffed, self.tail_fraction)
+        return AssignmentSchedule(
+            assignments=[
+                _relabel(assignment, src_labels, dst_labels)
+                for assignment in assignments
+            ]
+        )
+
+
+def _quick_stuff(matrix: List[List[float]]) -> Tuple[List[List[float]], List[List[float]]]:
+    from repro.matching.stuffing import quick_stuff
+
+    return quick_stuff(matrix)
+
+
+def _big_slice(stuffed: List[List[float]], tail_fraction: float) -> List[Assignment]:
+    """Threshold-halving decomposition of an equal-line-sum matrix."""
+    work = [row[:] for row in stuffed]
+    peak = max((value for row in work for value in row), default=0.0)
+    if peak <= 0:
+        return []
+    zero = peak * _ZERO_FRACTION
+    tail_threshold = peak * tail_fraction
+
+    # Largest power of two <= peak (works for sub-second values too).
+    threshold = 1.0
+    while threshold > peak:
+        threshold /= 2.0
+    while threshold * 2.0 <= peak:
+        threshold *= 2.0
+
+    assignments: List[Assignment] = []
+    while True:
+        positive = [value for row in work for value in row if value > zero]
+        if not positive:
+            break
+        smallest = min(positive)
+        if threshold <= smallest or threshold <= tail_threshold:
+            # Exact tail drain: BvN pulls out perfect matchings weighted by
+            # the minimum matched entry, terminating with full coverage.
+            assignments.extend(_bvn_tail(work, zero))
+            break
+        matching = matching_from_matrix(work, threshold=threshold - zero)
+        if matching is None:
+            threshold /= 2.0
+            continue
+        circuits = tuple(sorted(matching.items()))
+        assignments.append(Assignment(circuits=circuits, duration=threshold))
+        for i, j in matching.items():
+            work[i][j] -= threshold
+            if work[i][j] < zero:
+                work[i][j] = 0.0
+    return assignments
+
+
+def _bvn_tail(work: List[List[float]], zero: float) -> List[Assignment]:
+    """Drain the residual equal-line-sum matrix exactly via BvN."""
+    residual_total = sum(sum(row) for row in work)
+    if residual_total <= zero:
+        return []
+    terms = birkhoff_von_neumann(work)
+    tail = []
+    for term in terms:
+        if term.weight > zero:
+            circuits = tuple(sorted(term.permutation.items()))
+            tail.append(Assignment(circuits=circuits, duration=term.weight))
+    for row in work:
+        for j in range(len(row)):
+            row[j] = 0.0
+    return tail
+
+
+def _relabel(
+    assignment: Assignment, src_labels: List[int], dst_labels: List[int]
+) -> Assignment:
+    """Map compact-matrix indices back to fabric port numbers.
+
+    Circuits touching a virtual pad port (label < 0) carry only dummy
+    demand and are dropped — the executor would waste time holding them,
+    exactly as Solstice does, so we keep them *unless* both endpoints are
+    virtual (those circuits can never carry even dummy bytes for a real
+    port and exist purely to square the matrix).
+    """
+    circuits = []
+    for i, j in assignment.circuits:
+        src, dst = src_labels[i], dst_labels[j]
+        if src < 0 and dst < 0:
+            continue
+        circuits.append((src, dst))
+    return Assignment(circuits=tuple(circuits), duration=assignment.duration)

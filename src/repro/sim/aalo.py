@@ -1,0 +1,203 @@
+"""Aalo: non-clairvoyant Coflow scheduling with D-CLAS queues
+(Chowdhury & Stoica, SIGCOMM 2015).
+
+Aalo knows a Coflow's endpoints but *not* its flow sizes.  It approximates
+shortest-first using Discretized Coflow-Aware Least-Attained Service:
+
+* Coflows live in ``K`` priority queues with exponentially spaced
+  attained-service thresholds (``Q0 × E^k`` bytes); a Coflow starts in the
+  highest-priority queue and is demoted as its sent bytes cross each
+  threshold.
+* Queues are served by priority (lower attained service wins); within a
+  queue, Coflows are served FIFO by arrival.
+* Within a Coflow, since sizes are unknown, bandwidth is split evenly
+  across unfinished flows — the intra-Coflow inefficiency §5.4 notes:
+  small subflows get as much as long ones, delaying the Coflow's longest
+  flow and prolonging CCT for big Coflows.
+
+Two inter-queue disciplines are provided: ``strict`` priority (default;
+Aalo's behaviour in the regime where high queues drain quickly) and
+``weighted`` sharing, where each queue gets a budget slice of every port
+before a work-conserving leftover pass.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.core.prt import TIME_EPS
+from repro.sim.packet_sim import FlowKey, PacketCoflowState, RateAllocator
+from repro.units import BITS_PER_BYTE, MB
+
+
+class AaloAllocator(RateAllocator):
+    """D-CLAS priority queues with FIFO-within-queue fair-per-flow rates.
+
+    Args:
+        initial_threshold_bytes: first queue boundary ``Q0`` (10 MB in the
+            Aalo paper).
+        multiplier: exponential spacing ``E`` between thresholds (10).
+        num_queues: number of discrete queues ``K``.
+        discipline: ``"strict"`` — serve queues in priority order;
+            ``"weighted"`` — give queue ``k`` a weight ``num_queues - k``
+            slice of each port first, then fill leftovers in priority
+            order.
+    """
+
+    name = "aalo"
+    reallocate_on_flow_completion = True
+
+    def __init__(
+        self,
+        initial_threshold_bytes: float = 10 * MB,
+        multiplier: float = 10.0,
+        num_queues: int = 10,
+        discipline: str = "strict",
+    ) -> None:
+        if initial_threshold_bytes <= 0 or multiplier <= 1 or num_queues < 1:
+            raise ValueError("invalid D-CLAS parameters")
+        if discipline not in ("strict", "weighted"):
+            raise ValueError(f"unknown discipline {discipline!r}")
+        self.initial_threshold_bytes = initial_threshold_bytes
+        self.multiplier = multiplier
+        self.num_queues = num_queues
+        self.discipline = discipline
+
+    # ------------------------------------------------------------------
+    # Queue machinery
+    # ------------------------------------------------------------------
+    def threshold_seconds(self, queue: int, bandwidth_bps: float) -> float:
+        """Attained-service boundary of queue ``queue``, in processing seconds."""
+        threshold_bytes = self.initial_threshold_bytes * self.multiplier**queue
+        return threshold_bytes * BITS_PER_BYTE / bandwidth_bps
+
+    def queue_of(self, state: PacketCoflowState, bandwidth_bps: float) -> int:
+        """Queue index by attained service (0 = highest priority)."""
+        for queue in range(self.num_queues - 1):
+            if state.sent_seconds < self.threshold_seconds(queue, bandwidth_bps):
+                return queue
+        return self.num_queues - 1
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(
+        self, states: Sequence[PacketCoflowState], num_ports: int, bandwidth_bps: float
+    ) -> Dict[FlowKey, float]:
+        capacity_in: Dict[int, float] = {}
+        capacity_out: Dict[int, float] = {}
+
+        def cap_in(port: int) -> float:
+            return capacity_in.get(port, 1.0)
+
+        def cap_out(port: int) -> float:
+            return capacity_out.get(port, 1.0)
+
+        def take(src: int, dst: int, amount: float) -> None:
+            capacity_in[src] = cap_in(src) - amount
+            capacity_out[dst] = cap_out(dst) - amount
+
+        ordered = sorted(
+            states,
+            key=lambda s: (
+                self.queue_of(s, bandwidth_bps),
+                s.arrival_time,
+                s.coflow_id,
+            ),
+        )
+        rates: Dict[FlowKey, float] = {}
+
+        if self.discipline == "weighted":
+            self._weighted_pass(ordered, bandwidth_bps, rates, cap_in, cap_out, take)
+
+        # Work-conserving pass in priority order (the whole allocation for
+        # the strict discipline; the leftover pass for weighted).
+        for state in ordered:
+            self._serve_coflow(state, rates, cap_in, cap_out, take, budget=None)
+        return rates
+
+    def _weighted_pass(
+        self, ordered, bandwidth_bps, rates, cap_in, cap_out, take
+    ) -> None:
+        """Reserve a weight-proportional slice of every port per queue."""
+        weights = [float(self.num_queues - k) for k in range(self.num_queues)]
+        total_weight = sum(weights)
+        for state in ordered:
+            queue = self.queue_of(state, bandwidth_bps)
+            budget = weights[queue] / total_weight
+            self._serve_coflow(state, rates, cap_in, cap_out, take, budget=budget)
+
+    @staticmethod
+    def _serve_coflow(
+        state: PacketCoflowState,
+        rates: Dict[FlowKey, float],
+        cap_in,
+        cap_out,
+        take,
+        budget,
+    ) -> None:
+        """Give the Coflow's unfinished flows an equal split of what its
+        ports can offer (sizes unknown ⇒ no MADD-style shaping).
+
+        ``budget`` caps the *per-flow* rate for the weighted first pass;
+        None means take everything available.
+        """
+        flows = state.unfinished_flows()
+        if not flows:
+            return
+        # Equal split of each port's availability among this Coflow's flows
+        # contending there: divide what's left by how many of this Coflow's
+        # flows still await a share on the port, so all contenders on a
+        # port end up with equal rates.
+        contenders_in: Dict[int, int] = {}
+        contenders_out: Dict[int, int] = {}
+        for src, dst in flows:
+            contenders_in[src] = contenders_in.get(src, 0) + 1
+            contenders_out[dst] = contenders_out.get(dst, 0) + 1
+        for src, dst in flows:
+            fair = min(
+                cap_in(src) / contenders_in[src],
+                cap_out(dst) / contenders_out[dst],
+            )
+            contenders_in[src] -= 1
+            contenders_out[dst] -= 1
+            if budget is not None:
+                fair = min(fair, budget)
+            fair = min(fair, cap_in(src), cap_out(dst))
+            if fair <= TIME_EPS:
+                continue
+            key = (state.coflow_id, src, dst)
+            rates[key] = rates.get(key, 0.0) + fair
+            take(src, dst, fair)
+
+    # ------------------------------------------------------------------
+    # Queue-crossing events
+    # ------------------------------------------------------------------
+    def extra_event_time(
+        self,
+        states: Sequence[PacketCoflowState],
+        rates: Dict[FlowKey, float],
+        now: float,
+        bandwidth_bps: float,
+    ) -> float:
+        """Earliest instant a Coflow's attained service crosses a threshold.
+
+        Rates must be recomputed there because the Coflow's priority drops.
+        """
+        earliest = math.inf
+        for state in states:
+            total_rate = sum(
+                rates.get((state.coflow_id, src, dst), 0.0)
+                for (src, dst) in state.unfinished_flows()
+            )
+            if total_rate <= TIME_EPS:
+                continue
+            queue = self.queue_of(state, bandwidth_bps)
+            if queue >= self.num_queues - 1:
+                continue  # already in the lowest-priority queue
+            boundary = self.threshold_seconds(queue, bandwidth_bps)
+            crossing = now + (boundary - state.sent_seconds) / total_rate
+            if crossing > now + TIME_EPS:
+                earliest = min(earliest, crossing)
+        return earliest

@@ -1,0 +1,337 @@
+"""Circuit-switched network simulation (paper §5.1).
+
+Flow-level, trace-driven simulation of the optical circuit switched
+network under the not-all-stop model, in the paper's two evaluation modes:
+
+* **intra-Coflow** (§5.3) — Coflows are served back-to-back ("a Coflow
+  arrives only after the previous one is finished"), so each Coflow is
+  scheduled in isolation and its CCT is simply the schedule makespan.
+  Works for Sunflow and for the assignment-based baselines.
+* **inter-Coflow** (§5.4) — detailed trace replay with arrival times.
+  Like Varys, the simulator reschedules *only* at Coflow arrivals and
+  completions: at each event the remaining demand of every active Coflow
+  is re-planned through ``InterCoflow`` (priority order given by a
+  :class:`~repro.core.policies.Policy`), the plan is executed until the
+  next event, and transfer progress is banked.  Circuits actively
+  transmitting at a reschedule keep their configuration (no second ``δ``)
+  when the new plan reuses them immediately; circuits caught mid-setup
+  carry only their *remaining* setup time into the new plan.
+
+An optional :class:`~repro.core.starvation.StarvationGuard` carves the
+``(T+τ)`` shared slices of §4.2 into the plan; during a ``τ`` slice every
+active Coflow with demand on an enabled circuit shares its bandwidth
+equally.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.coflow import Coflow, CoflowTrace
+from repro.core.policies import CoflowView, Policy, ShortestFirst
+from repro.core.prt import PortReservationTable, TIME_EPS
+from repro.core.starvation import StarvationGuard
+from repro.core.sunflow import ReservationOrder, SunflowScheduler
+from repro.schedulers.base import AssignmentScheduler
+from repro.sim.assignment_exec import SwitchModel, execute_assignments
+from repro.sim.results import SimulationReport, make_record
+from repro.units import DEFAULT_BANDWIDTH, DEFAULT_DELTA
+
+Circuit = Tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# Intra-Coflow mode (§5.3): one Coflow in the network at a time
+# ----------------------------------------------------------------------
+def simulate_intra_sunflow(
+    trace: CoflowTrace,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH,
+    delta: float = DEFAULT_DELTA,
+    order: ReservationOrder = ReservationOrder.ORDERED_PORT,
+    rng: Optional[random.Random] = None,
+) -> SimulationReport:
+    """Back-to-back Sunflow service: CCT per Coflow is its schedule makespan."""
+    scheduler = SunflowScheduler(delta=delta, order=order, rng=rng)
+    report = SimulationReport("sunflow", bandwidth_bps, delta)
+    for coflow in trace:
+        schedule = scheduler.schedule_coflow(coflow, bandwidth_bps, start_time=0.0)
+        report.add(
+            make_record(
+                coflow,
+                completion_time=coflow.arrival_time + schedule.makespan,
+                bandwidth_bps=bandwidth_bps,
+                delta=delta,
+                switching_count=schedule.num_setups,
+            )
+        )
+    return report
+
+
+def simulate_intra_assignment(
+    trace: CoflowTrace,
+    scheduler: AssignmentScheduler,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH,
+    delta: float = DEFAULT_DELTA,
+    model: SwitchModel = SwitchModel.NOT_ALL_STOP,
+) -> SimulationReport:
+    """Back-to-back service by an assignment-based baseline (Solstice/TMS/Edmond)."""
+    report = SimulationReport(scheduler.name, bandwidth_bps, delta)
+    for coflow in trace:
+        demand = coflow.processing_times(bandwidth_bps)
+        schedule = scheduler.schedule(demand, trace.num_ports)
+        execution = execute_assignments(schedule, demand, delta, model=model)
+        if not execution.finished:
+            raise RuntimeError(
+                f"{scheduler.name} schedule does not cover coflow {coflow.coflow_id}"
+            )
+        report.add(
+            make_record(
+                coflow,
+                completion_time=execution.completion_time + coflow.arrival_time,
+                bandwidth_bps=bandwidth_bps,
+                delta=delta,
+                switching_count=execution.switching_count,
+            )
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Inter-Coflow mode (§5.4): trace replay with arrivals
+# ----------------------------------------------------------------------
+@dataclass
+class _ActiveCoflow:
+    """Simulator-side mutable state of one admitted, unfinished Coflow."""
+
+    coflow: Coflow
+    remaining: Dict[Circuit, float]
+    #: Circuits configured (value = remaining setup seconds; 0 = live).
+    established: Dict[Circuit, float] = field(default_factory=dict)
+    switching_count: int = 0
+
+    @property
+    def done(self) -> bool:
+        return all(p <= TIME_EPS for p in self.remaining.values())
+
+
+class InterCoflowSimulator:
+    """Event-driven replay of a trace under Sunflow inter-Coflow scheduling.
+
+    Args:
+        trace: the Coflows with their arrival times.
+        bandwidth_bps: link rate ``B``.
+        delta: reconfiguration delay ``δ``.
+        policy: inter-Coflow priority policy (shortest-Coflow-first by
+            default, as in the paper's evaluation).
+        order: intra-Coflow reservation consideration order.
+        guard: optional starvation guard; its ``τ`` slices are reserved in
+            every plan and serve all Coflows on the enabled circuits.
+        priority_classes: operator-assigned classes per Coflow id (lower is
+            more important); defaults to a single class.
+    """
+
+    def __init__(
+        self,
+        trace: CoflowTrace,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH,
+        delta: float = DEFAULT_DELTA,
+        policy: Optional[Policy] = None,
+        order: ReservationOrder = ReservationOrder.ORDERED_PORT,
+        guard: Optional[StarvationGuard] = None,
+        priority_classes: Optional[Dict[int, int]] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.trace = trace.sorted_by_arrival()
+        self.bandwidth_bps = bandwidth_bps
+        self.delta = delta
+        self.policy = policy if policy is not None else ShortestFirst()
+        self.guard = guard
+        self.priority_classes = priority_classes or {}
+        self.scheduler = SunflowScheduler(delta=delta, order=order, rng=rng)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationReport:
+        """Replay the whole trace; returns one record per Coflow."""
+        report = SimulationReport("sunflow", self.bandwidth_bps, self.delta)
+        arrivals = list(self.trace)
+        next_arrival_index = 0
+        active: Dict[int, _ActiveCoflow] = {}
+        now = 0.0
+
+        while active or next_arrival_index < len(arrivals):
+            if not active:
+                now = arrivals[next_arrival_index].arrival_time
+            # Admit every Coflow arriving at the current instant.
+            while (
+                next_arrival_index < len(arrivals)
+                and arrivals[next_arrival_index].arrival_time <= now + TIME_EPS
+            ):
+                coflow = arrivals[next_arrival_index]
+                active[coflow.coflow_id] = _ActiveCoflow(
+                    coflow=coflow,
+                    remaining=dict(coflow.processing_times(self.bandwidth_bps)),
+                )
+                next_arrival_index += 1
+
+            schedules = self._replan(active, now)
+            next_arrival = (
+                arrivals[next_arrival_index].arrival_time
+                if next_arrival_index < len(arrivals)
+                else float("inf")
+            )
+            next_completion = min(s.completion_time for s in schedules.values())
+            event_time = min(next_arrival, next_completion)
+            if self.guard is not None:
+                # Wake at the next guard-slice end inside the horizon so
+                # Coflows drained by shared guard service complete promptly.
+                for window in self.guard.windows_between(now, event_time):
+                    if window.end > now + TIME_EPS:
+                        event_time = min(event_time, window.end)
+                        break
+
+            self._advance(active, schedules, now, event_time)
+            self._record_completions(active, report, event_time)
+            now = event_time
+        return report
+
+    # ------------------------------------------------------------------
+    def _replan(self, active: Dict[int, _ActiveCoflow], now: float):
+        """Re-run InterCoflow over the remaining demand of active Coflows."""
+        views = [
+            CoflowView(
+                coflow_id=cid,
+                arrival_time=state.coflow.arrival_time,
+                remaining_times=state.remaining,
+                priority_class=self.priority_classes.get(cid, 0),
+            )
+            for cid, state in active.items()
+        ]
+        ordered = self.policy.order(views)
+        demands = [(view.coflow_id, active[view.coflow_id].remaining) for view in ordered]
+        established = {cid: state.established for cid, state in active.items()}
+
+        horizon = self._guard_horizon(active, now)
+        while True:
+            prt = PortReservationTable()
+            if self.guard is not None:
+                self.guard.reserve_windows(prt, now, horizon)
+            prt, schedules = self.scheduler.schedule_many(
+                demands, start_time=now, prt=prt, established=established
+            )
+            if self.guard is None:
+                return schedules
+            latest = max(s.completion_time for s in schedules.values())
+            if latest <= horizon - self.guard.cycle:
+                return schedules
+            # Plan ran past the reserved guard region; extend and retry so
+            # no plan escapes the guard's periodic blackouts.
+            horizon = latest + 2 * self.guard.max_service_gap
+
+    def _guard_horizon(self, active: Dict[int, _ActiveCoflow], now: float) -> float:
+        if self.guard is None:
+            return now
+        serial = sum(
+            sum(state.remaining.values()) + len(state.remaining) * self.delta
+            for state in active.values()
+        )
+        inflation = self.guard.cycle / self.guard.period
+        return now + serial * (1.0 + inflation) + 2 * self.guard.max_service_gap
+
+    # ------------------------------------------------------------------
+    def _advance(
+        self,
+        active: Dict[int, _ActiveCoflow],
+        schedules,
+        start: float,
+        end: float,
+    ) -> None:
+        """Bank transfer progress from the plan over ``[start, end)``."""
+        for cid, schedule in schedules.items():
+            state = active[cid]
+            established: Dict[Circuit, float] = {}
+            for reservation in schedule.reservations:
+                if reservation.start >= end - TIME_EPS:
+                    continue
+                served = reservation.transmitted_before(end)
+                circuit = reservation.circuit
+                if served > 0:
+                    left = state.remaining.get(circuit, 0.0) - served
+                    state.remaining[circuit] = max(0.0, left)
+                # A reconfiguration that began before the event counts as a
+                # switching event even if the plan is later discarded.
+                if reservation.setup > 0:
+                    state.switching_count += 1
+                if end < reservation.end - TIME_EPS:
+                    # Circuit is up (or mid-setup) at the event instant; a
+                    # replan reusing it immediately pays only the remaining
+                    # setup time.
+                    established[circuit] = max(0.0, reservation.transmit_start - end)
+            state.established = established
+        if self.guard is not None:
+            self._apply_guard_service(active, start, end)
+
+    def _apply_guard_service(
+        self, active: Dict[int, _ActiveCoflow], start: float, end: float
+    ) -> None:
+        """Fluid shared service during the guard's ``τ`` slices in [start, end)."""
+        assert self.guard is not None
+        for window in self.guard.windows_between(start, end):
+            transmit_start = window.start + self.guard.delta
+            overlap = min(end, window.end) - max(start, transmit_start)
+            if overlap <= TIME_EPS:
+                continue
+            for src, dst in self.guard.assignments[window.assignment_index]:
+                sharers = [
+                    state
+                    for state in active.values()
+                    if state.remaining.get((src, dst), 0.0) > TIME_EPS
+                ]
+                if not sharers:
+                    continue
+                share = overlap / len(sharers)
+                for state in sharers:
+                    left = state.remaining[(src, dst)] - share
+                    state.remaining[(src, dst)] = max(0.0, left)
+
+    # ------------------------------------------------------------------
+    def _record_completions(
+        self, active: Dict[int, _ActiveCoflow], report: SimulationReport, now: float
+    ) -> None:
+        finished = [cid for cid, state in active.items() if state.done]
+        for cid in finished:
+            state = active.pop(cid)
+            report.add(
+                make_record(
+                    state.coflow,
+                    completion_time=now,
+                    bandwidth_bps=self.bandwidth_bps,
+                    delta=self.delta,
+                    switching_count=state.switching_count,
+                )
+            )
+
+
+def simulate_inter_sunflow(
+    trace: CoflowTrace,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH,
+    delta: float = DEFAULT_DELTA,
+    policy: Optional[Policy] = None,
+    order: ReservationOrder = ReservationOrder.ORDERED_PORT,
+    guard: Optional[StarvationGuard] = None,
+    priority_classes: Optional[Dict[int, int]] = None,
+    rng: Optional[random.Random] = None,
+) -> SimulationReport:
+    """One-call trace replay under Sunflow inter-Coflow scheduling."""
+    simulator = InterCoflowSimulator(
+        trace,
+        bandwidth_bps=bandwidth_bps,
+        delta=delta,
+        policy=policy,
+        order=order,
+        guard=guard,
+        priority_classes=priority_classes,
+        rng=rng,
+    )
+    return simulator.run()

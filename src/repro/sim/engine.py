@@ -1,0 +1,72 @@
+"""Minimal discrete-event engine.
+
+A stable priority queue of timestamped events.  The Coflow simulators in
+this package are *reschedule-on-event* simulators (paper §6: "Sunflow
+reschedules only upon Coflow arrivals and completions"), so the engine's
+job is small but correctness-critical: deterministic ordering of
+simultaneous events and protection against time moving backwards.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Generic, List, Optional, Tuple, TypeVar
+
+Payload = TypeVar("Payload")
+
+
+@dataclass(frozen=True)
+class Event(Generic[Payload]):
+    """A timestamped event; ``sequence`` preserves insertion order at ties."""
+
+    time: float
+    sequence: int
+    payload: Payload
+
+
+class EventQueue(Generic[Payload]):
+    """Heap-backed event queue with stable FIFO ordering for equal times."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Payload]] = []
+        self._counter = itertools.count()
+        self._now = float("-inf")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently popped event (-inf before the first)."""
+        return self._now
+
+    def push(self, time: float, payload: Payload) -> None:
+        """Schedule an event; it may not precede the last popped event."""
+        if time < self._now - 1e-9:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        heapq.heappush(self._heap, (time, next(self._counter), payload))
+
+    def peek_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> Event[Payload]:
+        time, sequence, payload = heapq.heappop(self._heap)
+        self._now = time
+        return Event(time=time, sequence=sequence, payload=payload)
+
+    def pop_simultaneous(self, tolerance: float = 1e-9) -> List[Event[Payload]]:
+        """Pop every event within ``tolerance`` of the earliest one."""
+        if not self._heap:
+            return []
+        first = self.pop()
+        batch = [first]
+        while self._heap and self._heap[0][0] <= first.time + tolerance:
+            batch.append(self.pop())
+        return batch

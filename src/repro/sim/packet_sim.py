@@ -1,0 +1,246 @@
+"""Fluid packet-switched network simulation (paper §2.1, §5.4).
+
+In the packet switched network the fabric can serve many virtual output
+queues simultaneously, subject to per-port bandwidth constraints:
+``Σ_i b_ij ≤ B`` and ``Σ_j b_ij ≤ B``.  The simulation is *fluid*: a rate
+allocator assigns each flow a fraction of line rate, flows drain linearly,
+and rates are recomputed only at scheduling events — Coflow arrivals and
+completions (exactly Varys' behaviour, whose residual-bandwidth idling the
+paper discusses in §5.4), plus allocator-specific events such as Aalo's
+queue-threshold crossings.
+
+Demand bookkeeping uses *processing seconds* (bytes ÷ line rate) and rates
+are dimensionless fractions of ``B``, mirroring the circuit-side units so
+CCTs are directly comparable.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.coflow import Coflow, CoflowTrace
+from repro.core.prt import TIME_EPS
+from repro.sim.results import SimulationReport, make_record
+from repro.units import DEFAULT_BANDWIDTH
+
+Circuit = Tuple[int, int]
+FlowKey = Tuple[int, int, int]  # (coflow_id, src, dst)
+
+
+@dataclass
+class PacketCoflowState:
+    """Mutable per-Coflow state visible to rate allocators."""
+
+    coflow: Coflow
+    #: Remaining processing seconds per flow.
+    remaining: Dict[Circuit, float]
+    #: Total processing seconds already served (Aalo's attained service).
+    sent_seconds: float = 0.0
+
+    @property
+    def coflow_id(self) -> int:
+        return self.coflow.coflow_id
+
+    @property
+    def arrival_time(self) -> float:
+        return self.coflow.arrival_time
+
+    @property
+    def done(self) -> bool:
+        return all(p <= TIME_EPS for p in self.remaining.values())
+
+    def unfinished_flows(self) -> List[Circuit]:
+        return [circuit for circuit, p in self.remaining.items() if p > TIME_EPS]
+
+    def bottleneck(self) -> float:
+        """Remaining ``T^p_L`` in seconds (SEBF's effective bottleneck)."""
+        input_load: Dict[int, float] = {}
+        output_load: Dict[int, float] = {}
+        for (src, dst), p in self.remaining.items():
+            if p > TIME_EPS:
+                input_load[src] = input_load.get(src, 0.0) + p
+                output_load[dst] = output_load.get(dst, 0.0) + p
+        loads = list(input_load.values()) + list(output_load.values())
+        return max(loads) if loads else 0.0
+
+
+class RateAllocator(abc.ABC):
+    """Assigns each unfinished flow a fraction of line rate."""
+
+    #: Name used in reports.
+    name: str = "allocator"
+    #: Whether the simulator should also recompute rates when an individual
+    #: flow (not a whole Coflow) finishes.  Varys does not (freed bandwidth
+    #: idles until the next Coflow arrival/completion); Aalo effectively
+    #: does, since it reallocates on a fine timer.
+    reallocate_on_flow_completion: bool = False
+
+    @abc.abstractmethod
+    def allocate(
+        self, states: Sequence[PacketCoflowState], num_ports: int, bandwidth_bps: float
+    ) -> Dict[FlowKey, float]:
+        """Return ``{(coflow_id, src, dst): fraction of B}`` for unfinished flows.
+
+        Implementations must respect ``Σ fractions ≤ 1`` on every input and
+        output port.
+        """
+
+    def extra_event_time(
+        self,
+        states: Sequence[PacketCoflowState],
+        rates: Dict[FlowKey, float],
+        now: float,
+        bandwidth_bps: float,
+    ) -> float:
+        """Next allocator-specific event after ``now`` (inf if none).
+
+        Aalo overrides this with queue-threshold crossing times.
+        """
+        return math.inf
+
+
+class PacketSimulator:
+    """Trace replay on the fluid packet switch with a pluggable allocator."""
+
+    def __init__(
+        self,
+        trace: CoflowTrace,
+        allocator: RateAllocator,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH,
+    ) -> None:
+        self.trace = trace.sorted_by_arrival()
+        self.allocator = allocator
+        self.bandwidth_bps = bandwidth_bps
+
+    def run(self) -> SimulationReport:
+        report = SimulationReport(self.allocator.name, self.bandwidth_bps, delta=0.0)
+        arrivals = list(self.trace)
+        next_arrival_index = 0
+        active: Dict[int, PacketCoflowState] = {}
+        now = 0.0
+
+        while active or next_arrival_index < len(arrivals):
+            if not active:
+                now = arrivals[next_arrival_index].arrival_time
+            while (
+                next_arrival_index < len(arrivals)
+                and arrivals[next_arrival_index].arrival_time <= now + TIME_EPS
+            ):
+                coflow = arrivals[next_arrival_index]
+                active[coflow.coflow_id] = PacketCoflowState(
+                    coflow=coflow,
+                    remaining=dict(coflow.processing_times(self.bandwidth_bps)),
+                )
+                next_arrival_index += 1
+
+            states = list(active.values())
+            rates = self.allocator.allocate(states, self.trace.num_ports, self.bandwidth_bps)
+            self._check_capacity(rates)
+
+            next_arrival = (
+                arrivals[next_arrival_index].arrival_time
+                if next_arrival_index < len(arrivals)
+                else math.inf
+            )
+            event_time = min(
+                next_arrival,
+                self._next_completion(states, rates, now),
+                self.allocator.extra_event_time(states, rates, now, self.bandwidth_bps),
+            )
+            if math.isinf(event_time):
+                raise RuntimeError(
+                    "no progress possible: allocator starved all active coflows "
+                    "and no arrivals remain"
+                )
+
+            self._advance(states, rates, event_time - now)
+            finished = [cid for cid, state in active.items() if state.done]
+            for cid in finished:
+                state = active.pop(cid)
+                report.add(
+                    make_record(
+                        state.coflow,
+                        completion_time=event_time,
+                        bandwidth_bps=self.bandwidth_bps,
+                        delta=0.0,
+                        switching_count=0,
+                    )
+                )
+            now = event_time
+        return report
+
+    # ------------------------------------------------------------------
+    def _check_capacity(self, rates: Dict[FlowKey, float]) -> None:
+        input_rate: Dict[int, float] = {}
+        output_rate: Dict[int, float] = {}
+        for (_, src, dst), fraction in rates.items():
+            if fraction < -TIME_EPS:
+                raise ValueError(f"negative rate for flow ({src}, {dst})")
+            input_rate[src] = input_rate.get(src, 0.0) + fraction
+            output_rate[dst] = output_rate.get(dst, 0.0) + fraction
+        tolerance = 1e-6
+        for port, total in input_rate.items():
+            if total > 1.0 + tolerance:
+                raise ValueError(f"input port {port} over capacity: {total}")
+        for port, total in output_rate.items():
+            if total > 1.0 + tolerance:
+                raise ValueError(f"output port {port} over capacity: {total}")
+
+    def _next_completion(
+        self,
+        states: Sequence[PacketCoflowState],
+        rates: Dict[FlowKey, float],
+        now: float,
+    ) -> float:
+        """Earliest upcoming Coflow (or, if enabled, flow) completion."""
+        earliest = math.inf
+        for state in states:
+            coflow_finish = 0.0
+            for circuit, p in state.remaining.items():
+                if p <= TIME_EPS:
+                    continue
+                rate = rates.get((state.coflow_id,) + circuit, 0.0)
+                if rate <= 0:
+                    coflow_finish = math.inf
+                    if not self.allocator.reallocate_on_flow_completion:
+                        break
+                    continue
+                finish = now + p / rate
+                if self.allocator.reallocate_on_flow_completion:
+                    earliest = min(earliest, finish)
+                coflow_finish = max(coflow_finish, finish)
+            if coflow_finish not in (0.0, math.inf):
+                earliest = min(earliest, coflow_finish)
+        return earliest
+
+    @staticmethod
+    def _advance(
+        states: Sequence[PacketCoflowState],
+        rates: Dict[FlowKey, float],
+        duration: float,
+    ) -> None:
+        if duration <= 0:
+            return
+        for state in states:
+            for circuit in list(state.remaining):
+                p = state.remaining[circuit]
+                if p <= TIME_EPS:
+                    continue
+                rate = rates.get((state.coflow_id,) + circuit, 0.0)
+                if rate <= 0:
+                    continue
+                served = min(p, rate * duration)
+                state.remaining[circuit] = p - served
+                state.sent_seconds += served
+
+
+def simulate_packet(
+    trace: CoflowTrace,
+    allocator: RateAllocator,
+    bandwidth_bps: float = DEFAULT_BANDWIDTH,
+) -> SimulationReport:
+    """One-call packet-switched trace replay under the given allocator."""
+    return PacketSimulator(trace, allocator, bandwidth_bps).run()

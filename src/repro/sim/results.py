@@ -1,0 +1,158 @@
+"""Simulation result containers and CCT statistics.
+
+Every simulator in this package reports one :class:`CoflowRecord` per
+Coflow — arrival, completion, switching counts, and the two theoretical
+lower bounds computed at the Coflow's own ``B`` and ``δ`` — collected into
+a :class:`SimulationReport` with the aggregate statistics the paper's
+figures use (averages, percentiles, CDFs, per-category splits).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.coflow import Coflow, CoflowCategory
+
+
+@dataclass
+class CoflowRecord:
+    """Outcome of one Coflow in one simulation run."""
+
+    coflow_id: int
+    arrival_time: float
+    completion_time: float
+    num_flows: int
+    total_bytes: float
+    category: CoflowCategory
+    circuit_lower: float
+    packet_lower: float
+    switching_count: int = 0
+    average_processing_time: float = 0.0
+
+    @property
+    def cct(self) -> float:
+        """Coflow Completion Time: ``max finish − arrival`` (paper §2.3)."""
+        return self.completion_time - self.arrival_time
+
+    @property
+    def cct_over_circuit_lower(self) -> float:
+        """``CCT / T^c_L`` (Figures 3–4); inf when the bound is zero."""
+        return self.cct / self.circuit_lower if self.circuit_lower > 0 else math.inf
+
+    @property
+    def cct_over_packet_lower(self) -> float:
+        """``CCT / T^p_L`` (Figures 4, 7)."""
+        return self.cct / self.packet_lower if self.packet_lower > 0 else math.inf
+
+    @property
+    def normalized_switching(self) -> float:
+        """Switching count over the minimum (``|C|``, Figure 5)."""
+        return self.switching_count / self.num_flows if self.num_flows else 0.0
+
+
+@dataclass
+class SimulationReport:
+    """All Coflow outcomes for one (scheduler, trace, B, δ) run."""
+
+    scheduler: str
+    bandwidth_bps: float
+    delta: float
+    records: List[CoflowRecord] = field(default_factory=list)
+
+    def add(self, record: CoflowRecord) -> None:
+        self.records.append(record)
+
+    def by_id(self) -> Dict[int, CoflowRecord]:
+        return {record.coflow_id: record for record in self.records}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def ccts(self) -> List[float]:
+        return [record.cct for record in self.records]
+
+    def average_cct(self) -> float:
+        ccts = self.ccts()
+        return sum(ccts) / len(ccts) if ccts else 0.0
+
+    def metric(
+        self,
+        fn: Callable[[CoflowRecord], float],
+        where: Optional[Callable[[CoflowRecord], bool]] = None,
+    ) -> List[float]:
+        """Collect ``fn(record)`` over records passing the ``where`` filter."""
+        selected = self.records if where is None else [r for r in self.records if where(r)]
+        return [fn(record) for record in selected]
+
+    def filtered(self, where: Callable[[CoflowRecord], bool]) -> "SimulationReport":
+        """A sub-report containing only records passing the filter."""
+        report = SimulationReport(self.scheduler, self.bandwidth_bps, self.delta)
+        report.records = [record for record in self.records if where(record)]
+        return report
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) with linear interpolation.
+
+    Matches numpy's default ("linear") method; implemented locally so
+    result containers stay dependency-light.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / p95 / max — the summary the paper quotes repeatedly."""
+    return {
+        "mean": mean(values),
+        "median": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "max": max(values),
+    }
+
+
+def make_record(
+    coflow: Coflow,
+    completion_time: float,
+    bandwidth_bps: float,
+    delta: float,
+    switching_count: int = 0,
+) -> CoflowRecord:
+    """Build a :class:`CoflowRecord`, computing bounds from the Coflow."""
+    from repro.core.bounds import circuit_lower_bound, packet_lower_bound
+
+    return CoflowRecord(
+        coflow_id=coflow.coflow_id,
+        arrival_time=coflow.arrival_time,
+        completion_time=completion_time,
+        num_flows=coflow.num_flows,
+        total_bytes=coflow.total_bytes,
+        category=coflow.category,
+        circuit_lower=circuit_lower_bound(coflow, bandwidth_bps, delta),
+        packet_lower=packet_lower_bound(coflow, bandwidth_bps),
+        switching_count=switching_count,
+        average_processing_time=coflow.average_processing_time(bandwidth_bps),
+    )

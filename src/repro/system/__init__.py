@@ -1,0 +1,28 @@
+"""System-level deployment simulation (paper §6): controller, switch, agents."""
+
+from repro.system.agent import HostAgent
+from repro.system.controller import SunflowController
+from repro.system.messages import (
+    CircuitDown,
+    CircuitLive,
+    RegisterCoflow,
+    SetupCircuit,
+    TransferReport,
+)
+from repro.system.runner import LatencyConfig, SystemRunner, simulate_system
+from repro.system.switch import OpticalSwitch, PortBusyError
+
+__all__ = [
+    "HostAgent",
+    "SunflowController",
+    "CircuitDown",
+    "CircuitLive",
+    "RegisterCoflow",
+    "SetupCircuit",
+    "TransferReport",
+    "LatencyConfig",
+    "SystemRunner",
+    "simulate_system",
+    "OpticalSwitch",
+    "PortBusyError",
+]

@@ -1,0 +1,118 @@
+"""Per-host sending agent (paper §6).
+
+One agent runs on each sending machine (one per input port in the rack
+abstraction).  Mirroring the paper's modified Varys daemon: it learns each
+Coflow's demand at registration, starts transmitting **at line rate** when
+the REACToR circuit-live signal arrives, stops when the circuit-down
+signal says the circuit dropped (at its planned end, or earlier if the
+controller preempted it), and then reports the transfer.
+
+The agent's byte counters are the authoritative record of what actually
+moved — the controller's PRT is a plan; the agent reports reality
+(including shortfalls when a live signal arrived late or a circuit was
+torn down early).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.core.coflow import Coflow
+from repro.core.prt import Reservation, TIME_EPS
+from repro.system.messages import CircuitDown, CircuitLive, TransferReport
+
+FlowKey = Tuple[int, int]  # (coflow_id, dst) — the agent owns one src port
+
+
+@dataclass
+class AgentEvent:
+    """An output of the agent: deliver ``message`` at ``time``."""
+
+    time: float
+    message: TransferReport
+
+
+class HostAgent:
+    """The sending-side daemon for one input port.
+
+    Args:
+        port: the input port this agent's machine is attached to.
+    """
+
+    def __init__(self, port: int) -> None:
+        self.port = port
+        #: Remaining processing seconds per (coflow_id, dst).
+        self._remaining: Dict[FlowKey, float] = {}
+        #: Live transmissions: reservation -> transmission start time.
+        self._active: Dict[Reservation, float] = {}
+        #: Reservations already closed (down processed before/without live).
+        self._closed: Set[Reservation] = set()
+
+    # ------------------------------------------------------------------
+    def register(self, coflow: Coflow, bandwidth_bps: float) -> None:
+        """Learn the demand this port must send for a new Coflow."""
+        for flow in coflow.flows:
+            if flow.src == self.port:
+                key = (coflow.coflow_id, flow.dst)
+                self._remaining[key] = self._remaining.get(key, 0.0) + (
+                    flow.processing_time(bandwidth_bps)
+                )
+
+    def remaining(self, coflow_id: int, dst: int) -> float:
+        return self._remaining.get((coflow_id, dst), 0.0)
+
+    # ------------------------------------------------------------------
+    def handle_circuit_live(self, now: float, signal: CircuitLive) -> List[AgentEvent]:
+        """Start transmitting; the transfer is accounted when the circuit
+        drops (so early teardowns naturally shorten it)."""
+        reservation = signal.reservation
+        if reservation.src != self.port:
+            raise ValueError(
+                f"agent on port {self.port} received signal for {reservation}"
+            )
+        if reservation in self._closed:
+            self._closed.discard(reservation)  # torn down before it went live
+            return []
+        self._active[reservation] = max(now, reservation.transmit_start)
+        return []
+
+    def handle_circuit_down(self, now: float, signal: CircuitDown) -> List[AgentEvent]:
+        """Close the transmission window and report the transfer.
+
+        ``signal.actual_end`` is when the circuit physically dropped; a
+        stale planned-end signal arriving after an early teardown already
+        closed the window is ignored.
+        """
+        reservation = signal.reservation
+        if reservation.src != self.port:
+            raise ValueError(
+                f"agent on port {self.port} received signal for {reservation}"
+            )
+        if reservation not in self._active:
+            if reservation not in self._closed:
+                # Down before live: the reservation was aborted mid-setup.
+                self._closed.add(reservation)
+            return []
+        started = self._active.pop(reservation)
+        self._closed.add(reservation)
+
+        key = (reservation.coflow_id, reservation.dst)
+        left = self._remaining.get(key, 0.0)
+        window = max(0.0, signal.actual_end - started)
+        served = min(left, window)
+        new_left = left - served
+        finished = new_left <= TIME_EPS
+        if key in self._remaining:
+            if finished:
+                self._remaining.pop(key, None)
+            else:
+                self._remaining[key] = new_left
+        finish_time = started + served
+        report = TransferReport(
+            reservation=reservation,
+            transmitted_seconds=served,
+            flow_finished=finished,
+            finish_time=finish_time if served > 0 else signal.actual_end,
+        )
+        return [AgentEvent(time=max(now, finish_time), message=report)]

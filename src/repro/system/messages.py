@@ -1,0 +1,97 @@
+"""Control-plane messages of the deployed Sunflow system (paper §6).
+
+The paper sketches the deployment stack: a centralized controller computes
+PRT rows and distributes them; the optical switch executes circuit setups
+(each taking ``δ``); a REACToR-style ToR signals hosts when their circuit
+is live; a per-host agent then "sends the flow at line rate" and reports
+progress back.  These dataclasses are the messages those components
+exchange in :mod:`repro.system.runner`'s event-driven simulation.
+
+All messages are immutable; times are absolute simulation seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.coflow import Coflow
+from repro.core.prt import Reservation
+
+Circuit = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RegisterCoflow:
+    """Client → controller: a new Coflow's endpoints and sizes (Varys-style
+    clairvoyant registration; the task scheduler provides the info)."""
+
+    coflow: Coflow
+
+
+@dataclass(frozen=True)
+class SetupCircuit:
+    """Controller → switch: establish the circuit of one PRT reservation.
+
+    The switch starts reconfiguring on receipt and the circuit becomes
+    live ``reservation.setup`` seconds later (0 when the circuit is being
+    continued without reconfiguration).
+    """
+
+    reservation: Reservation
+
+
+@dataclass(frozen=True)
+class TeardownCircuit:
+    """Controller → switch: release a reservation's ports at ``when``.
+
+    Inter-Coflow preemption: a replan (e.g. a shorter Coflow arrived) may
+    reclaim port time promised to a lower-priority Coflow.  ``when`` is
+    the physical release instant; transmission on the circuit stops there.
+    """
+
+    reservation: Reservation
+    when: float
+
+
+@dataclass(frozen=True)
+class CircuitLive:
+    """Switch → host agent: your circuit is up; transmit at line rate.
+
+    This is the explicit synchronization signal REACToR provides between
+    circuit setup and host transmission.
+    """
+
+    reservation: Reservation
+
+
+@dataclass(frozen=True)
+class CircuitDown:
+    """Switch → host agent: the circuit dropped at ``actual_end`` (the
+    reservation's planned end, or earlier if it was torn down)."""
+
+    reservation: Reservation
+    actual_end: float
+
+
+@dataclass(frozen=True)
+class TransferReport:
+    """Host agent → controller: bytes moved during one reservation.
+
+    ``finish_time`` is when the last byte left the host (the network-level
+    completion the evaluation measures), which precedes the report's
+    arrival at the controller by the report latency.
+    """
+
+    reservation: Reservation
+    transmitted_seconds: float
+    flow_finished: bool
+    finish_time: float
+
+    @property
+    def coflow_id(self) -> int:
+        return self.reservation.coflow_id
+
+    @property
+    def circuit(self) -> Circuit:
+        return (self.reservation.src, self.reservation.dst)

@@ -1,0 +1,135 @@
+"""Optical circuit switch component (paper §2.1, §6).
+
+Executes :class:`~repro.system.messages.SetupCircuit` and
+:class:`~repro.system.messages.TeardownCircuit` commands under the
+not-all-stop model: a setup occupies the circuit's two ports immediately,
+the circuit becomes live after the reservation's setup time, and the ports
+free at the reservation's end — or at a teardown's release instant, the
+inter-Coflow preemption path.  The switch *enforces* the port constraint
+at runtime — a command that would double-book a port raises — so the
+system simulation independently validates every schedule the controller
+produces (rather than trusting the PRT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.prt import Reservation, TIME_EPS
+from repro.system.messages import (
+    CircuitDown,
+    CircuitLive,
+    SetupCircuit,
+    TeardownCircuit,
+)
+
+
+class PortBusyError(RuntimeError):
+    """A setup command arrived for a port that is still occupied."""
+
+
+@dataclass
+class _PortState:
+    """Occupancy of one switch port."""
+
+    busy_until: float = 0.0
+    reservation: Optional[Reservation] = None
+
+
+@dataclass
+class SwitchEvent:
+    """An output of the switch: deliver ``message`` at ``time``."""
+
+    time: float
+    message: object
+
+
+class OpticalSwitch:
+    """Runtime model of the N-port optical circuit switch.
+
+    The switch is stateless about traffic — it only tracks port occupancy
+    and emits the REACToR synchronization signals (:class:`CircuitLive`
+    when a setup completes, :class:`CircuitDown` when the circuit drops).
+    """
+
+    def __init__(self, num_ports: int) -> None:
+        if num_ports <= 0:
+            raise ValueError(f"port count must be positive, got {num_ports!r}")
+        self.num_ports = num_ports
+        self._inputs: Dict[int, _PortState] = {}
+        self._outputs: Dict[int, _PortState] = {}
+        #: Total circuit establishments executed (reservations with setup).
+        self.switching_count = 0
+
+    def _state(self, table: Dict[int, _PortState], port: int) -> _PortState:
+        if port < 0 or port >= self.num_ports:
+            raise ValueError(f"port {port} outside a {self.num_ports}-port switch")
+        return table.setdefault(port, _PortState())
+
+    # ------------------------------------------------------------------
+    def handle_setup(self, now: float, command: SetupCircuit) -> List[SwitchEvent]:
+        """Execute a setup command received at ``now``.
+
+        Returns the signals to deliver: ``CircuitLive`` at the end of the
+        reconfiguration and ``CircuitDown`` at the reservation's planned
+        end (superseded by an earlier teardown's down signal if one comes).
+
+        Raises:
+            PortBusyError: if either port is still held by an earlier
+                reservation — the controller emitted an invalid schedule.
+        """
+        reservation = command.reservation
+        if now > reservation.start + TIME_EPS:
+            raise PortBusyError(f"setup for {reservation} arrived late at {now:.6f}")
+        input_state = self._state(self._inputs, reservation.src)
+        output_state = self._state(self._outputs, reservation.dst)
+        for state, side in ((input_state, "input"), (output_state, "output")):
+            if state.busy_until > reservation.start + TIME_EPS:
+                raise PortBusyError(
+                    f"{side} port busy until {state.busy_until:.6f}, cannot "
+                    f"honor {reservation}"
+                )
+        input_state.busy_until = reservation.end
+        input_state.reservation = reservation
+        output_state.busy_until = reservation.end
+        output_state.reservation = reservation
+        if reservation.setup > 0:
+            self.switching_count += 1
+        return [
+            SwitchEvent(
+                time=reservation.transmit_start, message=CircuitLive(reservation)
+            ),
+            SwitchEvent(
+                time=reservation.end,
+                message=CircuitDown(reservation, actual_end=reservation.end),
+            ),
+        ]
+
+    def handle_teardown(self, now: float, command: TeardownCircuit) -> List[SwitchEvent]:
+        """Release a reservation's ports early (inter-Coflow preemption).
+
+        Idempotent: tearing down a reservation that already ended (or was
+        already torn down) does nothing.  Returns an early ``CircuitDown``
+        so the host stops transmitting and reports its partial transfer.
+        """
+        reservation = command.reservation
+        when = max(command.when, now)
+        input_state = self._state(self._inputs, reservation.src)
+        output_state = self._state(self._outputs, reservation.dst)
+        if input_state.reservation != reservation or input_state.busy_until <= when + TIME_EPS:
+            return []
+        input_state.busy_until = when
+        output_state.busy_until = when
+        return [
+            SwitchEvent(
+                time=when, message=CircuitDown(reservation, actual_end=when)
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    def input_busy_until(self, port: int) -> float:
+        return self._state(self._inputs, port).busy_until
+
+    def output_busy_until(self, port: int) -> float:
+        return self._state(self._outputs, port).busy_until

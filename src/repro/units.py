@@ -1,0 +1,70 @@
+"""Units and physical constants used throughout the library.
+
+The paper quotes flow sizes in megabytes, link rates in gigabits per second
+and reconfiguration delays in milliseconds.  Internally this library uses a
+single consistent system:
+
+* data sizes in **bytes** (floats are fine; the trace rounds to megabytes),
+* bandwidth in **bits per second**,
+* time in **seconds**.
+
+``processing_time`` implements Equation (1) of the paper, ``p = d / B``,
+with the byte/bit conversion made explicit so call sites cannot get it
+wrong.
+"""
+
+from __future__ import annotations
+
+#: One megabyte, in bytes (decimal, as used by the Facebook trace).
+MB = 10**6
+
+#: One gigabyte, in bytes.
+GB = 10**9
+
+#: One gigabit per second, in bits per second.
+GBPS = 10**9
+
+#: One megabit per second, in bits per second.
+MBPS = 10**6
+
+#: One millisecond, in seconds.
+MS = 1e-3
+
+#: One microsecond, in seconds.
+US = 1e-6
+
+#: Default circuit reconfiguration delay: 10 ms, typical of a 3D-MEMS
+#: optical switch (paper §5.1).
+DEFAULT_DELTA = 10 * MS
+
+#: Default link bandwidth: 1 Gbps, the original setting of the trace.
+DEFAULT_BANDWIDTH = 1 * GBPS
+
+#: Number of bits in a byte, spelled out for readability at call sites.
+BITS_PER_BYTE = 8
+
+
+def processing_time(size_bytes: float, bandwidth_bps: float) -> float:
+    """Return the time in seconds to transmit ``size_bytes`` at ``bandwidth_bps``.
+
+    This is Equation (1) of the paper: ``p_ij = d_ij / B``, where demand is
+    measured in bits and bandwidth in bits per second.
+
+    Raises:
+        ValueError: if the bandwidth is not strictly positive or the size is
+            negative.
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps!r}")
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes!r}")
+    return (size_bytes * BITS_PER_BYTE) / bandwidth_bps
+
+
+def size_from_processing_time(seconds: float, bandwidth_bps: float) -> float:
+    """Inverse of :func:`processing_time`: bytes transferable in ``seconds``."""
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps!r}")
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds!r}")
+    return seconds * bandwidth_bps / BITS_PER_BYTE

@@ -1,0 +1,42 @@
+"""Workloads: the Facebook trace format, a statistically matching
+synthetic generator, and the evaluation's trace transforms."""
+
+from repro.workloads.facebook import TraceFormatError, parse_trace, write_trace
+from repro.workloads.patterns import (
+    broadcast,
+    hotspot,
+    incast,
+    one_to_one,
+    permutation,
+    shuffle,
+)
+from repro.workloads.synthetic import (
+    CategoryMix,
+    FacebookLikeTraceGenerator,
+    GeneratorConfig,
+    paper_trace,
+)
+from repro.workloads.transforms import (
+    perturb_sizes,
+    scale_bytes,
+    scale_to_idleness,
+)
+
+__all__ = [
+    "TraceFormatError",
+    "broadcast",
+    "hotspot",
+    "incast",
+    "one_to_one",
+    "permutation",
+    "shuffle",
+    "parse_trace",
+    "write_trace",
+    "CategoryMix",
+    "FacebookLikeTraceGenerator",
+    "GeneratorConfig",
+    "paper_trace",
+    "perturb_sizes",
+    "scale_bytes",
+    "scale_to_idleness",
+]

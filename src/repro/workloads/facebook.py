@@ -1,0 +1,150 @@
+"""Facebook Hive/MapReduce Coflow trace format (paper §5.1).
+
+The paper's workload is the public ``coflow-benchmark`` trace
+(https://github.com/coflow/coflow-benchmark): one hour of Hive/MapReduce
+shuffles from a 3000-machine, 150-rack Facebook cluster, with exact
+inter-arrival times and sizes rounded to the nearest megabyte.
+
+File format (whitespace separated)::
+
+    <num_ports> <num_coflows>
+    <id> <arrival_millis> <M> <m_1> … <m_M> <R> <r_1:MB_1> … <r_R:MB_R>
+
+Each line is one Coflow: ``M`` mapper racks, then ``R`` reducer entries,
+where ``r:MB`` says the reducer on rack ``r`` receives ``MB`` megabytes in
+total.  Following the conventions of the Varys/Aalo simulators, that total
+is split evenly across the ``M`` mappers, giving an ``M × R`` demand
+matrix per Coflow.
+
+This module reads and writes that exact format, so the real trace drops in
+unchanged; :mod:`repro.workloads.synthetic` generates statistically
+matching traces when the original file is unavailable.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, TextIO, Union
+
+from repro.core.coflow import Coflow, CoflowTrace, Flow
+from repro.units import MB
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file does not follow the coflow-benchmark format."""
+
+
+def _parse_reducer(token: str, line_number: int) -> tuple:
+    try:
+        rack_text, size_text = token.split(":", 1)
+        return int(rack_text), float(size_text)
+    except ValueError as error:
+        raise TraceFormatError(
+            f"line {line_number}: bad reducer token {token!r} (want rack:MB)"
+        ) from error
+
+
+def parse_trace(source: Union[str, Path, TextIO]) -> CoflowTrace:
+    """Parse a coflow-benchmark trace file into a :class:`CoflowTrace`.
+
+    Args:
+        source: path to the trace file, or an open text stream, or the raw
+            trace text itself (anything containing a newline is treated as
+            text).
+
+    Returns:
+        Trace with arrival times in seconds and flow sizes in bytes.
+    """
+    if isinstance(source, (str, Path)):
+        text = str(source)
+        if "\n" in text:
+            stream: TextIO = io.StringIO(text)
+        else:
+            stream = open(text, "r", encoding="utf-8")
+        with stream:
+            return _parse_stream(stream)
+    return _parse_stream(source)
+
+
+def _parse_stream(stream: TextIO) -> CoflowTrace:
+    lines = [line.strip() for line in stream if line.strip()]
+    if not lines:
+        raise TraceFormatError("empty trace file")
+    header = lines[0].split()
+    if len(header) != 2:
+        raise TraceFormatError(f"bad header {lines[0]!r} (want '<ports> <coflows>')")
+    num_ports, num_coflows = int(header[0]), int(header[1])
+    if len(lines) - 1 != num_coflows:
+        raise TraceFormatError(
+            f"header promises {num_coflows} coflows but file has {len(lines) - 1}"
+        )
+
+    trace = CoflowTrace(num_ports=num_ports)
+    for line_number, line in enumerate(lines[1:], start=2):
+        tokens = line.split()
+        cursor = 0
+
+        def take(count: int = 1) -> List[str]:
+            nonlocal cursor
+            if cursor + count > len(tokens):
+                raise TraceFormatError(f"line {line_number}: truncated record")
+            chunk = tokens[cursor : cursor + count]
+            cursor += count
+            return chunk
+
+        coflow_id = int(take()[0])
+        arrival_seconds = float(take()[0]) / 1000.0
+        num_mappers = int(take()[0])
+        mappers = [int(token) for token in take(num_mappers)]
+        num_reducers = int(take()[0])
+        reducer_tokens = take(num_reducers)
+        if cursor != len(tokens):
+            raise TraceFormatError(f"line {line_number}: trailing tokens")
+
+        flows: List[Flow] = []
+        for token in reducer_tokens:
+            reducer, total_mb = _parse_reducer(token, line_number)
+            per_mapper_bytes = total_mb * MB / num_mappers
+            for mapper in mappers:
+                if per_mapper_bytes > 0:
+                    flows.append(Flow(src=mapper, dst=reducer, size_bytes=per_mapper_bytes))
+        trace.add(Coflow(coflow_id=coflow_id, arrival_time=arrival_seconds, flows=flows))
+    return trace
+
+
+def write_trace(trace: CoflowTrace, destination: Union[str, Path, TextIO]) -> None:
+    """Write a trace in the coflow-benchmark format.
+
+    Flows are grouped back into mapper sets and per-reducer megabyte
+    totals.  Sizes are written with enough precision to round-trip
+    MB-granular traces exactly.
+    """
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as stream:
+            _write_stream(trace, stream)
+    else:
+        _write_stream(trace, destination)
+
+
+def _write_stream(trace: CoflowTrace, stream: TextIO) -> None:
+    stream.write(f"{trace.num_ports} {len(trace)}\n")
+    for coflow in trace:
+        mappers = coflow.senders
+        reducer_totals = {}
+        for flow in coflow.flows:
+            reducer_totals[flow.dst] = reducer_totals.get(flow.dst, 0.0) + flow.size_bytes
+        parts = [str(coflow.coflow_id), _format_number(coflow.arrival_time * 1000.0)]
+        parts.append(str(len(mappers)))
+        parts.extend(str(mapper) for mapper in mappers)
+        parts.append(str(len(reducer_totals)))
+        for reducer in sorted(reducer_totals):
+            parts.append(f"{reducer}:{_format_number(reducer_totals[reducer] / MB)}")
+        stream.write(" ".join(parts) + "\n")
+
+
+def _format_number(value: float) -> str:
+    """Render integers without a trailing '.0', floats compactly."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

@@ -1,0 +1,134 @@
+"""Canonical Coflow communication patterns (paper §2.2).
+
+"A Coflow can represent any communication pattern, such as many-to-many,
+one-to-many, many-to-one and one-to-one."  These constructors build the
+classic shapes used throughout the tests, examples and micro-benchmarks:
+shuffles, incasts, broadcasts, permutations and hotspots — each with
+explicit port sets and sizes rather than sampled ones (for sampled
+workloads see :mod:`repro.workloads.synthetic`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.coflow import Coflow
+
+Circuit = Tuple[int, int]
+
+
+def _check_disjoint_sizes(size_bytes: float) -> None:
+    if size_bytes <= 0:
+        raise ValueError(f"flow size must be positive, got {size_bytes!r}")
+
+
+def one_to_one(
+    coflow_id: int, src: int, dst: int, size_bytes: float, arrival: float = 0.0
+) -> Coflow:
+    """A single flow (unicast)."""
+    _check_disjoint_sizes(size_bytes)
+    return Coflow.from_demand(coflow_id, {(src, dst): size_bytes}, arrival)
+
+
+def broadcast(
+    coflow_id: int,
+    src: int,
+    receivers: Sequence[int],
+    size_bytes: float,
+    arrival: float = 0.0,
+) -> Coflow:
+    """One sender replicating ``size_bytes`` to every receiver (one-to-many)."""
+    _check_disjoint_sizes(size_bytes)
+    if not receivers:
+        raise ValueError("broadcast needs at least one receiver")
+    if len(set(receivers)) != len(receivers):
+        raise ValueError("receivers must be distinct")
+    return Coflow.from_demand(
+        coflow_id, {(src, dst): size_bytes for dst in receivers}, arrival
+    )
+
+
+def incast(
+    coflow_id: int,
+    senders: Sequence[int],
+    dst: int,
+    size_bytes: float,
+    arrival: float = 0.0,
+) -> Coflow:
+    """Every sender pushing ``size_bytes`` to one aggregator (many-to-one)."""
+    _check_disjoint_sizes(size_bytes)
+    if not senders:
+        raise ValueError("incast needs at least one sender")
+    if len(set(senders)) != len(senders):
+        raise ValueError("senders must be distinct")
+    return Coflow.from_demand(
+        coflow_id, {(src, dst): size_bytes for src in senders}, arrival
+    )
+
+
+def shuffle(
+    coflow_id: int,
+    senders: Sequence[int],
+    receivers: Sequence[int],
+    size_bytes: float,
+    arrival: float = 0.0,
+) -> Coflow:
+    """A full bipartite MapReduce shuffle: every sender sends ``size_bytes``
+    to every receiver (many-to-many, ``|C| = |senders| × |receivers|``)."""
+    _check_disjoint_sizes(size_bytes)
+    if not senders or not receivers:
+        raise ValueError("shuffle needs senders and receivers")
+    demand = {
+        (src, dst): size_bytes for src in senders for dst in receivers
+    }
+    if len(demand) != len(senders) * len(receivers):
+        raise ValueError("senders/receivers must be distinct within each side")
+    return Coflow.from_demand(coflow_id, demand, arrival)
+
+
+def permutation(
+    coflow_id: int,
+    mapping: Dict[int, int],
+    size_bytes: float,
+    arrival: float = 0.0,
+) -> Coflow:
+    """One flow per (src → dst) pair of a one-to-one port mapping.
+
+    Permutation demand needs no port sharing, so Sunflow schedules it at
+    exactly ``max(p) + δ`` — a useful best-case reference.
+    """
+    _check_disjoint_sizes(size_bytes)
+    if len(set(mapping.values())) != len(mapping):
+        raise ValueError("mapping must be a permutation (distinct destinations)")
+    return Coflow.from_demand(
+        coflow_id, {(src, dst): size_bytes for src, dst in mapping.items()}, arrival
+    )
+
+
+def hotspot(
+    coflow_id: int,
+    senders: Sequence[int],
+    receivers: Sequence[int],
+    base_bytes: float,
+    hot_dst: Optional[int] = None,
+    hot_factor: float = 10.0,
+    arrival: float = 0.0,
+) -> Coflow:
+    """A shuffle with one oversubscribed receiver (skewed reducer).
+
+    ``hot_dst`` (default: the first receiver) receives ``hot_factor ×
+    base_bytes`` from every sender — the skew case where preemptive
+    schedulers like Solstice slightly benefit at tiny δ (paper §5.3.1).
+    """
+    _check_disjoint_sizes(base_bytes)
+    if hot_factor <= 0:
+        raise ValueError(f"hot factor must be positive, got {hot_factor!r}")
+    target = receivers[0] if hot_dst is None else hot_dst
+    if target not in receivers:
+        raise ValueError(f"hot destination {target} not among receivers")
+    demand = {}
+    for src in senders:
+        for dst in receivers:
+            size = base_bytes * (hot_factor if dst == target else 1.0)
+            demand[(src, dst)] = size
+    return Coflow.from_demand(coflow_id, demand, arrival)

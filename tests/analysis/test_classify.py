@@ -1,0 +1,46 @@
+"""Tests for Coflow classification (Table 4)."""
+
+import pytest
+
+from repro.analysis.classify import classify
+from repro.core.coflow import Coflow, CoflowCategory
+from repro.units import MB
+
+
+def coflows():
+    return [
+        Coflow.from_demand(1, {(0, 1): 1 * MB}),  # O2O
+        Coflow.from_demand(2, {(0, 1): 1 * MB, (0, 2): 1 * MB}),  # O2M
+        Coflow.from_demand(3, {(1, 5): 1 * MB, (2, 5): 1 * MB}),  # M2O
+        Coflow.from_demand(4, {(0, 1): 96 * MB, (3, 2): 1 * MB}),  # M2M
+    ]
+
+
+class TestClassify:
+    def test_counts(self):
+        breakdown = classify(coflows())
+        assert breakdown.coflow_counts[CoflowCategory.ONE_TO_ONE] == 1
+        assert breakdown.coflow_counts[CoflowCategory.ONE_TO_MANY] == 1
+        assert breakdown.coflow_counts[CoflowCategory.MANY_TO_ONE] == 1
+        assert breakdown.coflow_counts[CoflowCategory.MANY_TO_MANY] == 1
+        assert breakdown.total_coflows == 4
+
+    def test_percentages(self):
+        breakdown = classify(coflows())
+        assert breakdown.coflow_percent(CoflowCategory.ONE_TO_ONE) == pytest.approx(25.0)
+        # Bytes: O2O 1, O2M 2, M2O 2, M2M 97 of 102 total.
+        assert breakdown.bytes_percent(CoflowCategory.MANY_TO_MANY) == pytest.approx(
+            100.0 * 97 / 102
+        )
+
+    def test_empty_input(self):
+        breakdown = classify([])
+        assert breakdown.total_coflows == 0
+        assert breakdown.coflow_percent(CoflowCategory.ONE_TO_ONE) == 0.0
+        assert breakdown.bytes_percent(CoflowCategory.ONE_TO_ONE) == 0.0
+
+    def test_as_table_rows(self):
+        rows = classify(coflows()).as_table()
+        assert [row["category"] for row in rows] == ["O2O", "O2M", "M2O", "M2M"]
+        assert sum(row["coflow_percent"] for row in rows) == pytest.approx(100.0)
+        assert sum(row["bytes_percent"] for row in rows) == pytest.approx(100.0)

@@ -1,0 +1,105 @@
+"""Tests for CSV export of simulation results."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import (
+    records_csv_text,
+    write_cdf_csv,
+    write_records_csv,
+    write_sweep_csv,
+)
+from repro.core.coflow import Coflow, CoflowTrace
+from repro.sim import simulate_intra_sunflow
+from repro.units import GBPS, MB, MS
+
+
+@pytest.fixture
+def report():
+    trace = CoflowTrace(
+        num_ports=6,
+        coflows=[
+            Coflow.from_demand(1, {(0, 1): 10 * MB}),
+            Coflow.from_demand(2, {(0, 1): 5 * MB, (2, 3): 7 * MB}),
+        ],
+    )
+    return simulate_intra_sunflow(trace, 1 * GBPS, 10 * MS)
+
+
+class TestRecordsCsv:
+    def test_one_row_per_record(self, report):
+        buffer = io.StringIO()
+        count = write_records_csv(report, buffer)
+        assert count == 2
+        rows = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        assert len(rows) == 2
+        assert rows[0]["scheduler"] == "sunflow"
+        assert rows[0]["coflow_id"] == "1"
+        assert float(rows[0]["cct"]) > 0
+
+    def test_ratios_round_trip(self, report):
+        rows = list(csv.DictReader(io.StringIO(records_csv_text(report))))
+        for row, record in zip(rows, report.records):
+            assert float(row["cct_over_circuit_lower"]) == pytest.approx(
+                record.cct_over_circuit_lower
+            )
+            assert row["category"] == record.category.value
+
+    def test_writes_to_file(self, report, tmp_path):
+        path = tmp_path / "records.csv"
+        write_records_csv(report, path)
+        content = path.read_text()
+        assert content.startswith("scheduler,")
+        assert content.count("\n") == 3  # header + 2 rows
+
+
+class TestCdfCsv:
+    def test_fractions_reach_one(self):
+        buffer = io.StringIO()
+        rows = write_cdf_csv({"a": [3.0, 1.0, 2.0], "b": [5.0]}, buffer)
+        assert rows == 4
+        parsed = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        last_a = [r for r in parsed if r["series"] == "a"][-1]
+        assert float(last_a["fraction"]) == pytest.approx(1.0)
+        assert float(last_a["value"]) == pytest.approx(3.0)
+
+    def test_series_sorted_and_labeled(self):
+        buffer = io.StringIO()
+        write_cdf_csv({"z": [1.0], "a": [2.0]}, buffer)
+        parsed = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        assert [r["series"] for r in parsed] == ["a", "z"]
+
+
+class TestSweepCsv:
+    def test_rows_written_in_order(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        count = write_sweep_csv(
+            [
+                {"delta_ms": 100, "avg": 5.7},
+                {"delta_ms": 10, "avg": 1.0},
+            ],
+            path,
+        )
+        assert count == 2
+        parsed = list(csv.DictReader(path.open()))
+        assert parsed[0]["delta_ms"] == "100"
+        assert parsed[1]["avg"] == "1.0"
+
+    def test_explicit_fieldnames_and_missing_cells(self):
+        buffer = io.StringIO()
+        write_sweep_csv(
+            [{"x": 1}, {"x": 2, "y": 3}], buffer, fieldnames=["x", "y"]
+        )
+        parsed = list(csv.DictReader(io.StringIO(buffer.getvalue())))
+        assert parsed[0]["y"] == ""
+        assert parsed[1]["y"] == "3"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            write_sweep_csv([{"x": 1, "zz": 2}], io.StringIO(), fieldnames=["x"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            write_sweep_csv([], io.StringIO())

@@ -1,0 +1,81 @@
+"""Tests for the network-idleness metric (§5.4)."""
+
+import pytest
+
+from repro.analysis.idleness import active_intervals, merge_intervals, network_idleness
+from repro.core.coflow import Coflow, CoflowTrace
+from repro.units import GBPS, MB
+
+B = 1 * GBPS
+
+
+def trace_of(*coflows, num_ports=10):
+    return CoflowTrace(num_ports=num_ports, coflows=list(coflows))
+
+
+class TestMergeIntervals:
+    def test_disjoint(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_overlapping(self):
+        assert merge_intervals([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_touching(self):
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_contained(self):
+        assert merge_intervals([(0, 10), (2, 3)]) == [(0, 10)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(5, 6), (0, 1)]) == [(0, 1), (5, 6)]
+
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+
+class TestActiveIntervals:
+    def test_interval_is_arrival_plus_packet_bound(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 125 * MB}, arrival_time=2.0)
+        intervals = active_intervals(trace_of(coflow), B)
+        assert intervals == [(2.0, pytest.approx(3.0))]
+
+
+class TestNetworkIdleness:
+    def test_back_to_back_coflows_zero_idle(self):
+        # Each coflow is active exactly 1 s; arrivals 1 s apart.
+        coflows = [
+            Coflow.from_demand(i, {(0, 1): 125 * MB}, arrival_time=float(i))
+            for i in range(5)
+        ]
+        assert network_idleness(trace_of(*coflows), B) == pytest.approx(0.0)
+
+    def test_half_idle(self):
+        # 1 s active, 1 s gap, repeated.
+        coflows = [
+            Coflow.from_demand(i, {(0, 1): 125 * MB}, arrival_time=2.0 * i)
+            for i in range(5)
+        ]
+        # Horizon [0, 9]: busy 5 s of 9 s -> idleness 4/9.
+        assert network_idleness(trace_of(*coflows), B) == pytest.approx(4 / 9)
+
+    def test_single_coflow_zero_idle(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 125 * MB})
+        assert network_idleness(trace_of(coflow), B) == pytest.approx(0.0)
+
+    def test_empty_trace(self):
+        assert network_idleness(trace_of(), B) == 0.0
+
+    def test_higher_bandwidth_more_idle(self):
+        coflows = [
+            Coflow.from_demand(i, {(0, 1): 125 * MB}, arrival_time=2.0 * i)
+            for i in range(5)
+        ]
+        trace = trace_of(*coflows)
+        assert network_idleness(trace, 10 * B) > network_idleness(trace, B)
+
+    def test_metric_is_schedule_independent(self):
+        """Idleness only reads arrivals + T^p_L; overlapping coflows merge."""
+        a = Coflow.from_demand(1, {(0, 1): 125 * MB}, arrival_time=0.0)
+        b = Coflow.from_demand(2, {(3, 4): 125 * MB}, arrival_time=0.5)
+        # Active union is [0, 1.5] -> no idleness over the [0, 1.5] horizon.
+        assert network_idleness(trace_of(a, b), B) == pytest.approx(0.0)

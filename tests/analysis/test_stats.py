@@ -1,0 +1,76 @@
+"""Tests for correlation and CDF helpers."""
+
+import pytest
+
+from repro.analysis.stats import cdf_at, ecdf, pearson, spearman
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        import scipy.stats
+
+        xs = [1.0, 4.0, 2.0, 9.0, 3.5, 0.5]
+        ys = [2.0, 3.0, 8.0, 7.0, 1.0, 4.0]
+        expected = scipy.stats.pearsonr(xs, ys)[0]
+        assert pearson(xs, ys) == pytest.approx(expected)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1])
+
+    def test_zero_variance(self):
+        with pytest.raises(ValueError):
+            pearson([1, 1, 1], [1, 2, 3])
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [1.0, 8.0, 27.0, 64.0]
+        assert spearman(xs, ys) == pytest.approx(1.0)
+
+    def test_matches_scipy_with_ties(self):
+        import scipy.stats
+
+        xs = [1.0, 2.0, 2.0, 3.0, 5.0, 4.0]
+        ys = [3.0, 1.0, 4.0, 4.0, 9.0, 2.0]
+        expected = scipy.stats.spearmanr(xs, ys)[0]
+        assert spearman(xs, ys) == pytest.approx(expected)
+
+    def test_anticorrelated(self):
+        assert spearman([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+
+class TestEcdf:
+    def test_steps(self):
+        points = ecdf([3.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(1 / 3)), (2.0, pytest.approx(2 / 3)), (3.0, 1.0)]
+
+    def test_ties_collapsed(self):
+        points = ecdf([1.0, 1.0, 2.0])
+        assert points == [(1.0, pytest.approx(2 / 3)), (2.0, 1.0)]
+
+    def test_empty(self):
+        assert ecdf([]) == []
+
+
+class TestCdfAt:
+    def test_fraction_below(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(values, 2.5) == pytest.approx(0.5)
+        assert cdf_at(values, 0.0) == 0.0
+        assert cdf_at(values, 4.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_at([], 1.0)

@@ -1,0 +1,55 @@
+"""Tests for the ASCII schedule renderer."""
+
+import pytest
+
+from repro.analysis.timeline import IDLE_GLYPH, SETUP_GLYPH, render_timeline
+from repro.core.coflow import Coflow
+from repro.core.sunflow import SunflowScheduler
+from repro.core.prt import Reservation
+from repro.units import GBPS, MB
+
+
+def reservation(src, dst, start, end, setup=0.0):
+    return Reservation(start=start, end=end, src=src, dst=dst, coflow_id=1, setup=setup)
+
+
+class TestRenderTimeline:
+    def test_empty_input(self):
+        assert render_timeline([]) == ""
+
+    def test_one_row_per_input_port(self):
+        text = render_timeline(
+            [reservation(0, 1, 0.0, 1.0), reservation(2, 3, 0.0, 1.0)], width=20
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("in.0")
+        assert lines[1].startswith("in.2")
+
+    def test_setup_and_transmit_glyphs(self):
+        text = render_timeline([reservation(0, 7, 0.0, 1.0, setup=0.5)], width=10)
+        row = text.splitlines()[0]
+        assert SETUP_GLYPH in row
+        assert "7" in row
+        # Setup comes before transmission.
+        assert row.index(SETUP_GLYPH) < row.index("7")
+
+    def test_idle_time_rendered(self):
+        text = render_timeline(
+            [reservation(0, 1, 0.0, 0.2), reservation(0, 2, 0.8, 1.0)], width=20
+        )
+        assert IDLE_GLYPH in text.splitlines()[0]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            render_timeline([reservation(0, 1, 0.0, 1.0)], start=2.0, end=2.0)
+
+    def test_renders_a_real_schedule(self, figure1_coflow):
+        schedule = SunflowScheduler(delta=0.01).schedule_coflow(
+            figure1_coflow, 1 * GBPS, start_time=0.0
+        )
+        text = render_timeline(schedule.reservations, width=60)
+        # Every sender port appears as a row.
+        for port in figure1_coflow.senders:
+            assert f"in.{port}" in text
+        # The axis line carries the window boundaries.
+        assert "0.000" in text

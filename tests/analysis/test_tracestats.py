@@ -1,0 +1,54 @@
+"""Tests for the trace-statistics summary."""
+
+import pytest
+
+from repro.analysis.tracestats import trace_statistics
+from repro.core.coflow import Coflow, CoflowTrace
+from repro.units import MB
+
+
+def build_trace():
+    coflows = [
+        Coflow.from_demand(1, {(0, 1): 10 * MB}, arrival_time=0.0),
+        Coflow.from_demand(2, {(0, 1): 2 * MB, (0, 2): 2 * MB}, arrival_time=2.0),
+        Coflow.from_demand(3, {(1, 2): 30 * MB}, arrival_time=6.0),
+    ]
+    return CoflowTrace(num_ports=5, coflows=coflows)
+
+
+class TestTraceStatistics:
+    def test_counts_and_totals(self):
+        stats = trace_statistics(build_trace())
+        assert stats.num_ports == 5
+        assert stats.num_coflows == 3
+        assert stats.total_bytes == pytest.approx(44 * MB)
+        assert stats.span_seconds == pytest.approx(6.0)
+
+    def test_interarrivals(self):
+        stats = trace_statistics(build_trace())
+        assert stats.interarrivals == [2.0, 4.0]
+        assert stats.mean_interarrival == pytest.approx(3.0)
+
+    def test_widths_and_sizes(self):
+        stats = trace_statistics(build_trace())
+        assert sorted(stats.widths) == [1, 1, 2]
+        assert max(stats.flow_sizes) == pytest.approx(30 * MB)
+        assert stats.width_percentile(100) == 2
+        assert stats.flow_size_percentile(0) == pytest.approx(2 * MB)
+
+    def test_unsorted_trace_handled(self):
+        trace = build_trace()
+        trace.coflows.reverse()
+        stats = trace_statistics(trace)
+        assert all(gap >= 0 for gap in stats.interarrivals)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            trace_statistics(CoflowTrace(num_ports=2))
+
+    def test_as_text_mentions_key_figures(self):
+        text = trace_statistics(build_trace()).as_text()
+        assert "coflows: 3" in text
+        assert "O2O" in text and "M2M" in text
+        assert "width |C|" in text
+        assert "flow size" in text

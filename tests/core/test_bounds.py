@@ -1,0 +1,155 @@
+"""Tests for the CCT lower bounds (Equations 1-4) and Lemma bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    alpha,
+    circuit_lower_bound,
+    flow_circuit_time,
+    packet_lower_bound,
+    port_loads,
+    sunflow_circuit_bound,
+    sunflow_packet_bound,
+)
+from repro.core.coflow import Coflow
+from repro.units import GBPS, MB, MS
+
+B = 1 * GBPS
+DELTA = 10 * MS
+
+
+def coflow_of(demand):
+    return Coflow.from_demand(1, demand)
+
+
+class TestPortLoads:
+    def test_loads_sum_rows_and_columns(self):
+        coflow = coflow_of({(0, 5): 125 * MB, (0, 6): 125 * MB, (1, 5): 250 * MB})
+        input_load, output_load = port_loads(coflow, B)
+        assert input_load[0] == pytest.approx(2.0)
+        assert input_load[1] == pytest.approx(2.0)
+        assert output_load[5] == pytest.approx(3.0)
+        assert output_load[6] == pytest.approx(1.0)
+
+
+class TestPacketLowerBound:
+    def test_single_flow(self):
+        assert packet_lower_bound(coflow_of({(0, 1): 125 * MB}), B) == pytest.approx(1.0)
+
+    def test_bottleneck_is_max_port(self):
+        # Output port 5 receives 3 s of traffic; that's the bottleneck.
+        coflow = coflow_of({(0, 5): 125 * MB, (1, 5): 250 * MB})
+        assert packet_lower_bound(coflow, B) == pytest.approx(3.0)
+
+    def test_empty_coflow(self):
+        assert packet_lower_bound(Coflow(1, 0.0, []), B) == 0.0
+
+    def test_scales_inversely_with_bandwidth(self):
+        coflow = coflow_of({(0, 1): 125 * MB})
+        assert packet_lower_bound(coflow, 10 * B) == pytest.approx(0.1)
+
+
+class TestCircuitLowerBound:
+    def test_adds_one_delta_per_flow(self):
+        coflow = coflow_of({(0, 5): 125 * MB, (1, 5): 125 * MB})
+        # Output 5: (1 + δ) + (1 + δ).
+        assert circuit_lower_bound(coflow, B, DELTA) == pytest.approx(2.0 + 2 * DELTA)
+
+    def test_flow_circuit_time_zero_demand(self):
+        assert flow_circuit_time(0.0, B, DELTA) == 0.0
+
+    def test_reduces_to_packet_bound_when_delta_zero(self):
+        coflow = coflow_of({(0, 5): 100 * MB, (1, 6): 30 * MB, (1, 5): 70 * MB})
+        assert circuit_lower_bound(coflow, B, 0.0) == pytest.approx(
+            packet_lower_bound(coflow, B)
+        )
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            circuit_lower_bound(coflow_of({(0, 1): MB}), B, -1.0)
+
+    def test_circuit_bound_dominates_packet_bound(self):
+        coflow = coflow_of({(0, 5): 100 * MB, (2, 6): 30 * MB, (2, 5): 70 * MB})
+        assert circuit_lower_bound(coflow, B, DELTA) >= packet_lower_bound(coflow, B)
+
+    def test_bottleneck_port_may_differ_from_packet_bound(self):
+        # Output 5: 2 big flows (2 s + 2δ).  Input 0: 4 small flows
+        # totalling 1.9 s of data but 4δ of setups -> with large δ the
+        # circuit bottleneck moves to input 0.
+        big_delta = 100 * MS
+        demand = {
+            (0, 1): 47.5 * MB,
+            (0, 2): 47.5 * MB,
+            (0, 3): 47.5 * MB,
+            (0, 4): 47.5 * MB,
+            (6, 5): 125 * MB,
+            (7, 5): 125 * MB,
+        }
+        coflow = coflow_of(demand)
+        # Packet bottleneck: output 5 at 2.0 s.
+        assert packet_lower_bound(coflow, B) == pytest.approx(2.0)
+        # Circuit bottleneck: input 0 at 1.52 + 0.4 = 1.92 < output 5 at 2.2.
+        assert circuit_lower_bound(coflow, B, big_delta) == pytest.approx(2.2)
+
+
+class TestAlphaAndLemmaBounds:
+    def test_alpha_definition(self):
+        coflow = coflow_of({(0, 1): 1 * MB, (1, 2): 10 * MB})
+        # Smallest flow: 1 MB -> 8 ms at 1 Gbps; alpha = 10 ms / 8 ms.
+        assert alpha(coflow, B, DELTA) == pytest.approx(1.25)
+
+    def test_alpha_of_trace_floor_is_125_percent(self):
+        """The paper's 1 MB floor at 1 Gbps, δ=10 ms gives α=1.25 and the
+        4.5× CCT/TpL cap quoted in §5.1."""
+        coflow = coflow_of({(0, 1): 1 * MB})
+        a = alpha(coflow, B, DELTA)
+        assert 2 * (1 + a) == pytest.approx(4.5)
+
+    def test_alpha_empty_coflow(self):
+        assert alpha(Coflow(1, 0.0, []), B, DELTA) == 0.0
+
+    def test_lemma_bounds_are_consistent(self):
+        coflow = coflow_of({(0, 5): 100 * MB, (1, 6): 40 * MB, (1, 5): 70 * MB})
+        assert sunflow_circuit_bound(coflow, B, DELTA) == pytest.approx(
+            2 * circuit_lower_bound(coflow, B, DELTA)
+        )
+        assert sunflow_packet_bound(coflow, B, DELTA) == pytest.approx(
+            2 * (1 + alpha(coflow, B, DELTA)) * packet_lower_bound(coflow, B)
+        )
+
+
+@st.composite
+def random_coflows(draw):
+    num_flows = draw(st.integers(min_value=1, max_value=12))
+    demand = {}
+    for _ in range(num_flows):
+        src = draw(st.integers(min_value=0, max_value=7))
+        dst = draw(st.integers(min_value=0, max_value=7))
+        size = draw(st.floats(min_value=0.1, max_value=500.0))
+        demand[(src, dst)] = size * MB
+    return Coflow.from_demand(1, demand)
+
+
+class TestBoundProperties:
+    @given(random_coflows(), st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=80, deadline=None)
+    def test_circuit_bound_at_least_packet_bound(self, coflow, delta):
+        assert circuit_lower_bound(coflow, B, delta) >= packet_lower_bound(coflow, B) - 1e-12
+
+    @given(random_coflows(), st.floats(min_value=1e-4, max_value=0.5))
+    @settings(max_examples=80, deadline=None)
+    def test_circuit_bound_monotone_in_delta(self, coflow, delta):
+        assert circuit_lower_bound(coflow, B, 2 * delta) >= circuit_lower_bound(
+            coflow, B, delta
+        )
+
+    @given(random_coflows())
+    @settings(max_examples=80, deadline=None)
+    def test_equation_10_tcl_at_most_one_plus_alpha_tpl(self, coflow):
+        """Appendix Equation (10): T^c_L <= (1 + α) T^p_L."""
+        a = alpha(coflow, B, DELTA)
+        assert circuit_lower_bound(coflow, B, DELTA) <= (1 + a) * packet_lower_bound(
+            coflow, B
+        ) * (1 + 1e-9)

@@ -1,0 +1,173 @@
+"""Unit tests for the Coflow traffic model."""
+
+import pytest
+
+from repro.core.coflow import Coflow, CoflowCategory, CoflowTrace, Flow
+from repro.units import GBPS, MB
+
+
+class TestFlow:
+    def test_processing_time_is_equation_1(self):
+        flow = Flow(src=0, dst=1, size_bytes=125 * MB)
+        # 125 MB = 1e9 bits -> 1 second at 1 Gbps.
+        assert flow.processing_time(1 * GBPS) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            Flow(src=0, dst=1, size_bytes=0.0)
+        with pytest.raises(ValueError):
+            Flow(src=0, dst=1, size_bytes=-1.0)
+
+    def test_rejects_negative_ports(self):
+        with pytest.raises(ValueError):
+            Flow(src=-1, dst=0, size_bytes=1.0)
+        with pytest.raises(ValueError):
+            Flow(src=0, dst=-2, size_bytes=1.0)
+
+    def test_flow_is_immutable(self):
+        flow = Flow(src=0, dst=1, size_bytes=1.0)
+        with pytest.raises(AttributeError):
+            flow.size_bytes = 2.0
+
+
+class TestCoflowConstruction:
+    def test_from_demand_drops_zero_entries(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 5.0, (0, 2): 0.0})
+        assert coflow.num_flows == 1
+        assert coflow.flows[0].dst == 1
+
+    def test_duplicate_circuit_rejected(self):
+        flows = [Flow(0, 1, 1.0), Flow(0, 1, 2.0)]
+        with pytest.raises(ValueError, match="duplicate"):
+            Coflow(1, 0.0, flows)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Coflow(1, -0.5, [])
+
+    def test_demand_round_trip(self):
+        demand = {(0, 1): 5.0, (2, 3): 7.0}
+        coflow = Coflow.from_demand(9, demand)
+        assert coflow.demand() == demand
+
+
+class TestCoflowStructure:
+    def test_category_one_to_one(self):
+        assert Coflow.from_demand(1, {(0, 1): 1.0}).category is CoflowCategory.ONE_TO_ONE
+
+    def test_category_one_to_many(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 1.0, (0, 2): 1.0})
+        assert coflow.category is CoflowCategory.ONE_TO_MANY
+
+    def test_category_many_to_one(self):
+        coflow = Coflow.from_demand(1, {(0, 2): 1.0, (1, 2): 1.0})
+        assert coflow.category is CoflowCategory.MANY_TO_ONE
+
+    def test_category_many_to_many(self):
+        coflow = Coflow.from_demand(1, {(0, 2): 1.0, (1, 3): 1.0})
+        assert coflow.category is CoflowCategory.MANY_TO_MANY
+
+    def test_loopback_port_counts_as_single_endpoint(self):
+        # src port 0 and dst port 0 are different sides of the fabric.
+        coflow = Coflow.from_demand(1, {(0, 0): 1.0})
+        assert coflow.category is CoflowCategory.ONE_TO_ONE
+
+    def test_senders_receivers_sorted_unique(self):
+        coflow = Coflow.from_demand(1, {(3, 1): 1.0, (2, 1): 1.0, (3, 0): 1.0})
+        assert coflow.senders == [2, 3]
+        assert coflow.receivers == [0, 1]
+
+    def test_total_bytes(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 3.0, (1, 2): 4.5})
+        assert coflow.total_bytes == pytest.approx(7.5)
+
+    def test_average_processing_time(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 125 * MB, (1, 2): 250 * MB})
+        # 1 s and 2 s at 1 Gbps -> average 1.5 s.
+        assert coflow.average_processing_time(1 * GBPS) == pytest.approx(1.5)
+
+    def test_average_processing_time_empty(self):
+        assert Coflow(1, 0.0, []).average_processing_time(1 * GBPS) == 0.0
+
+    def test_is_long_threshold(self, default_network):
+        # p_avg = 0.4 s > 40 * 10 ms exactly at the boundary is NOT long.
+        boundary = Coflow.from_demand(1, {(0, 1): 50 * MB})  # 0.4 s at 1 Gbps
+        assert not boundary.is_long(**default_network)
+        long_coflow = Coflow.from_demand(1, {(0, 1): 51 * MB})
+        assert long_coflow.is_long(**default_network)
+
+
+class TestCoflowTransforms:
+    def test_scaled_multiplies_and_floors(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 10.0, (1, 2): 100.0})
+        scaled = coflow.scaled(0.5, min_bytes=8.0)
+        sizes = sorted(f.size_bytes for f in scaled.flows)
+        assert sizes == [8.0, 50.0]
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 10.0})
+        with pytest.raises(ValueError):
+            coflow.scaled(0.0)
+
+    def test_with_arrival(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 10.0}, arrival_time=1.0)
+        moved = coflow.with_arrival(9.0)
+        assert moved.arrival_time == 9.0
+        assert moved.demand() == coflow.demand()
+
+    def test_merged_sums_overlapping_demand(self):
+        a = Coflow.from_demand(1, {(0, 1): 10.0}, arrival_time=5.0)
+        b = Coflow.from_demand(2, {(0, 1): 3.0, (1, 2): 4.0}, arrival_time=2.0)
+        merged = Coflow.merged(99, [a, b])
+        assert merged.demand() == {(0, 1): 13.0, (1, 2): 4.0}
+        assert merged.arrival_time == 2.0  # earliest constituent
+
+    def test_merged_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Coflow.merged(1, [])
+
+
+class TestCoflowTrace:
+    def test_port_bounds_checked_on_add(self):
+        trace = CoflowTrace(num_ports=4)
+        with pytest.raises(ValueError, match="outside"):
+            trace.add(Coflow.from_demand(1, {(0, 4): 1.0}))
+
+    def test_port_bounds_checked_on_init(self):
+        with pytest.raises(ValueError):
+            CoflowTrace(num_ports=2, coflows=[Coflow.from_demand(1, {(3, 0): 1.0})])
+
+    def test_sorted_by_arrival(self):
+        trace = CoflowTrace(
+            num_ports=4,
+            coflows=[
+                Coflow.from_demand(2, {(0, 1): 1.0}, arrival_time=5.0),
+                Coflow.from_demand(1, {(0, 1): 1.0}, arrival_time=1.0),
+            ],
+        )
+        ordered = trace.sorted_by_arrival()
+        assert [c.coflow_id for c in ordered] == [1, 2]
+        # Original untouched.
+        assert [c.coflow_id for c in trace] == [2, 1]
+
+    def test_span_and_totals(self):
+        trace = CoflowTrace(
+            num_ports=4,
+            coflows=[
+                Coflow.from_demand(1, {(0, 1): 2.0}, arrival_time=1.0),
+                Coflow.from_demand(2, {(1, 2): 3.0}, arrival_time=4.0),
+            ],
+        )
+        assert trace.span == 4.0
+        assert trace.total_bytes == pytest.approx(5.0)
+        assert len(trace) == 2
+        assert trace[1].coflow_id == 2
+
+    def test_empty_trace_span(self):
+        assert CoflowTrace(num_ports=1).span == 0.0
+
+    def test_map_sizes(self):
+        trace = CoflowTrace(num_ports=4, coflows=[Coflow.from_demand(1, {(0, 1): 2.0})])
+        doubled = trace.map_sizes(lambda f: f.size_bytes * 2)
+        assert doubled[0].flows[0].size_bytes == 4.0
+        assert trace[0].flows[0].size_bytes == 2.0

@@ -1,0 +1,168 @@
+"""Tests for inter-Coflow priority policies."""
+
+import pytest
+
+from repro.core.coflow import Coflow
+from repro.core.policies import (
+    POLICIES,
+    ClassThen,
+    CoflowView,
+    Fifo,
+    NarrowestFirst,
+    ShortestFirst,
+    SmallestTotalFirst,
+    views_from_coflows,
+)
+from repro.units import GBPS, MB
+
+
+def view(cid, arrival=0.0, times=None, priority_class=0):
+    return CoflowView(
+        coflow_id=cid,
+        arrival_time=arrival,
+        remaining_times=times or {},
+        priority_class=priority_class,
+    )
+
+
+class TestCoflowView:
+    def test_bottleneck_is_busiest_port(self):
+        v = view(1, times={(0, 1): 2.0, (0, 2): 3.0, (1, 2): 1.0})
+        # Input 0 carries 5.0; output 2 carries 4.0.
+        assert v.bottleneck == pytest.approx(5.0)
+
+    def test_bottleneck_ignores_drained_flows(self):
+        v = view(1, times={(0, 1): 0.0, (1, 2): 1.5})
+        assert v.bottleneck == pytest.approx(1.5)
+
+    def test_bottleneck_empty(self):
+        assert view(1).bottleneck == 0.0
+
+    def test_total_time(self):
+        v = view(1, times={(0, 1): 2.0, (1, 2): 1.0, (2, 3): 0.0})
+        assert v.total_time == pytest.approx(3.0)
+
+
+class TestShortestFirst:
+    def test_orders_by_bottleneck(self):
+        big = view(1, times={(0, 1): 10.0})
+        small = view(2, times={(0, 1): 1.0})
+        assert [v.coflow_id for v in ShortestFirst().order([big, small])] == [2, 1]
+
+    def test_ties_broken_by_arrival_then_id(self):
+        a = view(1, arrival=5.0, times={(0, 1): 1.0})
+        b = view(2, arrival=1.0, times={(2, 3): 1.0})
+        c = view(3, arrival=1.0, times={(4, 5): 1.0})
+        ordered = ShortestFirst().order([a, c, b])
+        assert [v.coflow_id for v in ordered] == [2, 3, 1]
+
+    def test_priority_class_dominates(self):
+        urgent_big = view(1, times={(0, 1): 10.0}, priority_class=0)
+        normal_small = view(2, times={(0, 1): 1.0}, priority_class=1)
+        ordered = ShortestFirst().order([normal_small, urgent_big])
+        assert [v.coflow_id for v in ordered] == [1, 2]
+
+
+class TestOtherPolicies:
+    def test_fifo(self):
+        first = view(2, arrival=1.0, times={(0, 1): 100.0})
+        second = view(1, arrival=2.0, times={(0, 1): 1.0})
+        assert [v.coflow_id for v in Fifo().order([second, first])] == [2, 1]
+
+    def test_smallest_total_first(self):
+        wide_small = view(1, times={(0, 1): 1.0, (1, 2): 1.0})  # total 2
+        narrow_big = view(2, times={(0, 1): 3.0})  # total 3
+        ordered = SmallestTotalFirst().order([narrow_big, wide_small])
+        assert [v.coflow_id for v in ordered] == [1, 2]
+
+    def test_narrowest_first(self):
+        wide = view(1, times={(0, 1): 0.1, (1, 2): 0.1, (2, 3): 0.1})
+        narrow = view(2, times={(0, 1): 50.0})
+        assert [v.coflow_id for v in NarrowestFirst().order([wide, narrow])] == [2, 1]
+
+    def test_class_then_wraps_secondary_policy(self):
+        policy = ClassThen(ShortestFirst())
+        low_class_big = view(1, times={(0, 1): 10.0}, priority_class=0)
+        high_class_small = view(2, times={(0, 1): 1.0}, priority_class=1)
+        small_same_class = view(3, times={(0, 1): 2.0}, priority_class=0)
+        ordered = policy.order([high_class_small, low_class_big, small_same_class])
+        assert [v.coflow_id for v in ordered] == [3, 1, 2]
+        assert policy.name == "class-then-shortest-first"
+
+
+class TestViewsFromCoflows:
+    def test_builds_processing_time_views(self):
+        coflow = Coflow.from_demand(5, {(0, 1): 125 * MB}, arrival_time=3.0)
+        views = views_from_coflows([coflow], 1 * GBPS, priority_classes={5: 2})
+        assert len(views) == 1
+        v = views[0]
+        assert v.coflow_id == 5
+        assert v.arrival_time == 3.0
+        assert v.priority_class == 2
+        assert v.remaining_times[(0, 1)] == pytest.approx(1.0)
+
+
+class TestRegistry:
+    def test_registry_names_match_instances(self):
+        for name, policy in POLICIES.items():
+            assert policy.name == name
+
+    def test_registry_has_papers_policy(self):
+        assert "shortest-first" in POLICIES
+
+    def test_order_does_not_mutate_input(self):
+        views = [view(1, times={(0, 1): 5.0}), view(2, times={(0, 1): 1.0})]
+        snapshot = list(views)
+        ShortestFirst().order(views)
+        assert views == snapshot
+
+
+class TestEarliestDeadlineFirst:
+    def test_deadlined_coflows_sorted_by_deadline(self):
+        from repro.core.policies import EarliestDeadlineFirst
+
+        policy = EarliestDeadlineFirst({1: 10.0, 2: 5.0})
+        a = view(1, times={(0, 1): 1.0})
+        b = view(2, times={(2, 3): 1.0})
+        assert [v.coflow_id for v in policy.order([a, b])] == [2, 1]
+
+    def test_deadlined_beats_undeadlined(self):
+        from repro.core.policies import EarliestDeadlineFirst
+
+        policy = EarliestDeadlineFirst({2: 100.0})
+        tiny_no_deadline = view(1, times={(0, 1): 0.001})
+        deadlined = view(2, times={(2, 3): 50.0})
+        assert [v.coflow_id for v in policy.order([tiny_no_deadline, deadlined])] == [2, 1]
+
+    def test_undeadlined_fall_back_to_shortest_first(self):
+        from repro.core.policies import EarliestDeadlineFirst
+
+        policy = EarliestDeadlineFirst({})
+        big = view(1, times={(0, 1): 10.0})
+        small = view(2, times={(2, 3): 1.0})
+        assert [v.coflow_id for v in policy.order([big, small])] == [2, 1]
+
+    def test_priority_class_still_dominates(self):
+        from repro.core.policies import EarliestDeadlineFirst
+
+        policy = EarliestDeadlineFirst({1: 1.0})
+        urgent_deadline = view(1, times={(0, 1): 1.0}, priority_class=1)
+        plain_privileged = view(2, times={(2, 3): 1.0}, priority_class=0)
+        assert [v.coflow_id for v in policy.order([urgent_deadline, plain_privileged])] == [2, 1]
+
+    def test_end_to_end_deadline_scheduling(self):
+        """An urgent deadlined Coflow overtakes a shorter one on the fabric."""
+        from repro.core.coflow import Coflow, CoflowTrace
+        from repro.core.policies import EarliestDeadlineFirst
+        from repro.sim import simulate_inter_sunflow
+        from repro.units import GBPS, MB, MS
+
+        urgent = Coflow.from_demand(1, {(0, 1): 100 * MB})
+        small = Coflow.from_demand(2, {(0, 2): 10 * MB})
+        trace = CoflowTrace(num_ports=4, coflows=[urgent, small])
+        report = simulate_inter_sunflow(
+            trace, 1 * GBPS, 10 * MS, policy=EarliestDeadlineFirst({1: 1.0})
+        ).by_id()
+        assert report[1].cct == pytest.approx(0.8 + 10 * MS)
+        assert report[1].completion_time <= 1.0  # met its deadline
+        assert report[2].cct > report[1].cct  # waited behind the deadline

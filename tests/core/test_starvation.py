@@ -1,0 +1,133 @@
+"""Tests for the starvation guard (§4.2)."""
+
+import pytest
+
+from repro.core.prt import PortReservationTable
+from repro.core.starvation import (
+    GUARD_COFLOW_ID,
+    StarvationGuard,
+    round_robin_assignments,
+)
+
+
+class TestRoundRobinAssignments:
+    def test_each_assignment_is_perfect_matching(self):
+        for assignment in round_robin_assignments(5):
+            sources = [src for src, _ in assignment]
+            destinations = [dst for _, dst in assignment]
+            assert sorted(sources) == list(range(5))
+            assert sorted(destinations) == list(range(5))
+
+    def test_union_covers_all_circuits(self):
+        n = 4
+        covered = {
+            circuit
+            for assignment in round_robin_assignments(n)
+            for circuit in assignment
+        }
+        assert covered == {(i, j) for i in range(n) for j in range(n)}
+
+    def test_invalid_port_count(self):
+        with pytest.raises(ValueError):
+            round_robin_assignments(0)
+
+
+class TestGuardGeometry:
+    def make_guard(self, **overrides):
+        params = dict(num_ports=3, period=1.0, tau=0.1, delta=0.01, origin=0.0)
+        params.update(overrides)
+        return StarvationGuard(**params)
+
+    def test_tau_must_exceed_delta(self):
+        with pytest.raises(ValueError):
+            self.make_guard(tau=0.005)
+
+    def test_positive_intervals_required(self):
+        with pytest.raises(ValueError):
+            self.make_guard(period=0.0)
+
+    def test_window_positions(self):
+        guard = self.make_guard()
+        w0 = guard.window(0)
+        assert w0.start == pytest.approx(1.0)
+        assert w0.end == pytest.approx(1.1)
+        assert w0.assignment_index == 0
+        w4 = guard.window(4)
+        assert w4.start == pytest.approx(1.0 + 4 * 1.1)
+        assert w4.assignment_index == 1  # 4 mod 3
+
+    def test_max_service_gap(self):
+        guard = self.make_guard()
+        assert guard.max_service_gap == pytest.approx(3 * 1.1)
+
+    def test_windows_between(self):
+        guard = self.make_guard()
+        windows = list(guard.windows_between(0.0, 3.5))
+        assert [w.assignment_index for w in windows] == [0, 1, 2]
+        starts = [w.start for w in windows]
+        assert starts == pytest.approx([1.0, 2.1, 3.2])
+
+    def test_windows_between_partial_overlap(self):
+        guard = self.make_guard()
+        # Window 0 spans [1.0, 1.1); asking for [1.05, 1.2) should include it.
+        windows = list(guard.windows_between(1.05, 1.2))
+        assert len(windows) == 1
+        assert windows[0].assignment_index == 0
+
+    def test_windows_between_empty_range(self):
+        guard = self.make_guard()
+        assert list(guard.windows_between(2.0, 2.0)) == []
+
+    def test_every_circuit_enabled_within_gap(self):
+        """Starvation-freedom: every circuit appears in some window of any
+        max_service_gap-long horizon."""
+        guard = self.make_guard()
+        horizon = guard.max_service_gap + guard.cycle
+        enabled = set()
+        for window in guard.windows_between(0.0, horizon):
+            enabled.update(guard.assignments[window.assignment_index])
+        assert enabled == {(i, j) for i in range(3) for j in range(3)}
+
+
+class TestReserveWindows:
+    def test_reserves_every_window_inside_range(self):
+        guard = StarvationGuard(num_ports=3, period=1.0, tau=0.1, delta=0.01)
+        prt = PortReservationTable()
+        # Windows at [1.0, 1.1) and [2.1, 2.2) lie inside [0, 2.5).
+        reserved = guard.reserve_windows(prt, 0.0, 2.5)
+        assert [w.assignment_index for w in reserved] == [0, 1]
+        assert len(prt) == 2 * 3  # two windows × N circuits each
+
+    def test_reservation_contents(self):
+        guard = StarvationGuard(num_ports=2, period=1.0, tau=0.1, delta=0.01)
+        prt = PortReservationTable()
+        windows = guard.reserve_windows(prt, 0.0, 1.5)
+        assert len(windows) == 1
+        reservations = list(prt)
+        assert len(reservations) == 2  # N circuits in the assignment
+        for reservation in reservations:
+            assert reservation.coflow_id == GUARD_COFLOW_ID
+            assert reservation.setup == pytest.approx(0.01)
+            assert reservation.start == pytest.approx(1.0)
+            assert reservation.end == pytest.approx(1.1)
+        prt.validate()
+
+    def test_scheduler_plans_around_guard_windows(self):
+        """Sunflow reservations never intersect guard slices."""
+        from repro.core.sunflow import SunflowScheduler
+
+        guard = StarvationGuard(num_ports=2, period=0.2, tau=0.05, delta=0.01)
+        prt = PortReservationTable()
+        guard.reserve_windows(prt, 0.0, 10.0)
+        scheduler = SunflowScheduler(delta=0.01)
+        schedule = scheduler.schedule_demand(prt, 1, {(0, 1): 1.0})
+        prt.validate()
+        windows = list(guard.windows_between(0.0, 10.0))
+        for reservation in schedule.reservations:
+            for window in windows:
+                overlap = min(reservation.end, window.end) - max(
+                    reservation.start, window.start
+                )
+                assert overlap <= 1e-9
+        served = sum(r.transmit_duration for r in schedule.reservations)
+        assert served == pytest.approx(1.0)

@@ -1,0 +1,162 @@
+"""Unit tests for Sunflow intra-Coflow scheduling (Algorithm 1)."""
+
+import pytest
+
+from repro.core.bounds import circuit_lower_bound
+from repro.core.coflow import Coflow
+from repro.core.prt import PortReservationTable
+from repro.core.sunflow import ReservationOrder, SunflowScheduler
+from repro.units import GBPS, MB, MS
+
+B = 1 * GBPS
+DELTA = 10 * MS
+
+
+def schedule(coflow, delta=DELTA, order=ReservationOrder.ORDERED_PORT):
+    scheduler = SunflowScheduler(delta=delta, order=order)
+    return scheduler.schedule_coflow(coflow, bandwidth_bps=B, start_time=0.0)
+
+
+class TestSingleFlow:
+    def test_single_flow_pays_exactly_one_delta(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 125 * MB})  # 1 s of data
+        result = schedule(coflow)
+        assert result.makespan == pytest.approx(1.0 + DELTA)
+        assert len(result.reservations) == 1
+        assert result.num_setups == 1
+
+    def test_zero_delta(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 125 * MB})
+        result = schedule(coflow, delta=0.0)
+        assert result.makespan == pytest.approx(1.0)
+
+    def test_empty_demand_completes_immediately(self):
+        scheduler = SunflowScheduler(delta=DELTA)
+        result = scheduler.schedule_demand(PortReservationTable(), 1, {})
+        assert result.makespan == 0.0
+        assert result.reservations == []
+
+
+class TestStructuredCoflows:
+    def test_many_to_one_serializes_on_receiver(self):
+        """In-cast: flows share the output port, so CCT = Σ (p + δ) = TcL."""
+        demand = {(i, 9): 10 * MB for i in range(4)}
+        coflow = Coflow.from_demand(1, demand)
+        result = schedule(coflow)
+        expected = circuit_lower_bound(coflow, B, DELTA)
+        assert result.makespan == pytest.approx(expected)
+
+    def test_one_to_many_serializes_on_sender(self):
+        demand = {(3, j): 10 * MB for j in range(4)}
+        coflow = Coflow.from_demand(1, demand)
+        result = schedule(coflow)
+        assert result.makespan == pytest.approx(circuit_lower_bound(coflow, B, DELTA))
+
+    def test_one_to_one_is_optimal(self):
+        coflow = Coflow.from_demand(1, {(2, 7): 55 * MB})
+        result = schedule(coflow)
+        assert result.makespan == pytest.approx(circuit_lower_bound(coflow, B, DELTA))
+
+    def test_permutation_demand_is_fully_parallel(self):
+        """A permutation matrix needs no port sharing: CCT = max(p) + δ."""
+        demand = {(i, i): (10 + i) * MB for i in range(5)}
+        coflow = Coflow.from_demand(1, demand)
+        result = schedule(coflow)
+        assert result.makespan == pytest.approx(14 * MB * 8 / B + DELTA)
+
+    def test_figure1_coflow_within_factor_two(self, figure1_coflow):
+        result = schedule(figure1_coflow)
+        lower = circuit_lower_bound(figure1_coflow, B, DELTA)
+        assert lower <= result.makespan <= 2 * lower
+
+
+class TestNonPreemption:
+    def test_one_setup_per_flow_in_isolation(self, figure1_coflow):
+        """Intra-Coflow non-preemption: with an empty PRT each flow gets
+        exactly one contiguous reservation (the Figure 5 optimum)."""
+        result = schedule(figure1_coflow)
+        assert len(result.reservations) == figure1_coflow.num_flows
+        assert result.num_setups == figure1_coflow.num_flows
+
+    def test_reservation_covers_setup_plus_processing(self, figure1_coflow):
+        result = schedule(figure1_coflow)
+        times = figure1_coflow.processing_times(B)
+        for reservation in result.reservations:
+            expected = times[(reservation.src, reservation.dst)] + DELTA
+            assert reservation.duration == pytest.approx(expected)
+
+    def test_demand_conservation(self, figure1_coflow):
+        """Total reserved transmit time equals total demand time."""
+        result = schedule(figure1_coflow)
+        total_transmit = sum(r.transmit_duration for r in result.reservations)
+        total_demand = sum(figure1_coflow.processing_times(B).values())
+        assert total_transmit == pytest.approx(total_demand)
+
+
+class TestInterleaving:
+    def test_circuits_interleave_without_synchronized_boundaries(self):
+        """§4.1: Sunflow circuits start/stop independently — some circuit
+        must start while another is mid-transmission (not-all-stop only)."""
+        demand = {
+            (0, 5): 100 * MB,
+            (1, 5): 40 * MB,
+            (1, 6): 30 * MB,
+            (2, 6): 80 * MB,
+        }
+        result = schedule(Coflow.from_demand(1, demand))
+        starts = sorted(r.start for r in result.reservations)
+        spans = [(r.start, r.end) for r in result.reservations]
+        overlapping_start = any(
+            any(s < start < e for (s, e) in spans if (s, e) != (start_r, end_r))
+            for (start_r, end_r), start in zip(spans, starts)
+        )
+        assert overlapping_start
+
+    def test_port_constraint_held(self, figure1_coflow):
+        scheduler = SunflowScheduler(delta=DELTA)
+        prt = PortReservationTable()
+        scheduler.schedule_demand(prt, 1, figure1_coflow.processing_times(B))
+        prt.validate()
+
+
+class TestOrderings:
+    @pytest.mark.parametrize("order", list(ReservationOrder))
+    def test_all_orderings_satisfy_lemma_one(self, figure1_coflow, order):
+        result = schedule(figure1_coflow, order=order)
+        lower = circuit_lower_bound(figure1_coflow, B, DELTA)
+        assert result.makespan <= 2 * lower + 1e-9
+
+    @pytest.mark.parametrize("order", list(ReservationOrder))
+    def test_all_orderings_cover_demand(self, figure1_coflow, order):
+        result = schedule(figure1_coflow, order=order)
+        served = {}
+        for r in result.reservations:
+            served[(r.src, r.dst)] = served.get((r.src, r.dst), 0.0) + r.transmit_duration
+        for circuit, p in figure1_coflow.processing_times(B).items():
+            assert served[circuit] == pytest.approx(p)
+
+    def test_random_order_is_reproducible(self, figure1_coflow):
+        import random
+
+        first = SunflowScheduler(
+            delta=DELTA, order=ReservationOrder.RANDOM, rng=random.Random(5)
+        ).schedule_coflow(figure1_coflow, B, start_time=0.0)
+        second = SunflowScheduler(
+            delta=DELTA, order=ReservationOrder.RANDOM, rng=random.Random(5)
+        ).schedule_coflow(figure1_coflow, B, start_time=0.0)
+        assert [
+            (r.start, r.end, r.src, r.dst) for r in first.reservations
+        ] == [(r.start, r.end, r.src, r.dst) for r in second.reservations]
+
+
+class TestValidation:
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            SunflowScheduler(delta=-1.0)
+
+    def test_start_time_offsets_schedule(self, figure1_coflow):
+        scheduler = SunflowScheduler(delta=DELTA)
+        shifted = scheduler.schedule_coflow(figure1_coflow, B, start_time=5.0)
+        base = scheduler.schedule_coflow(figure1_coflow, B, start_time=0.0)
+        assert shifted.makespan == pytest.approx(base.makespan)
+        assert min(r.start for r in shifted.reservations) == pytest.approx(5.0)

@@ -1,0 +1,108 @@
+"""Tests for the §6 quantized-scheduling approximation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import circuit_lower_bound
+from repro.core.coflow import Coflow
+from repro.core.prt import PortReservationTable
+from repro.core.sunflow import SunflowScheduler
+from repro.units import GBPS, MB
+
+B = 1 * GBPS
+DELTA = 0.01
+
+
+class TestConstruction:
+    def test_quantum_validated(self):
+        with pytest.raises(ValueError):
+            SunflowScheduler(quantum=0.0)
+        with pytest.raises(ValueError):
+            SunflowScheduler(quantum=-1.0)
+
+    def test_none_means_exact(self):
+        scheduler = SunflowScheduler(delta=DELTA)
+        assert scheduler.quantum is None
+
+
+class TestRounding:
+    def test_demand_rounded_up_to_grid(self):
+        scheduler = SunflowScheduler(delta=DELTA, quantum=0.1)
+        schedule = scheduler.schedule_demand(PortReservationTable(), 1, {(0, 1): 0.25})
+        reservation = schedule.reservations[0]
+        assert reservation.transmit_duration == pytest.approx(0.3)
+
+    def test_exact_multiples_unchanged(self):
+        scheduler = SunflowScheduler(delta=DELTA, quantum=0.1)
+        schedule = scheduler.schedule_demand(PortReservationTable(), 1, {(0, 1): 0.3})
+        assert schedule.reservations[0].transmit_duration == pytest.approx(0.3)
+
+    def test_quantized_cct_never_shorter(self):
+        demand = {(0, 1): 0.123, (0, 2): 0.456, (1, 2): 0.789}
+        exact = SunflowScheduler(delta=DELTA).schedule_demand(
+            PortReservationTable(), 1, dict(demand)
+        )
+        rounded = SunflowScheduler(delta=DELTA, quantum=0.1).schedule_demand(
+            PortReservationTable(), 1, dict(demand)
+        )
+        assert rounded.makespan >= exact.makespan - 1e-9
+
+    def test_overhead_bounded_by_one_quantum_per_flow(self):
+        """Rounding adds at most one quantum per flow on the critical path,
+        so CCT grows by at most quantum × (flows on the bottleneck port)."""
+        demand = {(0, j): 0.123 for j in range(1, 6)}
+        quantum = 0.05
+        exact = SunflowScheduler(delta=DELTA).schedule_demand(
+            PortReservationTable(), 1, dict(demand)
+        )
+        rounded = SunflowScheduler(delta=DELTA, quantum=quantum).schedule_demand(
+            PortReservationTable(), 1, dict(demand)
+        )
+        assert rounded.makespan <= exact.makespan + quantum * len(demand) + 1e-9
+
+
+class TestGuaranteesSurviveQuantization:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=4),
+                st.floats(min_value=0.5, max_value=200.0),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        st.sampled_from([0.01, 0.05, 0.2]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lemma_one_on_rounded_demand(self, entries, quantum):
+        """The quantized schedule is Sunflow on the rounded demand, so
+        Lemma 1 holds against the rounded Coflow's bound."""
+        demand = {}
+        for src, dst, mb in entries:
+            demand[(src, dst)] = mb * MB
+        coflow = Coflow.from_demand(1, demand)
+        scheduler = SunflowScheduler(delta=DELTA, quantum=quantum)
+        schedule = scheduler.schedule_coflow(coflow, B, start_time=0.0)
+        rounded_times = {
+            circuit: scheduler._quantize(p)
+            for circuit, p in coflow.processing_times(B).items()
+        }
+        rounded_bound = max(
+            sum(p + DELTA for (s, d), p in rounded_times.items() if s == src)
+            for src in {s for s, _ in rounded_times}
+        )
+        # Build the rounded Coflow's circuit bound on both port sides.
+        from collections import defaultdict
+
+        loads = defaultdict(float)
+        for (src, dst), p in rounded_times.items():
+            loads[("in", src)] += p + DELTA
+            loads[("out", dst)] += p + DELTA
+        bound = max(loads.values())
+        assert schedule.makespan <= 2 * bound * (1 + 1e-9)
+        # One reservation per flow still holds (intra non-preemption).
+        assert len(schedule.reservations) == coflow.num_flows

@@ -1,0 +1,145 @@
+"""Tests for the public schedule validators."""
+
+import pytest
+
+from repro.core.coflow import Coflow
+from repro.core.prt import Reservation
+from repro.core.sunflow import CoflowSchedule, SunflowScheduler
+from repro.core.validate import (
+    ScheduleValidationError,
+    check_coverage,
+    check_lemma_one,
+    check_non_preemption,
+    check_port_constraint,
+    validate_schedule,
+)
+from repro.units import GBPS, MB, MS
+
+B = 1 * GBPS
+DELTA = 10 * MS
+
+
+def reservation(src=0, dst=1, start=0.0, end=1.0, setup=0.01, cid=1):
+    return Reservation(start=start, end=end, src=src, dst=dst, coflow_id=cid, setup=setup)
+
+
+class TestPortConstraint:
+    def test_clean_schedule_passes(self):
+        assert check_port_constraint([
+            reservation(0, 1, 0.0, 1.0),
+            reservation(0, 2, 1.0, 2.0),
+            reservation(2, 1, 1.0, 2.0),
+        ]) == []
+
+    def test_input_overlap_caught(self):
+        violations = check_port_constraint([
+            reservation(0, 1, 0.0, 1.0),
+            reservation(0, 2, 0.5, 1.5),
+        ])
+        assert len(violations) == 1
+        assert "input port 0" in violations[0]
+
+    def test_output_overlap_caught(self):
+        violations = check_port_constraint([
+            reservation(0, 1, 0.0, 1.0),
+            reservation(2, 1, 0.9, 1.5),
+        ])
+        assert "output port 1" in violations[0]
+
+
+class TestCoverage:
+    def make_schedule(self, *reservations):
+        return CoflowSchedule(coflow_id=1, start_time=0.0, reservations=list(reservations))
+
+    def test_exact_coverage_passes(self):
+        schedule = self.make_schedule(reservation(0, 1, 0.0, 1.01, setup=0.01))
+        assert check_coverage(schedule, {(0, 1): 1.0}) == []
+
+    def test_undercoverage_caught(self):
+        schedule = self.make_schedule(reservation(0, 1, 0.0, 0.51, setup=0.01))
+        violations = check_coverage(schedule, {(0, 1): 1.0})
+        assert len(violations) == 1
+        assert "served" in violations[0]
+
+    def test_split_reservations_sum(self):
+        schedule = self.make_schedule(
+            reservation(0, 1, 0.0, 0.51, setup=0.01),
+            reservation(0, 1, 1.0, 1.51, setup=0.01),
+        )
+        assert check_coverage(schedule, {(0, 1): 1.0}) == []
+
+    def test_zero_demand_ignored(self):
+        schedule = self.make_schedule()
+        assert check_coverage(schedule, {(0, 1): 0.0}) == []
+
+
+class TestNonPreemption:
+    def test_single_reservation_per_flow_passes(self):
+        schedule = CoflowSchedule(1, 0.0, [reservation(0, 1)])
+        assert check_non_preemption(schedule, {(0, 1): 0.5}) == []
+
+    def test_split_flow_caught(self):
+        schedule = CoflowSchedule(
+            1, 0.0,
+            [reservation(0, 1, 0.0, 0.5), reservation(0, 1, 1.0, 1.5)],
+        )
+        violations = check_non_preemption(schedule, {(0, 1): 0.5})
+        assert "2 reservations" in violations[0]
+
+    def test_missing_flow_caught(self):
+        schedule = CoflowSchedule(1, 0.0, [])
+        violations = check_non_preemption(schedule, {(0, 1): 0.5})
+        assert "0 reservations" in violations[0]
+
+
+class TestLemmaOne:
+    def test_real_schedule_passes(self, figure1_coflow):
+        schedule = SunflowScheduler(delta=DELTA).schedule_coflow(
+            figure1_coflow, B, start_time=0.0
+        )
+        assert check_lemma_one(schedule, figure1_coflow, B, DELTA) == []
+
+    def test_bloated_schedule_caught(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 10 * MB})
+        slow = CoflowSchedule(
+            1, 0.0, [reservation(0, 1, 0.0, 10.0, setup=0.01)]
+        )
+        violations = check_lemma_one(slow, coflow, B, DELTA)
+        assert "Lemma 1" in violations[0]
+
+
+class TestValidateSchedule:
+    def test_sunflow_output_always_validates(self, figure1_coflow):
+        schedule = SunflowScheduler(delta=DELTA).schedule_coflow(
+            figure1_coflow, B, start_time=0.0
+        )
+        assert validate_schedule(schedule, figure1_coflow, B, DELTA) == []
+
+    def test_raises_with_all_violations(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 100 * MB, (2, 3): 10 * MB})
+        broken = CoflowSchedule(1, 0.0, [reservation(0, 1, 0.0, 0.2, setup=0.01)])
+        with pytest.raises(ScheduleValidationError) as excinfo:
+            validate_schedule(broken, coflow, B, DELTA)
+        text = str(excinfo.value)
+        assert "served" in text  # coverage violation
+        assert "0 reservations" in text  # missing flow
+
+    def test_collect_mode_returns_violations(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 100 * MB})
+        broken = CoflowSchedule(1, 0.0, [])
+        violations = validate_schedule(
+            broken, coflow, B, DELTA, raise_on_error=False
+        )
+        assert violations
+
+    def test_inter_coflow_schedules_skip_isolated_checks(self):
+        """Gap-truncated (split) schedules are legal under interference."""
+        coflow = Coflow.from_demand(1, {(0, 1): 125 * MB})
+        split = CoflowSchedule(
+            1, 0.0,
+            [
+                reservation(0, 1, 0.0, 0.51, setup=0.01),
+                reservation(0, 1, 1.0, 1.51, setup=0.01),
+            ],
+        )
+        assert validate_schedule(split, coflow, B, DELTA, isolated=False) == []

@@ -1,0 +1,179 @@
+"""Integration tests: the paper's headline claims at reduced scale.
+
+Each test replays a seeded Facebook-like trace end-to-end through the full
+stack (workload → scheduler → simulator → analysis) and asserts the
+*shape* of a published result.  Absolute numbers differ from the paper —
+the trace is synthetic and smaller — but orderings, bounds and qualitative
+relationships must hold.
+"""
+
+import pytest
+
+from repro.core.sunflow import ReservationOrder
+from repro.schedulers import EdmondScheduler, SolsticeScheduler, TmsScheduler
+from repro.sim import (
+    AaloAllocator,
+    VarysAllocator,
+    mean,
+    simulate_inter_sunflow,
+    simulate_intra_assignment,
+    simulate_intra_sunflow,
+    simulate_packet,
+)
+from repro.units import GBPS, MS
+from repro.workloads import FacebookLikeTraceGenerator, GeneratorConfig, perturb_sizes
+
+B = 1 * GBPS
+DELTA = 10 * MS
+
+
+@pytest.fixture(scope="module")
+def trace():
+    config = GeneratorConfig(
+        num_ports=30, num_coflows=40, max_width=12, mean_interarrival=2.0, seed=42
+    )
+    return perturb_sizes(FacebookLikeTraceGenerator(config).generate(), seed=42)
+
+
+@pytest.fixture(scope="module")
+def sunflow_intra(trace):
+    return simulate_intra_sunflow(trace, B, DELTA)
+
+
+@pytest.fixture(scope="module")
+def solstice_intra(trace):
+    return simulate_intra_assignment(trace, SolsticeScheduler(), B, DELTA)
+
+
+class TestSection53IntraCoflow:
+    def test_sunflow_near_optimal(self, sunflow_intra):
+        """§5.3.1: Sunflow CCT/TcL ≈ 1.03 on average; always < 2."""
+        ratios = [r.cct_over_circuit_lower for r in sunflow_intra.records]
+        assert mean(ratios) < 1.15
+        assert max(ratios) < 2.0
+
+    def test_solstice_worse_than_sunflow(self, sunflow_intra, solstice_intra):
+        """§5.3.1: Solstice averages well above Sunflow (1.48 vs 1.03)."""
+        sunflow_avg = mean([r.cct_over_circuit_lower for r in sunflow_intra.records])
+        solstice_avg = mean([r.cct_over_circuit_lower for r in solstice_intra.records])
+        assert solstice_avg > sunflow_avg * 1.15
+
+    def test_sunflow_switching_always_minimal(self, sunflow_intra):
+        """Figure 5: Sunflow's switching count equals |C| for every Coflow."""
+        assert all(r.normalized_switching == 1.0 for r in sunflow_intra.records)
+
+    def test_solstice_switching_above_minimum(self, solstice_intra):
+        """Figure 5: Solstice schedules multiple switchings per subflow for
+        dense Coflows."""
+        m2m = [r for r in solstice_intra.records if r.category.value == "M2M"]
+        assert mean([r.normalized_switching for r in m2m]) > 1.5
+
+    def test_solstice_switching_grows_with_subflow_count(self, solstice_intra):
+        """§5.3.1: Solstice schedules more switchings per subflow as |C|
+        grows (paper: linear correlation 0.84).  The overhead saturates at
+        the threshold-cascade depth for very wide Coflows, so the trend is
+        asserted on halves: wide M2M Coflows pay more per subflow than
+        narrow ones."""
+        m2m = sorted(
+            (r for r in solstice_intra.records if r.category.value == "M2M"),
+            key=lambda r: r.num_flows,
+        )
+        assert len(m2m) >= 4
+        half = len(m2m) // 2
+        narrow = sum(r.normalized_switching for r in m2m[:half]) / half
+        wide = sum(r.normalized_switching for r in m2m[half:]) / (len(m2m) - half)
+        assert wide > narrow
+
+    def test_intra_baseline_ordering(self, trace, solstice_intra):
+        """§5.2: Solstice beats TMS (≈2×) and Edmond (≈6×) on average."""
+        tms = simulate_intra_assignment(trace, TmsScheduler(), B, DELTA)
+        edmond = simulate_intra_assignment(trace, EdmondScheduler(), B, DELTA)
+        solstice_ccts = solstice_intra.by_id()
+        tms_ratio = mean(
+            [tms.by_id()[c].cct / solstice_ccts[c].cct for c in solstice_ccts]
+        )
+        edmond_ratio = mean(
+            [edmond.by_id()[c].cct / solstice_ccts[c].cct for c in solstice_ccts]
+        )
+        assert tms_ratio > 1.2
+        assert edmond_ratio > tms_ratio
+
+    def test_ordering_insensitivity(self, trace, sunflow_intra):
+        """§5.3.1: Random and SortedDemand orderings land within a few
+        percent of OrderedPort."""
+        base = sunflow_intra.average_cct()
+        for order in (ReservationOrder.RANDOM, ReservationOrder.SORTED_DEMAND):
+            other = simulate_intra_sunflow(trace, B, DELTA, order=order)
+            assert other.average_cct() == pytest.approx(base, rel=0.10)
+
+    def test_delta_sensitivity_direction(self, trace):
+        """Figure 6: slower switches hurt; faster switches help, with
+        diminishing returns below ~1 ms."""
+        base = simulate_intra_sunflow(trace, B, 10 * MS).average_cct()
+        slow = simulate_intra_sunflow(trace, B, 100 * MS).average_cct()
+        fast = simulate_intra_sunflow(trace, B, 1 * MS).average_cct()
+        fastest = simulate_intra_sunflow(trace, B, 10 * 1e-6).average_cct()
+        assert slow > base > fast > fastest
+        # Diminishing returns: 10 ms -> 1 ms gains much more than 1 ms -> 10 µs.
+        assert (base - fast) > (fast - fastest)
+
+
+class TestSection532PacketBound:
+    def test_long_coflows_near_packet_bound(self, trace, sunflow_intra):
+        """§5.3.2: long Coflows (p_avg > 40δ) get CCT/TpL ≈ 1.09."""
+        long_ids = {
+            c.coflow_id for c in trace if c.is_long(B, DELTA)
+        }
+        assert long_ids, "fixture should contain long coflows"
+        ratios = [
+            r.cct_over_packet_lower
+            for r in sunflow_intra.records
+            if r.coflow_id in long_ids
+        ]
+        assert mean(ratios) < 1.35
+
+    def test_rank_correlation_with_pavg_negative(self, sunflow_intra):
+        """§5.3.2: CCT/TpL falls as p_avg grows (paper: ρ = -0.96)."""
+        from repro.analysis import spearman
+
+        xs = [r.average_processing_time for r in sunflow_intra.records]
+        ys = [r.cct_over_packet_lower for r in sunflow_intra.records]
+        assert spearman(xs, ys) < -0.5
+
+
+class TestSection54InterCoflow:
+    @pytest.fixture(scope="class")
+    def reports(self, trace):
+        return {
+            "sunflow": simulate_inter_sunflow(trace, B, DELTA),
+            "varys": simulate_packet(trace, VarysAllocator(), B),
+            "aalo": simulate_packet(trace, AaloAllocator(), B),
+        }
+
+    def test_all_complete_everywhere(self, trace, reports):
+        for report in reports.values():
+            assert len(report) == len(trace)
+
+    def test_average_cct_comparable_to_varys(self, reports):
+        """§5.4 headline: under moderate load, Sunflow's average CCT is
+        within ~1.1× of Varys (paper: ≤1.01×)."""
+        ratio = reports["sunflow"].average_cct() / reports["varys"].average_cct()
+        assert ratio < 1.2
+
+    def test_average_cct_not_worse_than_aalo(self, reports):
+        """§5.4: Sunflow averages at or below Aalo (paper: 0.83×)."""
+        ratio = reports["sunflow"].average_cct() / reports["aalo"].average_cct()
+        assert ratio < 1.05
+
+    def test_per_coflow_ratio_penalizes_short_coflows(self, trace, reports):
+        """§5.4: the CCT-ratio metric disfavors Sunflow on short Coflows
+        (circuit setup dominates) but not on long ones."""
+        sunflow, varys = reports["sunflow"].by_id(), reports["varys"].by_id()
+        long_ids = {c.coflow_id for c in trace if c.is_long(B, DELTA)}
+        short_ratios = [
+            sunflow[c].cct / varys[c].cct for c in sunflow if c not in long_ids
+        ]
+        long_ratios = [
+            sunflow[c].cct / varys[c].cct for c in sunflow if c in long_ids
+        ]
+        assert mean(short_ratios) > mean(long_ratios)

@@ -1,0 +1,102 @@
+"""Tests for the assignment-schedule abstractions."""
+
+import pytest
+
+from repro.schedulers.base import (
+    Assignment,
+    AssignmentSchedule,
+    AssignmentScheduler,
+    compact_demand,
+)
+
+
+class TestAssignment:
+    def test_valid_matching_accepted(self):
+        assignment = Assignment(circuits=((0, 1), (1, 0)), duration=1.0)
+        assert assignment.circuit_set == frozenset({(0, 1), (1, 0)})
+
+    def test_duplicate_source_rejected(self):
+        with pytest.raises(ValueError, match="matching"):
+            Assignment(circuits=((0, 1), (0, 2)), duration=1.0)
+
+    def test_duplicate_destination_rejected(self):
+        with pytest.raises(ValueError, match="matching"):
+            Assignment(circuits=((0, 1), (2, 1)), duration=1.0)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Assignment(circuits=((0, 1),), duration=0.0)
+
+    def test_empty_assignment_allowed(self):
+        # Valid: an assignment whose circuits all served dummy pad ports.
+        Assignment(circuits=(), duration=1.0)
+
+
+class TestAssignmentSchedule:
+    def make(self):
+        return AssignmentSchedule(
+            assignments=[
+                Assignment(circuits=((0, 1), (1, 0)), duration=2.0),
+                Assignment(circuits=((0, 1),), duration=1.0),
+            ]
+        )
+
+    def test_totals(self):
+        schedule = self.make()
+        assert schedule.num_assignments == 2
+        assert schedule.total_transmission_time == pytest.approx(3.0)
+
+    def test_service_per_circuit(self):
+        service = self.make().service_per_circuit()
+        assert service == {(0, 1): 3.0, (1, 0): 2.0}
+
+    def test_covers(self):
+        schedule = self.make()
+        assert schedule.covers({(0, 1): 3.0, (1, 0): 1.5})
+        assert not schedule.covers({(0, 1): 3.5})
+        assert not schedule.covers({(2, 2): 0.1})
+        assert schedule.covers({(2, 2): 0.0})  # zero demand needs no service
+
+
+class TestDemandMatrix:
+    def test_densify(self):
+        matrix = AssignmentScheduler.demand_matrix({(0, 2): 1.0, (1, 1): 2.0}, 3)
+        assert matrix == [[0.0, 0.0, 1.0], [0.0, 2.0, 0.0], [0.0, 0.0, 0.0]]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            AssignmentScheduler.demand_matrix({(0, 5): 1.0}, 3)
+
+    def test_used_ports(self):
+        sources, destinations = AssignmentScheduler.used_ports(
+            {(3, 1): 1.0, (0, 1): 2.0, (5, 9): 0.0}
+        )
+        assert sources == [0, 3]
+        assert destinations == [1]
+
+
+class TestCompactDemand:
+    def test_square_case(self):
+        matrix, src_labels, dst_labels = compact_demand({(10, 20): 1.0, (11, 21): 2.0})
+        assert len(matrix) == 2
+        assert src_labels == [10, 11]
+        assert dst_labels == [20, 21]
+        assert matrix[0][0] == 1.0
+        assert matrix[1][1] == 2.0
+
+    def test_rectangular_demand_padded_with_virtual_ports(self):
+        # 1 source, 3 destinations: matrix is 3x3 with 2 virtual sources.
+        matrix, src_labels, dst_labels = compact_demand(
+            {(5, 0): 1.0, (5, 1): 1.0, (5, 2): 1.0}
+        )
+        assert len(matrix) == 3
+        assert src_labels[0] == 5
+        assert src_labels[1] < 0 and src_labels[2] < 0
+        assert dst_labels == [0, 1, 2]
+        assert sum(matrix[0]) == pytest.approx(3.0)
+        assert sum(matrix[1]) == 0.0
+
+    def test_zero_entries_ignored(self):
+        matrix, src_labels, dst_labels = compact_demand({(0, 0): 0.0})
+        assert matrix == []
+        assert src_labels == []

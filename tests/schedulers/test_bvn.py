@@ -1,0 +1,76 @@
+"""Tests for the pure-BvN scheduler (the δ = 0 optimum of §2.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import packet_lower_bound
+from repro.core.coflow import Coflow
+from repro.schedulers.bvn import BvnScheduler
+from repro.sim.assignment_exec import execute_assignments
+from repro.units import GBPS, MB
+
+B = 1 * GBPS
+
+
+@st.composite
+def sparse_demands(draw, max_ports=5, max_flows=8):
+    num_flows = draw(st.integers(min_value=1, max_value=max_flows))
+    demand = {}
+    for _ in range(num_flows):
+        src = draw(st.integers(min_value=0, max_value=max_ports - 1))
+        dst = draw(st.integers(min_value=0, max_value=max_ports - 1))
+        demand[(src, dst)] = draw(st.floats(min_value=0.01, max_value=5.0))
+    return demand
+
+
+class TestShape:
+    def test_empty_demand(self):
+        assert BvnScheduler().schedule({}, 4).assignments == []
+
+    def test_permutation_demand_single_assignment(self):
+        demand = {(i, i): 2.0 for i in range(3)}
+        schedule = BvnScheduler().schedule(demand, 3)
+        assert schedule.covers(demand)
+        # No stuffing needed, exact decomposition: one term.
+        assert schedule.num_assignments == 1
+
+    def test_assignments_are_matchings(self):
+        demand = {(0, 1): 2.0, (1, 0): 1.0, (0, 0): 0.5}
+        for assignment in BvnScheduler().schedule(demand, 2).assignments:
+            sources = [src for src, _ in assignment.circuits]
+            destinations = [dst for _, dst in assignment.circuits]
+            assert len(set(sources)) == len(sources)
+            assert len(set(destinations)) == len(destinations)
+
+
+class TestOptimalityAtZeroDelta:
+    @given(sparse_demands())
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_equals_packet_bound_at_zero_delta(self, demand):
+        """§2.3: BvN is optimal at δ = 0 — the executed schedule finishes
+        exactly at the bottleneck-port load T^p_L."""
+        schedule = BvnScheduler().schedule(demand, 5)
+        result = execute_assignments(schedule, demand, delta=0.0)
+        assert result.finished
+        coflow = Coflow.from_demand(1, {k: v * B / 8 for k, v in demand.items()})
+        assert result.completion_time <= packet_lower_bound(coflow, B) * (1 + 1e-6)
+
+    @given(sparse_demands())
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_always_covers_demand(self, demand):
+        assert BvnScheduler().schedule(demand, 5).covers(demand)
+
+    def test_collapses_at_positive_delta(self):
+        """The §3.1 critique: at δ > 0 the preemptive decomposition pays a
+        reconfiguration per assignment and loses to the bound badly when
+        the matrix is dense."""
+        import random
+
+        rng = random.Random(4)
+        demand = {(i, j): rng.uniform(0.02, 0.2) for i in range(4) for j in range(4)}
+        schedule = BvnScheduler().schedule(demand, 4)
+        result = execute_assignments(schedule, demand, delta=0.05)
+        coflow = Coflow.from_demand(1, {k: v * B / 8 for k, v in demand.items()})
+        bound = packet_lower_bound(coflow, B)
+        assert result.completion_time > 1.3 * bound

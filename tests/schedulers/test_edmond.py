@@ -1,0 +1,74 @@
+"""Tests for the Edmond (max-weight matching per slot) baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.edmond import EdmondScheduler
+
+
+@st.composite
+def sparse_demands(draw, max_ports=5, max_flows=8):
+    num_flows = draw(st.integers(min_value=1, max_value=max_flows))
+    demand = {}
+    for _ in range(num_flows):
+        src = draw(st.integers(min_value=0, max_value=max_ports - 1))
+        dst = draw(st.integers(min_value=0, max_value=max_ports - 1))
+        demand[(src, dst)] = draw(st.floats(min_value=0.01, max_value=3.0))
+    return demand
+
+
+class TestConfiguration:
+    def test_slot_duration_validated(self):
+        with pytest.raises(ValueError):
+            EdmondScheduler(slot_duration=0.0)
+
+    def test_empty_demand(self):
+        assert EdmondScheduler().schedule({}, 4).assignments == []
+
+
+class TestSlotting:
+    def test_small_demand_occupies_full_slot(self):
+        """Slots are fixed externally: demand smaller than a slot still
+        holds the circuit for the whole slot (the paper's inefficiency)."""
+        schedule = EdmondScheduler(slot_duration=0.1).schedule({(0, 1): 0.03}, 4)
+        assert schedule.num_assignments == 1
+        assert schedule.assignments[0].duration == pytest.approx(0.1)
+
+    def test_long_flow_needs_multiple_slots(self):
+        schedule = EdmondScheduler(slot_duration=0.1).schedule({(0, 1): 0.35}, 4)
+        # 0.35 s at 0.1 s slots -> 4 assignments (3 full + 1 remainder).
+        assert schedule.num_assignments == 4
+        assert schedule.covers({(0, 1): 0.35})
+
+    def test_parallel_flows_share_slots(self):
+        demand = {(0, 1): 0.1, (1, 0): 0.1}
+        schedule = EdmondScheduler(slot_duration=0.1).schedule(demand, 4)
+        assert schedule.num_assignments == 1
+        assert set(schedule.assignments[0].circuits) == {(0, 1), (1, 0)}
+
+    def test_matching_prefers_heavier_total(self):
+        """The max-weight matching picks the heavier of two conflicting
+        configurations first."""
+        demand = {(0, 0): 5.0, (0, 1): 0.1, (1, 0): 0.1}
+        schedule = EdmondScheduler(slot_duration=10.0).schedule(demand, 2)
+        first = schedule.assignments[0]
+        assert (0, 0) in first.circuits
+
+
+class TestCoverage:
+    @given(sparse_demands())
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_always_covers_demand(self, demand):
+        schedule = EdmondScheduler(slot_duration=0.25).schedule(demand, 5)
+        assert schedule.covers(demand)
+
+    @given(sparse_demands())
+    @settings(max_examples=60, deadline=None)
+    def test_assignments_are_matchings(self, demand):
+        schedule = EdmondScheduler(slot_duration=0.25).schedule(demand, 5)
+        for assignment in schedule.assignments:
+            sources = [src for src, _ in assignment.circuits]
+            destinations = [dst for _, dst in assignment.circuits]
+            assert len(set(sources)) == len(sources)
+            assert len(set(destinations)) == len(destinations)

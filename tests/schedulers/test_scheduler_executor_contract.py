@@ -1,0 +1,98 @@
+"""Cross-cutting contract tests: every assignment scheduler's output must
+execute to completion under both switch models, and the executed makespan
+must respect the theoretical floor.
+
+These fuzz the scheduler ⇄ executor boundary that the per-scheduler test
+files only probe pointwise.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers import (
+    BvnScheduler,
+    EdmondScheduler,
+    SolsticeScheduler,
+    TmsScheduler,
+)
+from repro.sim.assignment_exec import SwitchModel, execute_assignments
+
+SCHEDULERS = [
+    SolsticeScheduler(),
+    TmsScheduler(),
+    EdmondScheduler(slot_duration=0.2),
+    BvnScheduler(),
+]
+
+
+@st.composite
+def sparse_demands(draw, max_ports=5, max_flows=7):
+    num_flows = draw(st.integers(min_value=1, max_value=max_flows))
+    demand = {}
+    for _ in range(num_flows):
+        src = draw(st.integers(min_value=0, max_value=max_ports - 1))
+        dst = draw(st.integers(min_value=0, max_value=max_ports - 1))
+        demand[(src, dst)] = draw(st.floats(min_value=0.01, max_value=3.0))
+    return demand
+
+
+def bottleneck(demand):
+    loads = {}
+    for (src, dst), p in demand.items():
+        loads[("in", src)] = loads.get(("in", src), 0.0) + p
+        loads[("out", dst)] = loads.get(("out", dst), 0.0) + p
+    return max(loads.values())
+
+
+class TestExecutionContract:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS, ids=lambda s: s.name)
+    @given(demand=sparse_demands())
+    @settings(max_examples=25, deadline=None)
+    def test_every_schedule_finishes_under_not_all_stop(self, scheduler, demand):
+        schedule = scheduler.schedule(dict(demand), 5)
+        result = execute_assignments(schedule, demand, delta=0.01)
+        assert result.finished
+        # Physical floor: nothing beats the bottleneck-port load.
+        assert result.completion_time >= bottleneck(demand) * (1 - 1e-9)
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS, ids=lambda s: s.name)
+    @given(demand=sparse_demands())
+    @settings(max_examples=15, deadline=None)
+    def test_all_stop_never_beats_not_all_stop(self, scheduler, demand):
+        schedule = scheduler.schedule(dict(demand), 5)
+        fast = execute_assignments(
+            schedule, demand, delta=0.01, model=SwitchModel.NOT_ALL_STOP
+        )
+        slow = execute_assignments(
+            schedule, demand, delta=0.01, model=SwitchModel.ALL_STOP
+        )
+        assert fast.finished
+        if slow.finished:
+            assert slow.completion_time >= fast.completion_time - 1e-9
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS, ids=lambda s: s.name)
+    @given(demand=sparse_demands())
+    @settings(max_examples=15, deadline=None)
+    def test_switching_count_at_least_flow_count(self, scheduler, demand):
+        """Every flow needs at least one circuit establishment."""
+        schedule = scheduler.schedule(dict(demand), 5)
+        result = execute_assignments(schedule, demand, delta=0.01)
+        distinct_circuits_used = {
+            circuit for assignment in schedule.assignments
+            for circuit in assignment.circuits
+        }
+        demanded = {c for c, p in demand.items() if p > 0}
+        assert demanded <= distinct_circuits_used
+        assert result.switching_count >= len(demanded)
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS, ids=lambda s: s.name)
+    @given(demand=sparse_demands())
+    @settings(max_examples=15, deadline=None)
+    def test_zero_delta_execution_matches_planned_service(self, scheduler, demand):
+        """At δ = 0 the executed completion is within the planned total
+        transmission time (preemption is free)."""
+        schedule = scheduler.schedule(dict(demand), 5)
+        result = execute_assignments(schedule, demand, delta=0.0)
+        assert result.finished
+        assert result.completion_time <= schedule.total_transmission_time + 1e-9

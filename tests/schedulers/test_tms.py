@@ -1,0 +1,73 @@
+"""Tests for the TMS baseline scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers.tms import TmsScheduler
+
+
+@st.composite
+def sparse_demands(draw, max_ports=5, max_flows=8):
+    num_flows = draw(st.integers(min_value=1, max_value=max_flows))
+    demand = {}
+    for _ in range(num_flows):
+        src = draw(st.integers(min_value=0, max_value=max_ports - 1))
+        dst = draw(st.integers(min_value=0, max_value=max_ports - 1))
+        demand[(src, dst)] = draw(st.floats(min_value=0.01, max_value=5.0))
+    return demand
+
+
+class TestScheduleShape:
+    def test_empty_demand(self):
+        assert TmsScheduler().schedule({}, 4).assignments == []
+
+    def test_permutation_demand_dominated_by_one_assignment(self):
+        """A permutation demand decomposes into one dominant assignment plus
+        short slots created by the zero-fill pre-processing."""
+        demand = {(i, i): 2.0 for i in range(3)}
+        schedule = TmsScheduler().schedule(demand, 3)
+        assert schedule.covers(demand)
+        longest = max(a.duration for a in schedule.assignments)
+        assert longest >= 2.0
+        assert longest / schedule.total_transmission_time > 0.9
+
+    def test_covers_uniform_demand(self):
+        demand = {(i, j): 1.0 for i in range(3) for j in range(3)}
+        schedule = TmsScheduler().schedule(demand, 3)
+        assert schedule.covers(demand)
+
+    def test_assignments_are_matchings(self):
+        demand = {(0, 1): 2.0, (1, 0): 1.0, (0, 0): 0.5}
+        for assignment in TmsScheduler().schedule(demand, 2).assignments:
+            sources = [src for src, _ in assignment.circuits]
+            assert len(set(sources)) == len(sources)
+
+
+class TestOverservice:
+    def test_skewed_demand_is_overserved(self):
+        """The paper's critique: the zero-fill + Sinkhorn pre-processing
+        misshapes skewed demand, so TMS spends far more circuit-time than
+        the bottleneck load requires."""
+        demand = {(0, 0): 1.0, (0, 1): 1.0, (1, 0): 1.0}
+        schedule = TmsScheduler().schedule(demand, 2)
+        assert schedule.covers(demand)
+        bottleneck = 2.0  # input 0 and output 0 each carry 2 s
+        assert schedule.total_transmission_time > 2 * bottleneck
+
+    @given(sparse_demands())
+    @settings(max_examples=50, deadline=None)
+    def test_schedule_always_covers_demand(self, demand):
+        schedule = TmsScheduler().schedule(demand, 5)
+        assert schedule.covers(demand)
+
+    @given(sparse_demands())
+    @settings(max_examples=50, deadline=None)
+    def test_total_time_at_least_bottleneck(self, demand):
+        """No schedule can beat the busiest-port load."""
+        schedule = TmsScheduler().schedule(demand, 5)
+        loads = {}
+        for (src, dst), p in demand.items():
+            loads[("in", src)] = loads.get(("in", src), 0.0) + p
+            loads[("out", dst)] = loads.get(("out", dst), 0.0) + p
+        assert schedule.total_transmission_time >= max(loads.values()) * (1 - 1e-9)

@@ -1,0 +1,163 @@
+"""Tests for the Aalo (D-CLAS) rate allocator."""
+
+import math
+
+import pytest
+
+from repro.core.coflow import Coflow, CoflowTrace
+from repro.sim.aalo import AaloAllocator
+from repro.sim.packet_sim import PacketCoflowState, simulate_packet
+from repro.units import GBPS, MB
+
+B = 1 * GBPS
+
+
+def seconds(mb):
+    return mb * MB * 8 / B
+
+
+def state_of(coflow, sent_seconds=0.0):
+    state = PacketCoflowState(
+        coflow=coflow, remaining=dict(coflow.processing_times(B))
+    )
+    state.sent_seconds = sent_seconds
+    return state
+
+
+def trace_of(*coflows, num_ports=8):
+    return CoflowTrace(num_ports=num_ports, coflows=list(coflows))
+
+
+class TestQueueMachinery:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            AaloAllocator(initial_threshold_bytes=0)
+        with pytest.raises(ValueError):
+            AaloAllocator(multiplier=1.0)
+        with pytest.raises(ValueError):
+            AaloAllocator(discipline="bogus")
+
+    def test_fresh_coflow_in_queue_zero(self):
+        allocator = AaloAllocator()
+        coflow = Coflow.from_demand(1, {(0, 1): 1 * MB})
+        assert allocator.queue_of(state_of(coflow), B) == 0
+
+    def test_demotion_after_threshold(self):
+        allocator = AaloAllocator(initial_threshold_bytes=10 * MB)
+        coflow = Coflow.from_demand(1, {(0, 1): 1000 * MB})
+        past_first = state_of(coflow, sent_seconds=seconds(15))
+        assert allocator.queue_of(past_first, B) == 1
+        past_second = state_of(coflow, sent_seconds=seconds(150))
+        assert allocator.queue_of(past_second, B) == 2
+
+    def test_lowest_queue_is_terminal(self):
+        allocator = AaloAllocator(num_queues=3)
+        coflow = Coflow.from_demand(1, {(0, 1): 1 * MB})
+        state = state_of(coflow, sent_seconds=seconds(10**9))
+        assert allocator.queue_of(state, B) == 2
+
+    def test_threshold_seconds_scaling(self):
+        allocator = AaloAllocator(initial_threshold_bytes=10 * MB, multiplier=10)
+        assert allocator.threshold_seconds(0, B) == pytest.approx(seconds(10))
+        assert allocator.threshold_seconds(2, B) == pytest.approx(seconds(1000))
+
+
+class TestAllocation:
+    def test_equal_split_within_coflow(self):
+        """Sizes unknown: a Coflow's flows from one port share it evenly."""
+        allocator = AaloAllocator()
+        coflow = Coflow.from_demand(1, {(0, 1): 100 * MB, (0, 2): 1 * MB})
+        rates = allocator.allocate([state_of(coflow)], 8, B)
+        assert rates[(1, 0, 1)] == pytest.approx(0.5)
+        assert rates[(1, 0, 2)] == pytest.approx(0.5)
+
+    def test_higher_queue_preempts_lower(self):
+        allocator = AaloAllocator()
+        fresh = Coflow.from_demand(1, {(0, 1): 100 * MB})
+        old = Coflow.from_demand(2, {(0, 2): 100 * MB})
+        rates = allocator.allocate(
+            [state_of(fresh), state_of(old, sent_seconds=seconds(500))], 8, B
+        )
+        assert rates[(1, 0, 1)] == pytest.approx(1.0)
+        assert (2, 0, 2) not in rates
+
+    def test_fifo_within_queue(self):
+        allocator = AaloAllocator()
+        early = Coflow.from_demand(1, {(0, 1): 100 * MB}, arrival_time=0.0)
+        late = Coflow.from_demand(2, {(0, 2): 100 * MB}, arrival_time=1.0)
+        rates = allocator.allocate([state_of(late), state_of(early)], 8, B)
+        assert rates[(1, 0, 1)] == pytest.approx(1.0)
+        assert (2, 0, 2) not in rates
+
+    def test_weighted_discipline_respects_capacity(self):
+        allocator = AaloAllocator(discipline="weighted")
+        coflows = [
+            Coflow.from_demand(i, {(0, i): 100 * MB}, arrival_time=float(i))
+            for i in range(1, 4)
+        ]
+        rates = allocator.allocate([state_of(c) for c in coflows], 8, B)
+        assert sum(rates.values()) <= 1.0 + 1e-9
+        # Work conservation: the full input port is used.
+        assert sum(rates.values()) == pytest.approx(1.0)
+
+    def test_work_conserving_on_disjoint_ports(self):
+        allocator = AaloAllocator()
+        a = Coflow.from_demand(1, {(0, 1): 10 * MB})
+        b = Coflow.from_demand(2, {(2, 3): 10 * MB}, arrival_time=1.0)
+        rates = allocator.allocate(
+            [state_of(a), state_of(b, sent_seconds=seconds(50))], 8, B
+        )
+        assert rates[(1, 0, 1)] == pytest.approx(1.0)
+        assert rates[(2, 2, 3)] == pytest.approx(1.0)
+
+
+class TestQueueCrossingEvents:
+    def test_crossing_time_computed(self):
+        allocator = AaloAllocator(initial_threshold_bytes=10 * MB)
+        coflow = Coflow.from_demand(1, {(0, 1): 100 * MB})
+        state = state_of(coflow)
+        rates = allocator.allocate([state], 8, B)
+        crossing = allocator.extra_event_time([state], rates, now=0.0, bandwidth_bps=B)
+        assert crossing == pytest.approx(seconds(10))
+
+    def test_no_crossing_for_terminal_queue(self):
+        allocator = AaloAllocator(num_queues=2, initial_threshold_bytes=1 * MB)
+        coflow = Coflow.from_demand(1, {(0, 1): 100 * MB})
+        state = state_of(coflow, sent_seconds=seconds(50))
+        rates = allocator.allocate([state], 8, B)
+        assert math.isinf(
+            allocator.extra_event_time([state], rates, now=0.0, bandwidth_bps=B)
+        )
+
+
+class TestEndToEnd:
+    def test_trace_replay_completes(self, small_trace):
+        report = simulate_packet(small_trace, AaloAllocator(), B)
+        assert len(report) == len(small_trace)
+
+    def test_small_coflow_overtakes_demoted_big_one(self):
+        """D-CLAS behaviour: the big Coflow is demoted once it crosses the
+        first threshold, letting a later small Coflow finish promptly."""
+        big = Coflow.from_demand(1, {(0, 1): 500 * MB}, arrival_time=0.0)
+        small = Coflow.from_demand(2, {(0, 2): 5 * MB}, arrival_time=1.0)
+        report = simulate_packet(trace_of(big, small), AaloAllocator(), B).by_id()
+        # The big one has sent >10 MB by t=1.0 (queue 1); small is queue 0.
+        assert report[2].cct == pytest.approx(seconds(5))
+        assert report[1].cct >= seconds(500)
+
+    def test_aalo_hurts_large_coflows_versus_varys(self, small_trace):
+        """§5.4: Aalo's size-blind equal split delays the longest subflow of
+        big Coflows; Varys (clairvoyant) finishes them sooner on average."""
+        from repro.sim.varys import VarysAllocator
+
+        aalo = simulate_packet(small_trace, AaloAllocator(), B).by_id()
+        varys = simulate_packet(small_trace, VarysAllocator(), B).by_id()
+        big_ids = [
+            c.coflow_id
+            for c in small_trace
+            if c.num_flows > 1 and c.total_bytes > 100 * MB
+        ]
+        assert big_ids, "fixture should contain large multi-flow coflows"
+        aalo_avg = sum(aalo[i].cct for i in big_ids) / len(big_ids)
+        varys_avg = sum(varys[i].cct for i in big_ids) / len(big_ids)
+        assert varys_avg <= aalo_avg * 1.1

@@ -1,0 +1,117 @@
+"""Tests for the assignment-schedule executor (all-stop vs not-all-stop)."""
+
+import pytest
+
+from repro.schedulers.base import Assignment, AssignmentSchedule
+from repro.sim.assignment_exec import SwitchModel, execute_assignments
+
+DELTA = 0.01
+
+
+def schedule_of(*assignments):
+    return AssignmentSchedule(assignments=list(assignments))
+
+
+class TestSingleAssignment:
+    def test_single_circuit(self):
+        schedule = schedule_of(Assignment(circuits=((0, 1),), duration=1.0))
+        result = execute_assignments(schedule, {(0, 1): 1.0}, DELTA)
+        assert result.completion_time == pytest.approx(1.0 + DELTA)
+        assert result.switching_count == 1
+        assert result.finished
+
+    def test_demand_finishing_early_in_slot(self):
+        schedule = schedule_of(Assignment(circuits=((0, 1),), duration=1.0))
+        result = execute_assignments(schedule, {(0, 1): 0.4}, DELTA)
+        assert result.completion_time == pytest.approx(0.4 + DELTA)
+
+    def test_empty_demand(self):
+        result = execute_assignments(schedule_of(), {}, DELTA)
+        assert result.completion_time == 0.0
+        assert result.switching_count == 0
+
+    def test_uncovered_demand_reports_unfinished(self):
+        schedule = schedule_of(Assignment(circuits=((0, 1),), duration=0.5))
+        result = execute_assignments(schedule, {(0, 1): 1.0}, DELTA)
+        assert not result.finished
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            execute_assignments(schedule_of(), {}, -0.1)
+
+
+class TestReconfigurationAccounting:
+    def two_assignment_schedule(self):
+        return schedule_of(
+            Assignment(circuits=((0, 1), (1, 0)), duration=1.0),
+            Assignment(circuits=((0, 1), (1, 2)), duration=1.0),
+        )
+
+    def test_not_all_stop_persistent_circuit_transmits_through_reconfig(self):
+        # Circuit (0,1) persists across both assignments; under not-all-stop
+        # it also transmits during the second reconfiguration δ.
+        demand = {(0, 1): 2.0 + DELTA, (1, 0): 1.0, (1, 2): 1.0}
+        result = execute_assignments(
+            self.two_assignment_schedule(), demand, DELTA, SwitchModel.NOT_ALL_STOP
+        )
+        # Timeline: δ + 1.0 (A1) + δ + 1.0 (A2); (0,1) transmits 2.0 + δ.
+        assert result.finished
+        assert result.finish_times[(0, 1)] == pytest.approx(2 * DELTA + 2.0)
+
+    def test_all_stop_freezes_everything_during_reconfig(self):
+        demand = {(0, 1): 2.0 + DELTA, (1, 0): 1.0, (1, 2): 1.0}
+        result = execute_assignments(
+            self.two_assignment_schedule(), demand, DELTA, SwitchModel.ALL_STOP
+        )
+        # (0,1) cannot use the second δ: only 2.0 of service by the end.
+        assert not result.finished
+
+    def test_switching_counts_only_new_circuits(self):
+        result = execute_assignments(
+            self.two_assignment_schedule(),
+            {(0, 1): 0.1, (1, 0): 0.1, (1, 2): 0.1},
+            DELTA,
+        )
+        # A1 establishes 2 circuits; A2 establishes only (1,2).
+        assert result.switching_count == 3
+
+    def test_identical_consecutive_assignments_skip_reconfig(self):
+        schedule = schedule_of(
+            Assignment(circuits=((0, 1),), duration=0.5),
+            Assignment(circuits=((0, 1),), duration=0.5),
+        )
+        result = execute_assignments(schedule, {(0, 1): 1.0}, DELTA)
+        assert result.completion_time == pytest.approx(1.0 + DELTA)
+        assert result.switching_count == 1
+
+
+class TestEarlyTermination:
+    def test_stops_once_real_demand_drains(self):
+        schedule = schedule_of(
+            Assignment(circuits=((0, 1),), duration=1.0),
+            Assignment(circuits=((5, 5),), duration=100.0),  # dummy-only work
+        )
+        result = execute_assignments(schedule, {(0, 1): 1.0}, DELTA)
+        assert result.assignments_used == 1
+        assert result.completion_time == pytest.approx(1.0 + DELTA)
+
+    def test_completion_is_max_of_finish_times(self):
+        schedule = schedule_of(
+            Assignment(circuits=((0, 1), (1, 0)), duration=2.0),
+        )
+        result = execute_assignments(schedule, {(0, 1): 0.5, (1, 0): 1.5}, DELTA)
+        assert result.completion_time == pytest.approx(1.5 + DELTA)
+        assert result.finish_times[(0, 1)] == pytest.approx(0.5 + DELTA)
+
+
+class TestDummyDemand:
+    def test_dummy_circuits_waste_time_but_do_not_block_completion(self):
+        """Circuits without real demand (stuffing artifacts) are held but
+        serve nothing."""
+        schedule = schedule_of(
+            Assignment(circuits=((9, 9),), duration=1.0),  # dummy only
+            Assignment(circuits=((0, 1),), duration=1.0),
+        )
+        result = execute_assignments(schedule, {(0, 1): 1.0}, DELTA)
+        # Real flow waits for the dummy slot: δ + 1.0, then δ + 1.0.
+        assert result.completion_time == pytest.approx(2 * DELTA + 2.0)

@@ -1,0 +1,109 @@
+"""Tests for intra-Coflow circuit simulation (§5.3 mode)."""
+
+import pytest
+
+from repro.core.coflow import Coflow, CoflowTrace
+from repro.schedulers import EdmondScheduler, SolsticeScheduler, TmsScheduler
+from repro.sim import simulate_intra_assignment, simulate_intra_sunflow
+from repro.sim.assignment_exec import SwitchModel
+from repro.units import GBPS, MB, MS
+
+B = 1 * GBPS
+DELTA = 10 * MS
+
+
+def trace_of(*coflows, num_ports=10):
+    return CoflowTrace(num_ports=num_ports, coflows=list(coflows))
+
+
+class TestSunflowIntra:
+    def test_cct_ignores_arrival_times(self):
+        """Intra mode serves Coflows back-to-back; CCT is the isolated
+        makespan regardless of the trace's arrival spacing."""
+        coflow = Coflow.from_demand(1, {(0, 1): 125 * MB}, arrival_time=42.0)
+        report = simulate_intra_sunflow(trace_of(coflow), B, DELTA)
+        assert report.records[0].cct == pytest.approx(1.0 + DELTA)
+
+    def test_every_coflow_recorded(self, small_trace):
+        report = simulate_intra_sunflow(small_trace, B, DELTA)
+        assert len(report) == len(small_trace)
+        assert {r.coflow_id for r in report.records} == {
+            c.coflow_id for c in small_trace
+        }
+
+    def test_lemma_one_holds_across_trace(self, small_trace):
+        report = simulate_intra_sunflow(small_trace, B, DELTA)
+        for record in report.records:
+            assert record.cct <= 2 * record.circuit_lower * (1 + 1e-9)
+            assert record.cct >= record.circuit_lower * (1 - 1e-9)
+
+    def test_switching_count_is_minimum(self, small_trace):
+        report = simulate_intra_sunflow(small_trace, B, DELTA)
+        for record in report.records:
+            assert record.switching_count == record.num_flows
+
+    def test_bounds_attached_to_records(self, small_trace):
+        report = simulate_intra_sunflow(small_trace, B, DELTA)
+        for record in report.records:
+            assert record.circuit_lower > 0
+            assert record.packet_lower > 0
+            assert record.circuit_lower >= record.packet_lower
+
+
+class TestAssignmentIntra:
+    @pytest.mark.parametrize(
+        "scheduler_cls", [SolsticeScheduler, TmsScheduler, EdmondScheduler]
+    )
+    def test_baselines_complete_all_coflows(self, small_trace, scheduler_cls):
+        report = simulate_intra_assignment(small_trace, scheduler_cls(), B, DELTA)
+        assert len(report) == len(small_trace)
+        for record in report.records:
+            assert record.cct > 0
+
+    def test_baseline_cct_at_least_circuit_lower_bound(self, small_trace):
+        report = simulate_intra_assignment(small_trace, SolsticeScheduler(), B, DELTA)
+        for record in report.records:
+            assert record.cct >= record.circuit_lower * (1 - 1e-9)
+
+    def test_all_stop_never_beats_not_all_stop(self, small_trace):
+        not_all_stop = simulate_intra_assignment(
+            small_trace, SolsticeScheduler(), B, DELTA, model=SwitchModel.NOT_ALL_STOP
+        )
+        all_stop = simulate_intra_assignment(
+            small_trace, SolsticeScheduler(), B, DELTA, model=SwitchModel.ALL_STOP
+        )
+        for na, al in zip(not_all_stop.records, all_stop.records):
+            assert al.cct >= na.cct - 1e-9
+
+    def test_solstice_switching_exceeds_minimum_for_dense_coflows(self):
+        demand = {(i, j): (10 + i + j) * MB for i in range(4) for j in range(4)}
+        coflow = Coflow.from_demand(1, demand)
+        report = simulate_intra_assignment(trace_of(coflow), SolsticeScheduler(), B, DELTA)
+        assert report.records[0].switching_count > coflow.num_flows
+
+    def test_sunflow_beats_solstice_on_average(self, small_trace):
+        """The headline intra-Coflow result at trace scale."""
+        sunflow = simulate_intra_sunflow(small_trace, B, DELTA)
+        solstice = simulate_intra_assignment(small_trace, SolsticeScheduler(), B, DELTA)
+        sunflow_avg = sum(r.cct_over_circuit_lower for r in sunflow.records)
+        solstice_avg = sum(r.cct_over_circuit_lower for r in solstice.records)
+        assert sunflow_avg < solstice_avg
+
+
+class TestOneFlowCategoriesOptimal:
+    """§5.3.1: Sunflow achieves exactly TcL for O2O, O2M and M2O Coflows."""
+
+    @pytest.mark.parametrize(
+        "demand",
+        [
+            {(0, 1): 30 * MB},
+            {(0, 1): 30 * MB, (0, 2): 50 * MB, (0, 3): 10 * MB},
+            {(1, 0): 30 * MB, (2, 0): 50 * MB, (3, 0): 10 * MB},
+        ],
+        ids=["one-to-one", "one-to-many", "many-to-one"],
+    )
+    def test_single_port_coflows_hit_lower_bound(self, demand):
+        coflow = Coflow.from_demand(1, demand)
+        report = simulate_intra_sunflow(trace_of(coflow), B, DELTA)
+        record = report.records[0]
+        assert record.cct == pytest.approx(record.circuit_lower)

@@ -1,0 +1,184 @@
+"""Tests for the hybrid circuit/packet extension (§6)."""
+
+import pytest
+
+from repro.core.coflow import Coflow, CoflowTrace
+from repro.sim.hybrid import HybridConfig, simulate_intra_hybrid, split_coflow
+from repro.sim import simulate_intra_sunflow
+from repro.units import GBPS, MB, MS
+
+B = 1 * GBPS
+DELTA = 10 * MS
+
+
+def trace_of(*coflows, num_ports=10):
+    return CoflowTrace(num_ports=num_ports, coflows=list(coflows))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridConfig(size_threshold_bytes=-1)
+        with pytest.raises(ValueError):
+            HybridConfig(packet_bandwidth_fraction=0.0)
+        with pytest.raises(ValueError):
+            HybridConfig(packet_bandwidth_fraction=1.5)
+
+
+class TestSplit:
+    def test_split_by_threshold(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 5 * MB, (2, 3): 50 * MB})
+        circuit, packet = split_coflow(coflow, HybridConfig(size_threshold_bytes=10 * MB))
+        assert circuit.demand() == {(2, 3): 50 * MB}
+        assert packet.demand() == {(0, 1): 5 * MB}
+
+    def test_all_small(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 5 * MB})
+        circuit, packet = split_coflow(coflow, HybridConfig(size_threshold_bytes=10 * MB))
+        assert circuit is None
+        assert packet.num_flows == 1
+
+    def test_zero_threshold_disables_offload(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 5 * MB})
+        circuit, packet = split_coflow(coflow, HybridConfig(size_threshold_bytes=0.0))
+        assert packet is None
+        assert circuit.num_flows == 1
+
+
+class TestSimulation:
+    def test_zero_threshold_equals_pure_sunflow(self, small_trace):
+        pure = simulate_intra_sunflow(small_trace, B, DELTA)
+        hybrid = simulate_intra_hybrid(
+            small_trace, HybridConfig(size_threshold_bytes=0.0), B, DELTA
+        )
+        for a, b in zip(pure.records, hybrid.records):
+            assert a.cct == pytest.approx(b.cct)
+            assert a.switching_count == b.switching_count
+
+    def test_small_flows_avoid_circuit_setup(self):
+        """A tiny flow beside a big one: offloading it removes its δ from
+        the circuit timeline."""
+        coflow = Coflow.from_demand(1, {(0, 1): 1 * MB, (0, 2): 100 * MB})
+        pure = simulate_intra_sunflow(trace_of(coflow), B, DELTA)
+        hybrid = simulate_intra_hybrid(
+            trace_of(coflow),
+            HybridConfig(size_threshold_bytes=10 * MB, packet_bandwidth_fraction=0.1),
+            B,
+            DELTA,
+        )
+        # Pure circuit: input 0 serializes both flows with two setups.
+        assert pure.records[0].cct == pytest.approx(0.808 + 2 * DELTA)
+        # Hybrid: circuit carries only the big flow; the small one finishes
+        # on the 100 Mbps packet path in parallel (0.08 s).
+        assert hybrid.records[0].cct == pytest.approx(0.8 + DELTA)
+        assert hybrid.records[0].switching_count == 1
+
+    def test_packet_path_can_become_the_bottleneck(self):
+        """With a very slow packet network, offloaded flows dominate CCT."""
+        coflow = Coflow.from_demand(1, {(0, 1): 9 * MB, (2, 3): 100 * MB})
+        hybrid = simulate_intra_hybrid(
+            trace_of(coflow),
+            HybridConfig(size_threshold_bytes=10 * MB, packet_bandwidth_fraction=0.01),
+            B,
+            DELTA,
+        )
+        # Packet path: 9 MB at 10 Mbps = 7.2 s > circuit path 0.81 s.
+        assert hybrid.records[0].cct == pytest.approx(7.2)
+
+    def test_all_coflows_recorded(self, small_trace):
+        hybrid = simulate_intra_hybrid(small_trace, HybridConfig(), B, DELTA)
+        assert len(hybrid) == len(small_trace)
+
+    def test_offload_tradeoff_depends_on_delta(self, small_trace):
+        """Offload pays only when the setup delay dominates the packet
+        path's rate penalty: a flow helps iff ``p < δ·φ/(1-φ)``.  With the
+        default fast switch (δ = 10 ms, φ = 0.1) that's < 0.14 MB — below
+        the 1 MB size floor — so offload *hurts*; with a slow 100 ms switch
+        and a beefier packet path it wins."""
+        config = HybridConfig(size_threshold_bytes=10 * MB, packet_bandwidth_fraction=0.25)
+        small_ids = [c.coflow_id for c in small_trace if c.total_bytes < 10 * MB]
+        assert small_ids
+
+        fast_pure = simulate_intra_sunflow(small_trace, B, DELTA).by_id()
+        fast_hybrid = simulate_intra_hybrid(small_trace, config, B, DELTA).by_id()
+        fast_gain = sum(fast_pure[i].cct - fast_hybrid[i].cct for i in small_ids)
+        assert fast_gain < 0  # fast switch: keep everything optical
+
+        slow_delta = 0.1
+        slow_pure = simulate_intra_sunflow(small_trace, B, slow_delta).by_id()
+        slow_hybrid = simulate_intra_hybrid(small_trace, config, B, slow_delta).by_id()
+        slow_gain = sum(slow_pure[i].cct - slow_hybrid[i].cct for i in small_ids)
+        assert slow_gain > 0  # slow switch: the packet path wins for mice
+
+
+class TestSplitTrace:
+    def test_partitions_by_size(self, small_trace):
+        from repro.sim.hybrid import split_trace
+
+        config = HybridConfig(size_threshold_bytes=10 * MB)
+        circuit, packet = split_trace(small_trace, config)
+        assert circuit.num_ports == small_trace.num_ports
+        for coflow in circuit:
+            assert all(f.size_bytes >= 10 * MB for f in coflow.flows)
+        for coflow in packet:
+            assert all(f.size_bytes < 10 * MB for f in coflow.flows)
+        # Every original flow lands on exactly one side.
+        total = sum(c.num_flows for c in circuit) + sum(c.num_flows for c in packet)
+        assert total == sum(c.num_flows for c in small_trace)
+
+
+class TestInterHybrid:
+    def test_zero_threshold_equals_pure_inter_sunflow(self, small_trace):
+        from repro.sim import simulate_inter_hybrid, simulate_inter_sunflow
+
+        pure = simulate_inter_sunflow(small_trace, B, DELTA).by_id()
+        hybrid = simulate_inter_hybrid(
+            small_trace, HybridConfig(size_threshold_bytes=0.0), B, DELTA
+        ).by_id()
+        for cid in pure:
+            assert hybrid[cid].cct == pytest.approx(pure[cid].cct)
+
+    def test_huge_threshold_equals_pure_packet_overlay(self, small_trace):
+        """Everything offloaded: the hybrid degenerates to Varys at the
+        overlay's rate."""
+        from repro.sim import VarysAllocator, simulate_inter_hybrid, simulate_packet
+
+        config = HybridConfig(
+            size_threshold_bytes=1e18, packet_bandwidth_fraction=0.5
+        )
+        hybrid = simulate_inter_hybrid(small_trace, config, B, DELTA).by_id()
+        packet = simulate_packet(small_trace, VarysAllocator(), 0.5 * B).by_id()
+        for cid in packet:
+            # Splitting re-sorts flows, which permutes Varys' backfill
+            # iteration order — identical policy, slightly different rates.
+            assert hybrid[cid].cct == pytest.approx(packet[cid].cct, rel=0.01)
+
+    def test_all_coflows_complete(self, small_trace):
+        from repro.sim import simulate_inter_hybrid
+
+        report = simulate_inter_hybrid(small_trace, HybridConfig(), B, DELTA)
+        assert len(report) == len(small_trace)
+        for record in report.records:
+            assert record.completion_time >= record.arrival_time
+
+    def test_mouse_coflows_dodge_circuit_queueing(self):
+        """The overlay's purpose under load: tiny Coflows no longer wait
+        behind a big circuit-bound transfer on a shared port."""
+        from repro.sim import simulate_inter_hybrid, simulate_inter_sunflow
+
+        big = Coflow.from_demand(1, {(0, 1): 1000 * MB}, arrival_time=0.0)
+        mice = [
+            Coflow.from_demand(i, {(0, i): 2 * MB}, arrival_time=0.0)
+            for i in range(2, 6)
+        ]
+        trace = trace_of(big, *mice)
+        pure = simulate_inter_sunflow(trace, B, DELTA).by_id()
+        hybrid = simulate_inter_hybrid(
+            trace, HybridConfig(size_threshold_bytes=10 * MB), B, DELTA
+        ).by_id()
+        # Pure circuit: mice are prioritized but still serialize δ-setups on
+        # input port 0 ahead of the big transfer; on the overlay they run
+        # concurrently with it.
+        assert hybrid[1].cct < pure[1].cct  # big avoids mice setups
+        for i in range(2, 6):
+            assert hybrid[i].completion_time <= pure[i].completion_time + 1.0

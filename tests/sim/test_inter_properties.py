@@ -1,0 +1,115 @@
+"""Property-based tests for the inter-Coflow simulators.
+
+Random small traces through the full online pipeline: whatever the
+arrival pattern, contention or policy, every Coflow completes, no record
+violates its theoretical bound, and runs are deterministic.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coflow import Coflow, CoflowTrace
+from repro.core.policies import Fifo, NarrowestFirst, ShortestFirst
+from repro.sim import (
+    AaloAllocator,
+    VarysAllocator,
+    simulate_inter_sunflow,
+    simulate_packet,
+)
+from repro.units import GBPS, MB, MS
+
+B = 1 * GBPS
+DELTA = 10 * MS
+
+#: Simulators admit coflows within TIME_EPS of the current instant, so a
+#: bound comparison needs that much absolute slack on top of fp error.
+SLACK = 2e-9
+
+
+@st.composite
+def traces(draw, max_coflows=6, max_ports=5, max_flows=5):
+    num_coflows = draw(st.integers(min_value=1, max_value=max_coflows))
+    coflows = []
+    for cid in range(1, num_coflows + 1):
+        num_flows = draw(st.integers(min_value=1, max_value=max_flows))
+        demand = {}
+        for _ in range(num_flows):
+            src = draw(st.integers(min_value=0, max_value=max_ports - 1))
+            dst = draw(st.integers(min_value=0, max_value=max_ports - 1))
+            demand[(src, dst)] = draw(st.floats(min_value=1.0, max_value=100.0)) * MB
+        arrival = draw(st.floats(min_value=0.0, max_value=5.0))
+        coflows.append(Coflow.from_demand(cid, demand, arrival_time=arrival))
+    return CoflowTrace(num_ports=max_ports, coflows=coflows)
+
+
+class TestSunflowInterProperties:
+    @given(traces())
+    @settings(max_examples=60, deadline=None)
+    def test_every_coflow_completes_above_its_bounds(self, trace):
+        report = simulate_inter_sunflow(trace, B, DELTA)
+        assert len(report) == len(trace)
+        for record in report.records:
+            assert record.completion_time >= record.arrival_time
+            assert record.cct >= record.packet_lower * (1 - 1e-9) - SLACK
+
+    @given(traces())
+    @settings(max_examples=30, deadline=None)
+    def test_runs_are_deterministic(self, trace):
+        first = simulate_inter_sunflow(trace, B, DELTA).by_id()
+        second = simulate_inter_sunflow(trace, B, DELTA).by_id()
+        for cid in first:
+            assert first[cid].cct == second[cid].cct
+
+    @given(traces())
+    @settings(max_examples=30, deadline=None)
+    def test_policy_changes_never_lose_coflows(self, trace):
+        for policy in (ShortestFirst(), Fifo(), NarrowestFirst()):
+            report = simulate_inter_sunflow(trace, B, DELTA, policy=policy)
+            assert len(report) == len(trace)
+
+    @given(traces(max_coflows=4))
+    @settings(max_examples=30, deadline=None)
+    def test_sunflow_cct_dominates_packet_schedulers_bounds(self, trace):
+        """Sanity triangle: every scheduler's CCT is at least TpL, and the
+        circuit-switched CCT at least matches its circuit bound."""
+        sunflow = simulate_inter_sunflow(trace, B, DELTA)
+        varys = simulate_packet(trace, VarysAllocator(), B)
+        for record in varys.records:
+            assert record.cct >= record.packet_lower * (1 - 1e-9) - SLACK
+        lone = len(trace) == 1
+        for record in sunflow.records:
+            if lone:
+                assert record.cct >= record.circuit_lower * (1 - 1e-9) - SLACK
+
+
+class TestPacketInterProperties:
+    @given(traces())
+    @settings(max_examples=40, deadline=None)
+    def test_varys_completes_everything(self, trace):
+        report = simulate_packet(trace, VarysAllocator(), B)
+        assert len(report) == len(trace)
+        for record in report.records:
+            assert record.cct >= record.packet_lower * (1 - 1e-9) - SLACK
+
+    @given(traces(max_coflows=4))
+    @settings(max_examples=25, deadline=None)
+    def test_aalo_completes_everything(self, trace):
+        report = simulate_packet(trace, AaloAllocator(), B)
+        assert len(report) == len(trace)
+
+    @given(traces(max_coflows=3))
+    @settings(max_examples=20, deadline=None)
+    def test_single_active_coflow_is_bound_tight_under_varys(self, trace):
+        """When arrivals never overlap with service, Varys achieves exactly
+        TpL for every Coflow (MADD with the whole fabric)."""
+        spread = CoflowTrace(
+            num_ports=trace.num_ports,
+            coflows=[
+                coflow.with_arrival(1000.0 * index)
+                for index, coflow in enumerate(trace)
+            ],
+        )
+        report = simulate_packet(spread, VarysAllocator(), B)
+        for record in report.records:
+            assert record.cct == pytest.approx(record.packet_lower, rel=1e-6)

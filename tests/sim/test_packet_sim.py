@@ -1,0 +1,134 @@
+"""Tests for the fluid packet-switch simulator."""
+
+import math
+
+import pytest
+
+from repro.core.coflow import Coflow, CoflowTrace
+from repro.sim.packet_sim import (
+    PacketCoflowState,
+    PacketSimulator,
+    RateAllocator,
+    simulate_packet,
+)
+from repro.units import GBPS, MB
+
+B = 1 * GBPS
+
+
+def seconds(mb):
+    return mb * MB * 8 / B
+
+
+def trace_of(*coflows, num_ports=8):
+    return CoflowTrace(num_ports=num_ports, coflows=list(coflows))
+
+
+class FullRateAllocator(RateAllocator):
+    """Gives every unfinished flow the full line rate, greedily per port.
+
+    Reallocates on flow completions: otherwise a flow starved by the greedy
+    pass would wait forever once its blocker finished (the fixed-rate
+    regime between events never revisits it).
+    """
+
+    name = "full-rate"
+    reallocate_on_flow_completion = True
+
+    def allocate(self, states, num_ports, bandwidth_bps):
+        rates = {}
+        used_in, used_out = {}, {}
+        for state in sorted(states, key=lambda s: s.coflow_id):
+            for src, dst in state.unfinished_flows():
+                available = min(
+                    1.0 - used_in.get(src, 0.0), 1.0 - used_out.get(dst, 0.0)
+                )
+                if available <= 0:
+                    continue
+                rates[(state.coflow_id, src, dst)] = available
+                used_in[src] = used_in.get(src, 0.0) + available
+                used_out[dst] = used_out.get(dst, 0.0) + available
+        return rates
+
+
+class OverCommittingAllocator(RateAllocator):
+    name = "broken"
+
+    def allocate(self, states, num_ports, bandwidth_bps):
+        rates = {}
+        for state in states:
+            for src, dst in state.unfinished_flows():
+                rates[(state.coflow_id, src, dst)] = 1.0  # ignores contention
+        return rates
+
+
+class TestPacketCoflowState:
+    def test_bottleneck_matches_packet_bound(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 125 * MB, (0, 2): 125 * MB})
+        state = PacketCoflowState(
+            coflow=coflow, remaining=dict(coflow.processing_times(B))
+        )
+        assert state.bottleneck() == pytest.approx(2.0)
+
+    def test_done_tracks_remaining(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 10 * MB})
+        state = PacketCoflowState(coflow=coflow, remaining={(0, 1): 0.0})
+        assert state.done
+        assert state.unfinished_flows() == []
+
+
+class TestSimulatorBasics:
+    def test_single_flow_at_line_rate(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 125 * MB})
+        report = simulate_packet(trace_of(coflow), FullRateAllocator(), B)
+        assert report.records[0].cct == pytest.approx(1.0)
+
+    def test_cct_equals_packet_lower_bound_for_single_coflow(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 50 * MB, (1, 1): 30 * MB})
+        report = simulate_packet(trace_of(coflow), FullRateAllocator(), B)
+        record = report.records[0]
+        assert record.cct == pytest.approx(record.packet_lower)
+
+    def test_arrival_time_respected(self):
+        coflow = Coflow.from_demand(1, {(0, 1): 125 * MB}, arrival_time=5.0)
+        report = simulate_packet(trace_of(coflow), FullRateAllocator(), B)
+        assert report.records[0].completion_time == pytest.approx(6.0)
+
+    def test_sequential_arrivals_with_idle_gap(self):
+        a = Coflow.from_demand(1, {(0, 1): 125 * MB}, arrival_time=0.0)
+        b = Coflow.from_demand(2, {(0, 1): 125 * MB}, arrival_time=10.0)
+        report = simulate_packet(trace_of(a, b), FullRateAllocator(), B).by_id()
+        assert report[1].cct == pytest.approx(1.0)
+        assert report[2].cct == pytest.approx(1.0)
+
+    def test_all_coflows_complete(self, small_trace):
+        report = simulate_packet(small_trace, FullRateAllocator(), B)
+        assert len(report) == len(small_trace)
+
+    def test_cct_never_below_packet_bound(self, small_trace):
+        report = simulate_packet(small_trace, FullRateAllocator(), B)
+        for record in report.records:
+            assert record.cct >= record.packet_lower * (1 - 1e-9)
+
+
+class TestCapacityEnforcement:
+    def test_overcommitting_allocator_rejected(self):
+        a = Coflow.from_demand(1, {(0, 1): 10 * MB})
+        b = Coflow.from_demand(2, {(0, 2): 10 * MB})
+        simulator = PacketSimulator(trace_of(a, b), OverCommittingAllocator(), B)
+        with pytest.raises(ValueError, match="over capacity"):
+            simulator.run()
+
+
+class TestProgressGuarantee:
+    def test_starving_allocator_raises_instead_of_hanging(self):
+        class NoRates(RateAllocator):
+            name = "none"
+
+            def allocate(self, states, num_ports, bandwidth_bps):
+                return {}
+
+        coflow = Coflow.from_demand(1, {(0, 1): 10 * MB})
+        simulator = PacketSimulator(trace_of(coflow), NoRates(), B)
+        with pytest.raises(RuntimeError, match="no progress"):
+            simulator.run()

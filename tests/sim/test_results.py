@@ -1,0 +1,125 @@
+"""Tests for result containers and statistics."""
+
+import math
+
+import pytest
+
+from repro.core.coflow import Coflow, CoflowCategory
+from repro.sim.results import (
+    CoflowRecord,
+    SimulationReport,
+    make_record,
+    mean,
+    percentile,
+    summarize,
+)
+from repro.units import GBPS, MB, MS
+
+
+def record(cid=1, arrival=0.0, completion=2.0, circuit_lower=1.0, packet_lower=0.9,
+           num_flows=4, switching=4, category=CoflowCategory.MANY_TO_MANY):
+    return CoflowRecord(
+        coflow_id=cid,
+        arrival_time=arrival,
+        completion_time=completion,
+        num_flows=num_flows,
+        total_bytes=100.0,
+        category=category,
+        circuit_lower=circuit_lower,
+        packet_lower=packet_lower,
+        switching_count=switching,
+    )
+
+
+class TestCoflowRecord:
+    def test_cct(self):
+        assert record(arrival=1.0, completion=3.5).cct == pytest.approx(2.5)
+
+    def test_ratios(self):
+        r = record(completion=2.0, circuit_lower=1.0, packet_lower=0.5)
+        assert r.cct_over_circuit_lower == pytest.approx(2.0)
+        assert r.cct_over_packet_lower == pytest.approx(4.0)
+
+    def test_zero_bound_gives_inf(self):
+        r = record(circuit_lower=0.0)
+        assert math.isinf(r.cct_over_circuit_lower)
+
+    def test_normalized_switching(self):
+        assert record(num_flows=4, switching=8).normalized_switching == pytest.approx(2.0)
+
+
+class TestSimulationReport:
+    def make_report(self):
+        report = SimulationReport("test", 1 * GBPS, 10 * MS)
+        report.add(record(cid=1, completion=1.0))
+        report.add(record(cid=2, completion=3.0))
+        return report
+
+    def test_average_cct(self):
+        assert self.make_report().average_cct() == pytest.approx(2.0)
+
+    def test_by_id(self):
+        report = self.make_report()
+        assert set(report.by_id()) == {1, 2}
+
+    def test_metric_with_filter(self):
+        report = self.make_report()
+        values = report.metric(lambda r: r.cct, where=lambda r: r.cct > 2.0)
+        assert values == [3.0]
+
+    def test_filtered_subreport(self):
+        report = self.make_report()
+        sub = report.filtered(lambda r: r.coflow_id == 1)
+        assert len(sub) == 1
+        assert sub.scheduler == "test"
+
+
+class TestStatistics:
+    def test_percentile_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+
+    def test_percentile_interpolates(self):
+        assert percentile([1.0, 2.0], 50) == pytest.approx(1.5)
+        assert percentile([0.0, 10.0, 20.0], 95) == pytest.approx(19.0)
+
+    def test_percentile_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_percentile_matches_numpy(self):
+        import numpy
+
+        values = [3.1, 0.2, 9.9, 4.4, 7.3, 1.0, 2.2]
+        for q in (5, 25, 50, 75, 95):
+            assert percentile(values, q) == pytest.approx(
+                float(numpy.percentile(values, q))
+            )
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 6.0]) == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_summarize_keys(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert set(summary) == {"mean", "median", "p95", "max"}
+        assert summary["max"] == 3.0
+
+
+class TestMakeRecord:
+    def test_bounds_computed_from_coflow(self):
+        coflow = Coflow.from_demand(7, {(0, 1): 125 * MB}, arrival_time=1.0)
+        r = make_record(coflow, completion_time=3.0, bandwidth_bps=1 * GBPS,
+                        delta=10 * MS, switching_count=1)
+        assert r.coflow_id == 7
+        assert r.cct == pytest.approx(2.0)
+        assert r.packet_lower == pytest.approx(1.0)
+        assert r.circuit_lower == pytest.approx(1.01)
+        assert r.category is CoflowCategory.ONE_TO_ONE

@@ -1,0 +1,119 @@
+"""Tests for the per-host sending agent (live/down two-phase protocol)."""
+
+import pytest
+
+from repro.core.coflow import Coflow
+from repro.core.prt import Reservation
+from repro.system.agent import HostAgent
+from repro.system.messages import CircuitDown, CircuitLive
+from repro.units import GBPS
+
+B = 1 * GBPS
+
+
+def reservation(src=0, dst=1, start=0.0, end=1.0, setup=0.1, cid=1):
+    return Reservation(start=start, end=end, src=src, dst=dst, coflow_id=cid, setup=setup)
+
+
+def run_window(agent, r, live_at=None, down_at=None, actual_end=None):
+    """Drive one live→down cycle; returns the transfer report."""
+    live_time = r.transmit_start if live_at is None else live_at
+    end = r.end if actual_end is None else actual_end
+    down_time = end if down_at is None else down_at
+    assert agent.handle_circuit_live(live_time, CircuitLive(r)) == []
+    events = agent.handle_circuit_down(down_time, CircuitDown(r, actual_end=end))
+    assert len(events) == 1
+    return events[0]
+
+
+class TestRegistration:
+    def test_learns_only_its_own_flows(self):
+        agent = HostAgent(port=0)
+        coflow = Coflow.from_demand(1, {(0, 1): 125 * 10**6, (2, 3): 125 * 10**6})
+        agent.register(coflow, B)
+        assert agent.remaining(1, 1) == pytest.approx(1.0)
+        assert agent.remaining(1, 3) == 0.0
+
+    def test_multiple_coflows_tracked_separately(self):
+        agent = HostAgent(port=0)
+        agent.register(Coflow.from_demand(1, {(0, 1): 125 * 10**6}), B)
+        agent.register(Coflow.from_demand(2, {(0, 1): 250 * 10**6}), B)
+        assert agent.remaining(1, 1) == pytest.approx(1.0)
+        assert agent.remaining(2, 1) == pytest.approx(2.0)
+
+
+class TestTransmission:
+    def make_agent(self, seconds=1.0):
+        agent = HostAgent(port=0)
+        size = seconds * B / 8
+        agent.register(Coflow.from_demand(1, {(0, 1): size}), B)
+        return agent
+
+    def test_full_window_drains_flow(self):
+        agent = self.make_agent(seconds=0.9)
+        event = run_window(agent, reservation(start=0.0, end=1.0, setup=0.1))
+        report = event.message
+        assert report.flow_finished
+        assert report.transmitted_seconds == pytest.approx(0.9)
+        assert report.finish_time == pytest.approx(1.0)
+        assert agent.remaining(1, 1) == 0.0
+
+    def test_partial_window_reports_progress(self):
+        agent = self.make_agent(seconds=2.0)
+        report = run_window(agent, reservation(start=0.0, end=1.0, setup=0.1)).message
+        assert not report.flow_finished
+        assert report.transmitted_seconds == pytest.approx(0.9)
+        assert agent.remaining(1, 1) == pytest.approx(1.1)
+
+    def test_early_finish_reports_early_finish_time(self):
+        agent = self.make_agent(seconds=0.3)
+        report = run_window(agent, reservation(start=0.0, end=1.0, setup=0.1)).message
+        assert report.flow_finished
+        assert report.finish_time == pytest.approx(0.4)
+
+    def test_late_live_signal_shrinks_window(self):
+        """REACToR signal latency: the head of the window is lost."""
+        agent = self.make_agent(seconds=0.9)
+        r = reservation(start=0.0, end=1.0, setup=0.1)
+        report = run_window(agent, r, live_at=0.3).message
+        assert not report.flow_finished
+        assert report.transmitted_seconds == pytest.approx(0.7)
+
+    def test_early_teardown_truncates_transfer(self):
+        """Inter-Coflow preemption: the circuit dropped before the planned
+        end; only the shortened window's bytes moved."""
+        agent = self.make_agent(seconds=0.9)
+        r = reservation(start=0.0, end=1.0, setup=0.1)
+        report = run_window(agent, r, actual_end=0.5).message
+        assert report.transmitted_seconds == pytest.approx(0.4)
+        assert not report.flow_finished
+        assert agent.remaining(1, 1) == pytest.approx(0.5)
+
+    def test_down_before_live_cancels_silently(self):
+        """A reservation aborted mid-setup produces no transfer report and
+        its late live signal is discarded."""
+        agent = self.make_agent(seconds=0.9)
+        r = reservation(start=0.0, end=1.0, setup=0.1)
+        assert agent.handle_circuit_down(0.05, CircuitDown(r, actual_end=0.05)) == []
+        assert agent.handle_circuit_live(0.1, CircuitLive(r)) == []
+        assert agent.remaining(1, 1) == pytest.approx(0.9)  # untouched
+
+    def test_duplicate_down_ignored(self):
+        agent = self.make_agent(seconds=0.9)
+        r = reservation(start=0.0, end=1.0, setup=0.1)
+        run_window(agent, r)
+        assert agent.handle_circuit_down(1.0, CircuitDown(r, actual_end=1.0)) == []
+
+    def test_wrong_port_rejected(self):
+        agent = HostAgent(port=3)
+        with pytest.raises(ValueError):
+            agent.handle_circuit_live(0.0, CircuitLive(reservation(src=0)))
+        with pytest.raises(ValueError):
+            agent.handle_circuit_down(
+                0.0, CircuitDown(reservation(src=0), actual_end=1.0)
+            )
+
+    def test_unknown_flow_transmits_nothing(self):
+        agent = HostAgent(port=0)
+        report = run_window(agent, reservation()).message
+        assert report.transmitted_seconds == 0.0

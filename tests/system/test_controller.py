@@ -1,0 +1,150 @@
+"""Tests for the centralized Sunflow controller."""
+
+import pytest
+
+from repro.core.coflow import Coflow
+from repro.core.sunflow import SunflowScheduler
+from repro.system.controller import IssueTick, SunflowController
+from repro.system.messages import RegisterCoflow, TransferReport
+from repro.units import GBPS, MB, MS
+
+B = 1 * GBPS
+DELTA = 10 * MS
+
+
+def controller(command_latency=0.0, **kwargs):
+    return SunflowController(
+        bandwidth_bps=B,
+        scheduler=SunflowScheduler(delta=DELTA),
+        command_latency=command_latency,
+        **kwargs,
+    )
+
+
+def register(ctrl, demand, cid=1, arrival=0.0):
+    coflow = Coflow.from_demand(cid, demand, arrival_time=arrival)
+    return ctrl.handle_register(arrival, RegisterCoflow(coflow))
+
+
+class TestPlanning:
+    def test_registration_produces_issue_ticks(self):
+        ctrl = controller()
+        output = register(ctrl, {(0, 1): 125 * MB})
+        assert len(output.ticks) == 1
+        issue_time, tick = output.ticks[0]
+        assert issue_time == pytest.approx(0.0)
+        assert tick.reservation.src == 0
+        assert tick.reservation.setup == pytest.approx(DELTA)
+
+    def test_command_latency_plans_ahead(self):
+        """With a 5 ms command latency the first reservation cannot start
+        before the command can reach the switch."""
+        ctrl = controller(command_latency=0.005)
+        output = register(ctrl, {(0, 1): 125 * MB})
+        _, tick = output.ticks[0]
+        assert tick.reservation.start >= 0.005 - 1e-12
+
+    def test_tick_issues_command_once(self):
+        ctrl = controller()
+        output = register(ctrl, {(0, 1): 125 * MB})
+        _, tick = output.ticks[0]
+        first = ctrl.handle_tick(0.0, tick)
+        assert len(first.commands) == 1
+        second = ctrl.handle_tick(0.0, tick)
+        assert second.commands == []  # already issued
+
+    def test_stale_plan_ticks_ignored(self):
+        ctrl = controller()
+        output = register(ctrl, {(0, 1): 125 * MB}, cid=1)
+        _, old_tick = output.ticks[0]
+        # A second registration replans, bumping the version.
+        register(ctrl, {(2, 3): 10 * MB}, cid=2)
+        assert ctrl.handle_tick(0.0, old_tick).commands == []
+
+
+class TestReports:
+    def drain(self, ctrl, output, upto=float("inf")):
+        """Issue every tick due before ``upto``; returns issued reservations."""
+        issued = []
+        for time, tick in output.ticks:
+            if time <= upto:
+                result = ctrl.handle_tick(time, tick)
+                issued.extend(c.reservation for c in result.commands)
+        return issued
+
+    def test_completion_recorded_at_network_finish(self):
+        ctrl = controller()
+        output = register(ctrl, {(0, 1): 125 * MB})
+        [reservation] = self.drain(ctrl, output)
+        report = TransferReport(
+            reservation=reservation,
+            transmitted_seconds=1.0,
+            flow_finished=True,
+            finish_time=reservation.end,
+        )
+        ctrl.handle_report(reservation.end, report)
+        assert ctrl.finished
+        assert len(ctrl.report) == 1
+        assert ctrl.report.records[0].cct == pytest.approx(1.0 + DELTA)
+
+    def test_shortfall_triggers_replan(self):
+        ctrl = controller()
+        output = register(ctrl, {(0, 1): 125 * MB})
+        [reservation] = self.drain(ctrl, output)
+        # Only half the promised bytes moved (e.g. late signal).
+        report = TransferReport(
+            reservation=reservation,
+            transmitted_seconds=0.5,
+            flow_finished=False,
+            finish_time=reservation.end,
+        )
+        replan = ctrl.handle_report(reservation.end, report)
+        assert replan.ticks, "leftover demand must be rescheduled"
+        [retry] = [tick.reservation for _, tick in replan.ticks]
+        # Progress was made, so the retry covers exactly the 0.5 s leftover.
+        assert retry.transmit_duration == pytest.approx(0.5)
+
+    def test_zero_progress_shortfall_pads_the_retry(self):
+        """A window that moved nothing (the glitch ate it all) is padded so
+        the retry absorbs the same glitch — this is what breaks the
+        late-signal livelock."""
+        ctrl = controller()
+        output = register(ctrl, {(0, 1): 125 * MB})
+        [reservation] = self.drain(ctrl, output)
+        report = TransferReport(
+            reservation=reservation,
+            transmitted_seconds=0.0,
+            flow_finished=False,
+            finish_time=reservation.end,
+        )
+        replan = ctrl.handle_report(reservation.end, report)
+        [retry] = [tick.reservation for _, tick in replan.ticks]
+        assert retry.transmit_duration == pytest.approx(1.0 + DELTA)
+
+    def test_unknown_coflow_report_ignored(self):
+        from repro.core.prt import Reservation
+
+        ctrl = controller()
+        stray = Reservation(start=0.0, end=1.0, src=0, dst=1, coflow_id=99, setup=0.01)
+        report = TransferReport(
+            reservation=stray, transmitted_seconds=1.0,
+            flow_finished=True, finish_time=1.0,
+        )
+        output = ctrl.handle_report(1.0, report)
+        assert output.commands == [] and output.ticks == []
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            controller(command_latency=-1.0)
+
+
+class TestPriorities:
+    def test_priority_classes_forwarded_to_plan(self):
+        ctrl = controller(priority_classes={1: 1, 2: 0})
+        register(ctrl, {(0, 1): 10 * MB}, cid=1)
+        output = register(ctrl, {(0, 2): 500 * MB}, cid=2)
+        # Coflow 2 is privileged: its reservation starts first despite SCF.
+        reservations = {
+            tick.reservation.coflow_id: tick.reservation for _, tick in output.ticks
+        }
+        assert reservations[2].start < reservations[1].start

@@ -1,0 +1,83 @@
+"""Tests for the runtime optical-switch component."""
+
+import pytest
+
+from repro.core.prt import Reservation
+from repro.system.messages import CircuitDown, CircuitLive, SetupCircuit
+from repro.system.switch import OpticalSwitch, PortBusyError
+
+
+def reservation(src=0, dst=1, start=0.0, end=1.0, setup=0.1, cid=1):
+    return Reservation(start=start, end=end, src=src, dst=dst, coflow_id=cid, setup=setup)
+
+
+class TestSetup:
+    def test_emits_live_and_down_signals(self):
+        switch = OpticalSwitch(4)
+        events = switch.handle_setup(0.0, SetupCircuit(reservation()))
+        assert len(events) == 2
+        live, down = events
+        assert isinstance(live.message, CircuitLive)
+        assert live.time == pytest.approx(0.1)  # after the setup delay
+        assert isinstance(down.message, CircuitDown)
+        assert down.time == pytest.approx(1.0)
+
+    def test_zero_setup_live_immediately(self):
+        switch = OpticalSwitch(4)
+        events = switch.handle_setup(0.0, SetupCircuit(reservation(setup=0.0)))
+        assert events[0].time == pytest.approx(0.0)
+
+    def test_ports_occupied_until_end(self):
+        switch = OpticalSwitch(4)
+        switch.handle_setup(0.0, SetupCircuit(reservation()))
+        assert switch.input_busy_until(0) == pytest.approx(1.0)
+        assert switch.output_busy_until(1) == pytest.approx(1.0)
+        assert switch.input_busy_until(2) == 0.0
+
+    def test_switching_count_tracks_setups(self):
+        switch = OpticalSwitch(4)
+        switch.handle_setup(0.0, SetupCircuit(reservation()))
+        switch.handle_setup(0.0, SetupCircuit(reservation(src=2, dst=3)))
+        switch.handle_setup(
+            1.0, SetupCircuit(reservation(start=1.0, end=2.0, setup=0.0))
+        )
+        assert switch.switching_count == 2  # the zero-setup continuation is free
+
+
+class TestPortConstraintEnforcement:
+    def test_double_booked_input_rejected(self):
+        switch = OpticalSwitch(4)
+        switch.handle_setup(0.0, SetupCircuit(reservation(src=0, dst=1)))
+        with pytest.raises(PortBusyError, match="input"):
+            switch.handle_setup(
+                0.5, SetupCircuit(reservation(src=0, dst=2, start=0.5, end=1.5))
+            )
+
+    def test_double_booked_output_rejected(self):
+        switch = OpticalSwitch(4)
+        switch.handle_setup(0.0, SetupCircuit(reservation(src=0, dst=1)))
+        with pytest.raises(PortBusyError, match="output"):
+            switch.handle_setup(
+                0.5, SetupCircuit(reservation(src=2, dst=1, start=0.5, end=1.5))
+            )
+
+    def test_sequential_reuse_allowed(self):
+        switch = OpticalSwitch(4)
+        switch.handle_setup(0.0, SetupCircuit(reservation(end=1.0)))
+        switch.handle_setup(
+            1.0, SetupCircuit(reservation(src=0, dst=2, start=1.0, end=2.0))
+        )
+
+    def test_late_command_rejected(self):
+        switch = OpticalSwitch(4)
+        with pytest.raises(PortBusyError, match="late"):
+            switch.handle_setup(0.5, SetupCircuit(reservation(start=0.0)))
+
+    def test_port_range_validated(self):
+        switch = OpticalSwitch(2)
+        with pytest.raises(ValueError, match="outside"):
+            switch.handle_setup(0.0, SetupCircuit(reservation(src=5)))
+
+    def test_invalid_port_count(self):
+        with pytest.raises(ValueError):
+            OpticalSwitch(0)

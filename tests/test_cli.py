@@ -1,0 +1,143 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.txt"
+    assert main([
+        "generate", str(path), "--coflows", "12", "--ports", "20",
+        "--max-width", "6", "--seed", "5", "--perturb",
+    ]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_parseable_trace(self, trace_file, capsys):
+        from repro.workloads import parse_trace
+
+        trace = parse_trace(trace_file)
+        assert len(trace) == 12
+        assert trace.num_ports == 20
+
+    def test_reports_summary(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        main(["generate", str(path), "--coflows", "5", "--max-width", "4"])
+        out = capsys.readouterr().out
+        assert "wrote 5 coflows" in out
+
+
+class TestClassify:
+    def test_prints_table(self, trace_file, capsys):
+        assert main(["classify", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        for label in ("O2O", "O2M", "M2O", "M2M"):
+            assert label in out
+
+
+class TestIdleness:
+    def test_prints_fraction(self, trace_file, capsys):
+        assert main(["idleness", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("idleness:")
+        value = float(out.split(":")[1])
+        assert 0.0 <= value <= 1.0
+
+
+class TestIntra:
+    @pytest.mark.parametrize("scheduler", ["sunflow", "solstice"])
+    def test_runs_and_prints_summaries(self, trace_file, capsys, scheduler):
+        assert main(["intra", str(trace_file), "--scheduler", scheduler]) == 0
+        out = capsys.readouterr().out
+        assert "CCT / TcL" in out
+        assert "switching / minimum" in out
+
+    def test_bandwidth_and_delta_flags(self, trace_file, capsys):
+        assert main([
+            "intra", str(trace_file), "--bandwidth-gbps", "10",
+            "--delta-ms", "1",
+        ]) == 0
+
+
+class TestInter:
+    @pytest.mark.parametrize("scheduler", ["sunflow", "varys", "aalo"])
+    def test_runs_all_schedulers(self, trace_file, capsys, scheduler):
+        assert main(["inter", str(trace_file), "--scheduler", scheduler]) == 0
+        out = capsys.readouterr().out
+        assert "average CCT" in out
+
+    def test_policy_flag(self, trace_file, capsys):
+        assert main([
+            "inter", str(trace_file), "--scheduler", "sunflow", "--policy", "fifo",
+        ]) == 0
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["intra", "x", "--scheduler", "nope"])
+
+
+class TestCompare:
+    @pytest.mark.parametrize("mode", ["intra", "inter"])
+    def test_tabulates_all_schedulers(self, trace_file, capsys, mode):
+        assert main(["compare", str(trace_file), "--mode", mode]) == 0
+        out = capsys.readouterr().out
+        assert "sunflow" in out
+        if mode == "intra":
+            for name in ("solstice", "tms", "edmond"):
+                assert name in out
+        else:
+            assert "varys" in out and "aalo" in out
+
+
+class TestTimeline:
+    def test_renders_schedule(self, trace_file, capsys):
+        assert main(["timeline", str(trace_file), "--coflow-id", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "coflow 1" in out
+        assert "CCT =" in out
+        assert "in." in out
+
+    def test_missing_coflow_id(self, trace_file, capsys):
+        assert main(["timeline", str(trace_file), "--coflow-id", "9999"]) == 1
+
+
+class TestStats:
+    def test_prints_summary(self, trace_file, capsys):
+        assert main(["stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "coflows: 12" in out
+        assert "width |C|" in out
+
+
+class TestExport:
+    def test_writes_records_csv(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "records.csv"
+        assert main(["export", str(trace_file), str(out)]) == 0
+        content = out.read_text()
+        assert content.startswith("scheduler,")
+        assert content.count("\n") == 13  # header + 12 coflows
+        assert "wrote 12 records" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("scheduler", ["solstice", "varys"])
+    def test_other_schedulers(self, trace_file, tmp_path, scheduler):
+        out = tmp_path / "records.csv"
+        assert main([
+            "export", str(trace_file), str(out), "--scheduler", scheduler,
+        ]) == 0
+        assert scheduler in out.read_text()
+
+    def test_inter_mode(self, trace_file, tmp_path):
+        out = tmp_path / "records.csv"
+        assert main([
+            "export", str(trace_file), str(out), "--mode", "inter",
+        ]) == 0
+        assert out.exists()

@@ -1,0 +1,57 @@
+"""Tests for unit constants and conversions."""
+
+import pytest
+
+from repro.units import (
+    BITS_PER_BYTE,
+    DEFAULT_BANDWIDTH,
+    DEFAULT_DELTA,
+    GBPS,
+    MB,
+    MS,
+    US,
+    processing_time,
+    size_from_processing_time,
+)
+
+
+class TestConstants:
+    def test_paper_defaults(self):
+        assert DEFAULT_DELTA == pytest.approx(0.010)  # 10 ms 3D-MEMS
+        assert DEFAULT_BANDWIDTH == 1e9  # 1 Gbps
+
+    def test_scales(self):
+        assert MB == 10**6
+        assert GBPS == 10**9
+        assert MS == 1e-3
+        assert US == 1e-6
+        assert BITS_PER_BYTE == 8
+
+
+class TestProcessingTime:
+    def test_equation_one(self):
+        # 125 MB = 1e9 bits at 1 Gbps -> 1 s.
+        assert processing_time(125 * MB, 1 * GBPS) == pytest.approx(1.0)
+
+    def test_one_mb_at_one_gbps_is_eight_ms(self):
+        """The paper's smallest flow: 1 MB -> 8 ms, hence α = 1.25."""
+        assert processing_time(1 * MB, 1 * GBPS) == pytest.approx(0.008)
+
+    def test_zero_size(self):
+        assert processing_time(0.0, 1 * GBPS) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            processing_time(1.0, 0.0)
+        with pytest.raises(ValueError):
+            processing_time(-1.0, 1.0)
+
+    def test_round_trip(self):
+        seconds = processing_time(55 * MB, 10 * GBPS)
+        assert size_from_processing_time(seconds, 10 * GBPS) == pytest.approx(55 * MB)
+
+    def test_size_from_time_validation(self):
+        with pytest.raises(ValueError):
+            size_from_processing_time(1.0, 0.0)
+        with pytest.raises(ValueError):
+            size_from_processing_time(-1.0, 1.0)

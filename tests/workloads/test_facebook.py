@@ -1,0 +1,115 @@
+"""Tests for the coflow-benchmark trace format."""
+
+import io
+
+import pytest
+
+from repro.core.coflow import CoflowCategory
+from repro.units import MB
+from repro.workloads.facebook import TraceFormatError, parse_trace, write_trace
+from repro.workloads.synthetic import GeneratorConfig, FacebookLikeTraceGenerator
+
+SAMPLE = """\
+150 3
+1 0 1 10 1 20:100
+2 1500 2 3 4 1 7:60
+3 3000 2 5 6 2 8:10 9:30
+"""
+
+
+class TestParsing:
+    def test_header_and_count(self):
+        trace = parse_trace(io.StringIO(SAMPLE))
+        assert trace.num_ports == 150
+        assert len(trace) == 3
+
+    def test_arrival_milliseconds_to_seconds(self):
+        trace = parse_trace(io.StringIO(SAMPLE))
+        assert trace[1].arrival_time == pytest.approx(1.5)
+
+    def test_single_mapper_single_reducer(self):
+        trace = parse_trace(io.StringIO(SAMPLE))
+        coflow = trace[0]
+        assert coflow.num_flows == 1
+        flow = coflow.flows[0]
+        assert (flow.src, flow.dst) == (10, 20)
+        assert flow.size_bytes == pytest.approx(100 * MB)
+
+    def test_reducer_total_split_across_mappers(self):
+        trace = parse_trace(io.StringIO(SAMPLE))
+        coflow = trace[1]
+        assert coflow.num_flows == 2
+        for flow in coflow.flows:
+            assert flow.size_bytes == pytest.approx(30 * MB)
+            assert flow.dst == 7
+        assert coflow.senders == [3, 4]
+        assert coflow.category is CoflowCategory.MANY_TO_ONE
+
+    def test_many_to_many(self):
+        trace = parse_trace(io.StringIO(SAMPLE))
+        coflow = trace[2]
+        assert coflow.category is CoflowCategory.MANY_TO_MANY
+        assert coflow.num_flows == 4
+        assert coflow.total_bytes == pytest.approx(40 * MB)
+
+    def test_parse_from_raw_text(self):
+        trace = parse_trace(SAMPLE)
+        assert len(trace) == 3
+
+    def test_parse_from_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(SAMPLE)
+        trace = parse_trace(path)
+        assert len(trace) == 3
+
+
+class TestFormatErrors:
+    def test_empty_file(self):
+        with pytest.raises(TraceFormatError, match="empty"):
+            parse_trace(io.StringIO(""))
+
+    def test_bad_header(self):
+        with pytest.raises(TraceFormatError, match="header"):
+            parse_trace(io.StringIO("abc\n"))
+
+    def test_count_mismatch(self):
+        with pytest.raises(TraceFormatError, match="promises"):
+            parse_trace(io.StringIO("10 2\n1 0 1 0 1 1:5\n"))
+
+    def test_truncated_record(self):
+        with pytest.raises(TraceFormatError, match="truncated"):
+            parse_trace(io.StringIO("10 1\n1 0 2 0\n"))
+
+    def test_bad_reducer_token(self):
+        with pytest.raises(TraceFormatError, match="reducer"):
+            parse_trace(io.StringIO("10 1\n1 0 1 0 1 5-3\n"))
+
+    def test_trailing_tokens(self):
+        with pytest.raises(TraceFormatError, match="trailing"):
+            parse_trace(io.StringIO("10 1\n1 0 1 0 1 1:5 99\n"))
+
+
+class TestRoundTrip:
+    def test_sample_round_trips(self):
+        trace = parse_trace(io.StringIO(SAMPLE))
+        buffer = io.StringIO()
+        write_trace(trace, buffer)
+        reparsed = parse_trace(io.StringIO(buffer.getvalue()))
+        assert len(reparsed) == len(trace)
+        for original, copy in zip(trace, reparsed):
+            assert copy.coflow_id == original.coflow_id
+            assert copy.arrival_time == pytest.approx(original.arrival_time)
+            assert copy.demand() == pytest.approx(original.demand())
+
+    def test_generated_trace_round_trips(self, tmp_path):
+        """Synthetic traces split reducer totals evenly, so the format
+        round-trips them exactly."""
+        config = GeneratorConfig(num_ports=30, num_coflows=20, max_width=6, seed=3)
+        trace = FacebookLikeTraceGenerator(config).generate()
+        path = tmp_path / "generated.txt"
+        write_trace(trace, path)
+        reparsed = parse_trace(path)
+        assert len(reparsed) == len(trace)
+        for original, copy in zip(trace, reparsed):
+            assert copy.demand() == pytest.approx(original.demand())
+            assert copy.arrival_time == pytest.approx(original.arrival_time)

@@ -1,0 +1,98 @@
+"""Tests for the canonical Coflow pattern constructors."""
+
+import pytest
+
+from repro.core.bounds import circuit_lower_bound
+from repro.core.coflow import CoflowCategory
+from repro.core.sunflow import SunflowScheduler
+from repro.units import GBPS, MB, MS
+from repro.workloads.patterns import (
+    broadcast,
+    hotspot,
+    incast,
+    one_to_one,
+    permutation,
+    shuffle,
+)
+
+B = 1 * GBPS
+DELTA = 10 * MS
+
+
+class TestConstructors:
+    def test_one_to_one(self):
+        coflow = one_to_one(1, 2, 7, 5 * MB)
+        assert coflow.category is CoflowCategory.ONE_TO_ONE
+        assert coflow.demand() == {(2, 7): 5 * MB}
+
+    def test_broadcast(self):
+        coflow = broadcast(1, 0, [1, 2, 3], 5 * MB)
+        assert coflow.category is CoflowCategory.ONE_TO_MANY
+        assert coflow.num_flows == 3
+        assert all(f.src == 0 for f in coflow.flows)
+
+    def test_broadcast_duplicate_receivers_rejected(self):
+        with pytest.raises(ValueError):
+            broadcast(1, 0, [1, 1], 5 * MB)
+
+    def test_incast(self):
+        coflow = incast(1, [1, 2, 3], 0, 5 * MB)
+        assert coflow.category is CoflowCategory.MANY_TO_ONE
+        assert all(f.dst == 0 for f in coflow.flows)
+
+    def test_incast_empty_rejected(self):
+        with pytest.raises(ValueError):
+            incast(1, [], 0, 5 * MB)
+
+    def test_shuffle_full_bipartite(self):
+        coflow = shuffle(1, [0, 1], [2, 3, 4], 5 * MB)
+        assert coflow.category is CoflowCategory.MANY_TO_MANY
+        assert coflow.num_flows == 6
+
+    def test_shuffle_duplicate_ports_rejected(self):
+        with pytest.raises(ValueError):
+            shuffle(1, [0, 0], [1, 2], 5 * MB)
+
+    def test_permutation(self):
+        coflow = permutation(1, {0: 3, 1: 4, 2: 5}, 5 * MB)
+        assert coflow.num_flows == 3
+
+    def test_permutation_validation(self):
+        with pytest.raises(ValueError):
+            permutation(1, {0: 3, 1: 3}, 5 * MB)
+
+    def test_hotspot_sizes(self):
+        coflow = hotspot(1, [0, 1], [5, 6], base_bytes=1 * MB, hot_factor=10)
+        demand = coflow.demand()
+        assert demand[(0, 5)] == 10 * MB
+        assert demand[(0, 6)] == 1 * MB
+
+    def test_hotspot_target_validated(self):
+        with pytest.raises(ValueError):
+            hotspot(1, [0], [5, 6], 1 * MB, hot_dst=9)
+
+    def test_sizes_validated(self):
+        with pytest.raises(ValueError):
+            one_to_one(1, 0, 1, 0.0)
+        with pytest.raises(ValueError):
+            hotspot(1, [0], [5], 1 * MB, hot_factor=0)
+
+
+class TestSchedulingBehaviour:
+    def test_permutation_is_fully_parallel(self):
+        coflow = permutation(1, {i: i + 5 for i in range(4)}, 125 * MB)
+        schedule = SunflowScheduler(delta=DELTA).schedule_coflow(coflow, B)
+        assert schedule.makespan == pytest.approx(1.0 + DELTA)
+
+    def test_incast_serializes_to_bound(self):
+        coflow = incast(1, [0, 1, 2], 9, 25 * MB)
+        schedule = SunflowScheduler(delta=DELTA).schedule_coflow(coflow, B)
+        assert schedule.makespan == pytest.approx(
+            circuit_lower_bound(coflow, B, DELTA)
+        )
+
+    def test_shuffle_within_factor_two(self):
+        coflow = shuffle(1, [0, 1, 2], [5, 6], 25 * MB)
+        schedule = SunflowScheduler(delta=DELTA).schedule_coflow(coflow, B)
+        lower = circuit_lower_bound(coflow, B, DELTA)
+        assert lower <= schedule.makespan <= 2 * lower

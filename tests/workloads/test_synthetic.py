@@ -1,0 +1,112 @@
+"""Tests for the Facebook-like synthetic trace generator."""
+
+import pytest
+
+from repro.analysis import classify
+from repro.core.coflow import CoflowCategory
+from repro.units import MB
+from repro.workloads.synthetic import (
+    CategoryMix,
+    FacebookLikeTraceGenerator,
+    GeneratorConfig,
+    paper_trace,
+)
+
+
+def generate(**overrides):
+    params = dict(num_ports=40, num_coflows=120, max_width=12, seed=11)
+    params.update(overrides)
+    return FacebookLikeTraceGenerator(GeneratorConfig(**params)).generate()
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a, b = generate(), generate()
+        assert len(a) == len(b)
+        for ca, cb in zip(a, b):
+            assert ca.arrival_time == cb.arrival_time
+            assert ca.demand() == cb.demand()
+
+    def test_different_seed_different_trace(self):
+        a, b = generate(seed=1), generate(seed=2)
+        assert any(ca.demand() != cb.demand() for ca, cb in zip(a, b))
+
+
+class TestStructure:
+    def test_requested_counts(self):
+        trace = generate()
+        assert len(trace) == 120
+        assert trace.num_ports == 40
+
+    def test_arrivals_increasing(self):
+        trace = generate()
+        arrivals = [c.arrival_time for c in trace]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+
+    def test_ports_in_range(self):
+        trace = generate()
+        for coflow in trace:
+            for flow in coflow.flows:
+                assert 0 <= flow.src < 40
+                assert 0 <= flow.dst < 40
+
+    def test_max_width_respected(self):
+        trace = generate(max_width=5)
+        for coflow in trace:
+            if coflow.category is CoflowCategory.MANY_TO_MANY:
+                assert len(coflow.senders) <= 5
+                assert len(coflow.receivers) <= 5
+
+    def test_sizes_are_mb_granular_with_floor(self):
+        trace = generate()
+        for coflow in trace:
+            for flow in coflow.flows:
+                assert flow.size_bytes >= 1 * MB
+                assert flow.size_bytes % MB == pytest.approx(0.0)
+
+
+class TestTable4Statistics:
+    def test_category_mix_close_to_table_4(self):
+        trace = generate(num_coflows=500)
+        breakdown = classify(trace)
+        assert breakdown.coflow_percent(CoflowCategory.ONE_TO_ONE) == pytest.approx(
+            23.4, abs=1.5
+        )
+        assert breakdown.coflow_percent(CoflowCategory.ONE_TO_MANY) == pytest.approx(
+            9.9, abs=1.5
+        )
+        assert breakdown.coflow_percent(CoflowCategory.MANY_TO_ONE) == pytest.approx(
+            40.1, abs=1.5
+        )
+        assert breakdown.coflow_percent(CoflowCategory.MANY_TO_MANY) == pytest.approx(
+            26.6, abs=1.5
+        )
+
+    def test_m2m_dominates_bytes(self):
+        trace = generate(num_coflows=500)
+        breakdown = classify(trace)
+        assert breakdown.bytes_percent(CoflowCategory.MANY_TO_MANY) > 98.0
+
+    def test_custom_mix(self):
+        mix = CategoryMix(one_to_one=1.0, one_to_many=0.0, many_to_one=0.0, many_to_many=0.0)
+        config = GeneratorConfig(num_ports=10, num_coflows=30, mix=mix, seed=1)
+        trace = FacebookLikeTraceGenerator(config).generate()
+        assert all(c.category is CoflowCategory.ONE_TO_ONE for c in trace)
+
+    def test_invalid_mix_rejected(self):
+        mix = CategoryMix(0.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            mix.normalized()
+
+
+class TestPaperTrace:
+    def test_defaults_match_paper_scale(self):
+        trace = paper_trace(num_coflows=50, max_width=10)
+        assert trace.num_ports == 150
+        assert len(trace) == 50
+
+    def test_mean_interarrival_scales_span(self):
+        fast = generate(mean_interarrival=0.5)
+        slow = generate(mean_interarrival=8.0)
+        assert slow.span > fast.span

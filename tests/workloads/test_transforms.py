@@ -1,0 +1,113 @@
+"""Tests for trace transforms: perturbation and idleness scaling."""
+
+import pytest
+
+from repro.analysis import network_idleness
+from repro.core.coflow import Coflow, CoflowTrace
+from repro.units import GBPS, MB
+from repro.workloads.transforms import perturb_sizes, scale_bytes, scale_to_idleness
+
+B = 1 * GBPS
+
+
+def trace_of(*coflows, num_ports=10):
+    return CoflowTrace(num_ports=num_ports, coflows=list(coflows))
+
+
+class TestPerturbSizes:
+    def base_trace(self):
+        return trace_of(
+            Coflow.from_demand(1, {(0, 1): 100 * MB, (1, 2): 100 * MB}),
+            Coflow.from_demand(2, {(2, 3): 1 * MB}),
+        )
+
+    def test_sizes_within_fraction(self):
+        trace = perturb_sizes(self.base_trace(), fraction=0.05, seed=1)
+        big_flows = [f for c in trace for f in c.flows if f.size_bytes > 50 * MB]
+        for flow in big_flows:
+            assert 95 * MB <= flow.size_bytes <= 105 * MB
+
+    def test_floor_applied(self):
+        trace = perturb_sizes(self.base_trace(), fraction=0.5, seed=1, min_bytes=1 * MB)
+        for coflow in trace:
+            for flow in coflow.flows:
+                assert flow.size_bytes >= 1 * MB
+
+    def test_equal_sizes_become_unequal(self):
+        """The point of the perturbation: MB-rounded equal subflows
+        de-synchronize."""
+        trace = perturb_sizes(self.base_trace(), fraction=0.05, seed=1)
+        sizes = [f.size_bytes for f in trace[0].flows]
+        assert sizes[0] != sizes[1]
+
+    def test_deterministic_for_seed(self):
+        a = perturb_sizes(self.base_trace(), seed=4)
+        b = perturb_sizes(self.base_trace(), seed=4)
+        assert a[0].demand() == b[0].demand()
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            perturb_sizes(self.base_trace(), fraction=1.5)
+
+    def test_structure_preserved(self):
+        original = self.base_trace()
+        trace = perturb_sizes(original, seed=9)
+        for before, after in zip(original, trace):
+            assert set(before.demand()) == set(after.demand())
+            assert before.arrival_time == after.arrival_time
+
+
+class TestScaleBytes:
+    def test_multiplies(self):
+        trace = trace_of(Coflow.from_demand(1, {(0, 1): 10 * MB}))
+        scaled = scale_bytes(trace, 2.5)
+        assert scaled[0].flows[0].size_bytes == pytest.approx(25 * MB)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            scale_bytes(trace_of(), 0.0)
+
+
+class TestScaleToIdleness:
+    def staggered_trace(self):
+        """Arrivals spaced 1 s apart with 0.8 s of work each -> some idleness."""
+        coflows = [
+            Coflow.from_demand(i, {(0, 1): 100 * MB}, arrival_time=float(i) * 1.0)
+            for i in range(1, 11)
+        ]
+        return trace_of(*coflows)
+
+    def test_hits_target_upward(self):
+        """Shrinking sizes raises idleness to the target."""
+        trace = self.staggered_trace()
+        base = network_idleness(trace, B)
+        target = min(0.9, base + 0.3)
+        scaled = scale_to_idleness(trace, B, target, tolerance=0.01)
+        assert network_idleness(scaled, B) == pytest.approx(target, abs=0.015)
+
+    def test_hits_target_downward(self):
+        """Growing sizes lowers idleness to the target."""
+        trace = self.staggered_trace()
+        base = network_idleness(trace, B)
+        target = max(0.05, base - 0.1)
+        scaled = scale_to_idleness(trace, B, target, tolerance=0.01)
+        assert network_idleness(scaled, B) == pytest.approx(target, abs=0.015)
+
+    def test_structure_preserved(self):
+        trace = self.staggered_trace()
+        scaled = scale_to_idleness(trace, B, 0.5, tolerance=0.01)
+        for before, after in zip(trace, scaled):
+            assert set(before.demand()) == set(after.demand())
+            assert before.arrival_time == after.arrival_time
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            scale_to_idleness(self.staggered_trace(), B, 0.0)
+        with pytest.raises(ValueError):
+            scale_to_idleness(self.staggered_trace(), B, 1.0)
+
+    def test_monotone_in_factor(self):
+        trace = self.staggered_trace()
+        idle_small = network_idleness(scale_bytes(trace, 0.5), B)
+        idle_large = network_idleness(scale_bytes(trace, 2.0), B)
+        assert idle_small >= idle_large
