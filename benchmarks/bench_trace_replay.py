@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""End-to-end trace-replay benchmark (incremental vs full replanning).
+
+Standalone CLI (not a pytest bench): replays a synthetic Facebook-like
+trace through the inter-Coflow simulator in both replanner modes, verifies
+the results are identical per Coflow, and writes the timing summary to
+``BENCH_trace_replay.json`` at the repository root.
+
+    PYTHONPATH=src python benchmarks/bench_trace_replay.py
+    PYTHONPATH=src python benchmarks/bench_trace_replay.py --coflows 120 --max-width 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--coflows", type=int, default=500, help="trace length")
+    parser.add_argument("--ports", type=int, default=150, help="switch radix")
+    parser.add_argument(
+        "--max-width",
+        type=int,
+        default=None,
+        help="cap on Coflow width (default: unbounded, paper scale)",
+    )
+    parser.add_argument("--seed", type=int, default=2016, help="trace seed")
+    parser.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the full-replan validation run (timing only)",
+    )
+    parser.add_argument(
+        "--baseline-s",
+        type=float,
+        default=None,
+        help="wall seconds of a reference run (e.g. the pre-optimization "
+        "replanner on the same machine and config) to record a speedup "
+        "against",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_trace_replay.json",
+        help="where to write the JSON summary",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.perf.replay_bench import run_trace_replay
+
+    result = run_trace_replay(
+        num_coflows=args.coflows,
+        num_ports=args.ports,
+        max_width=args.max_width,
+        seed=args.seed,
+        compare_full=not args.no_compare,
+    )
+
+    if args.baseline_s:
+        result["baseline_wall_s"] = args.baseline_s
+        result["speedup_vs_baseline"] = args.baseline_s / result["wall_s"]
+
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    print(
+        f"incremental: {result['wall_s']:.2f}s over {result['events']} events, "
+        f"{result['coflows']} coflows"
+    )
+    if "full_replan_wall_s" in result:
+        print(
+            f"full replan: {result['full_replan_wall_s']:.2f}s "
+            f"(speedup {result['speedup_vs_full']:.2f}x, "
+            f"{result['mismatches']} mismatches)"
+        )
+        if result["mismatches"]:
+            print("ERROR: incremental and full replanning disagree", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

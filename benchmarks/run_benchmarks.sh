@@ -1,0 +1,18 @@
+#!/bin/sh
+# Entry point for the repository's performance benchmarks.
+#
+# Runs the end-to-end trace-replay benchmark (incremental vs full
+# inter-Coflow replanning) at paper scale and leaves the summary in
+# BENCH_trace_replay.json at the repository root.  Extra arguments are
+# forwarded, e.g.:
+#
+#   benchmarks/run_benchmarks.sh --coflows 120 --max-width 30
+#
+# The paper-figure benches (bench_fig*.py etc.) stay on pytest-benchmark:
+#
+#   PYTHONPATH=src python -m pytest benchmarks/ -q
+
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_trace_replay.py "$@"

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -162,9 +162,11 @@ class ClassThen(Policy):
 def views_from_coflows(
     coflows,
     bandwidth_bps: float,
-    priority_classes: Mapping[int, int] = {},
+    priority_classes: Optional[Mapping[int, int]] = None,
 ) -> List[CoflowView]:
     """Build :class:`CoflowView` snapshots for whole (unstarted) Coflows."""
+    if priority_classes is None:
+        priority_classes = {}
     views = []
     for coflow in coflows:
         views.append(

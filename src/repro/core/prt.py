@@ -19,13 +19,17 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: Tolerance for floating-point time comparisons throughout the scheduler.
 TIME_EPS = 1e-9
 
 
-@dataclass(frozen=True)
+def _start_of(reservation: "Reservation") -> float:
+    return reservation.start
+
+
+@dataclass(frozen=True, slots=True)
 class Reservation:
     """One circuit held on ``[start, end)`` between ``src`` and ``dst``.
 
@@ -89,6 +93,13 @@ class PortReservationTable:
     this port after ``t``?", "when is the next circuit release anywhere?" —
     are all O(log n) via per-port sorted lists plus a global sorted list of
     release (end) times.
+
+    The table additionally supports *checkpoint/rollback*: reservations are
+    journalled in insertion order, so any suffix of the insertion history
+    can be undone in O(k log n) for k undone reservations.  The incremental
+    inter-Coflow replanner uses this to keep the reservations of
+    higher-priority Coflows in place while re-planning only the dirty
+    suffix of the priority order.
     """
 
     def __init__(self) -> None:
@@ -99,6 +110,22 @@ class PortReservationTable:
         self._ends: List[float] = []
         self._reservations: List[Reservation] = []
 
+    def clear(self) -> None:
+        """Drop every reservation (and the journal) in place.
+
+        The incremental replanner compacts with this when everything left
+        in the table lies entirely in the past: such reservations cannot
+        cover, block, or release anything from ``now`` on, so the table is
+        semantically empty — clearing keeps per-port lists from growing
+        with the age of the simulation.
+        """
+        self._in.clear()
+        self._out.clear()
+        self._in_starts.clear()
+        self._out_starts.clear()
+        self._ends.clear()
+        self._reservations.clear()
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -108,29 +135,74 @@ class PortReservationTable:
     def __iter__(self) -> Iterator[Reservation]:
         return iter(self._reservations)
 
-    def reservations_for_input(self, port: int) -> List[Reservation]:
-        return list(self._in.get(port, ()))
+    _EMPTY: Tuple[Reservation, ...] = ()
 
-    def reservations_for_output(self, port: int) -> List[Reservation]:
-        return list(self._out.get(port, ()))
+    def reservations_for_input(self, port: int) -> Sequence[Reservation]:
+        """Reservations on input ``port``, sorted by start.
 
-    @staticmethod
-    def _covering(
-        reservations: List[Reservation], starts: List[float], t: float
-    ) -> Optional[Reservation]:
-        """The reservation whose ``[start, end)`` contains ``t``, if any."""
+        Returns a read-only view of internal state (no copy): callers must
+        not mutate it, and must not hold it across a ``reserve``/``rollback``.
+        """
+        return self._in.get(port, self._EMPTY)
+
+    def reservations_for_output(self, port: int) -> Sequence[Reservation]:
+        """Reservations on output ``port``, sorted by start (read-only view)."""
+        return self._out.get(port, self._EMPTY)
+
+    def _releases_after(
+        self, table: Dict[int, List[Reservation]], port: int, t: float
+    ) -> Iterator[Reservation]:
+        """Reservations on ``port`` whose end lies after ``t``, without
+        scanning (or copying) the already-released prefix of the timeline.
+
+        Per-port reservations are non-overlapping, so sorted-by-start is
+        also sorted-by-end: every reservation from the first candidate on
+        has ``end > t`` except possibly the candidate itself.
+        """
+        reservations = table.get(port)
+        if not reservations:
+            return
+        idx = bisect.bisect_right(reservations, t + TIME_EPS, key=_start_of) - 1
+        if idx < 0:
+            idx = 0
+        while idx < len(reservations) and reservations[idx].end <= t + TIME_EPS:
+            idx += 1
+        for i in range(idx, len(reservations)):
+            yield reservations[i]
+
+    def input_releases_after(self, port: int, t: float) -> Iterator[Reservation]:
+        return self._releases_after(self._in, port, t)
+
+    def output_releases_after(self, port: int, t: float) -> Iterator[Reservation]:
+        return self._releases_after(self._out, port, t)
+
+    def input_reservation_at(self, port: int, t: float) -> Optional[Reservation]:
+        """The reservation covering ``t`` on input port ``port``, if any.
+
+        Body is inlined (rather than sharing a ``_covering`` helper) because
+        this is the single hottest query in ``schedule_demand``.
+        """
+        starts = self._in_starts.get(port)
+        if not starts:
+            return None
         idx = bisect.bisect_right(starts, t + TIME_EPS) - 1
         if idx >= 0:
-            candidate = reservations[idx]
+            candidate = self._in[port][idx]
             if candidate.start <= t + TIME_EPS and t < candidate.end - TIME_EPS:
                 return candidate
         return None
 
-    def input_reservation_at(self, port: int, t: float) -> Optional[Reservation]:
-        return self._covering(self._in.get(port, []), self._in_starts.get(port, []), t)
-
     def output_reservation_at(self, port: int, t: float) -> Optional[Reservation]:
-        return self._covering(self._out.get(port, []), self._out_starts.get(port, []), t)
+        """The reservation covering ``t`` on output port ``port``, if any."""
+        starts = self._out_starts.get(port)
+        if not starts:
+            return None
+        idx = bisect.bisect_right(starts, t + TIME_EPS) - 1
+        if idx >= 0:
+            candidate = self._out[port][idx]
+            if candidate.start <= t + TIME_EPS and t < candidate.end - TIME_EPS:
+                return candidate
+        return None
 
     def input_free_at(self, port: int, t: float) -> bool:
         return self.input_reservation_at(port, t) is None
@@ -141,12 +213,10 @@ class PortReservationTable:
     @staticmethod
     def _next_start(starts: List[float], t: float) -> float:
         """Earliest reservation start at or after ``t`` (inf if none)."""
+        # bisect_left already lands on the first start >= t - eps — a start
+        # within eps *before* t still counts as "next" so a zero-length gap
+        # is never mistaken for usable port time.
         idx = bisect.bisect_left(starts, t - TIME_EPS)
-        # Skip starts that are effectively equal to t only if they are in the
-        # past; bisect_left with the epsilon already lands us on the first
-        # start >= t - eps, which is what "next reservation" means here.
-        while idx < len(starts) and starts[idx] < t - TIME_EPS:
-            idx += 1
         return starts[idx] if idx < len(starts) else float("inf")
 
     def next_reserved_time(self, src: int, dst: int, t: float) -> float:
@@ -155,6 +225,40 @@ class PortReservationTable:
         next_in = self._next_start(self._in_starts.get(src, []), t)
         next_out = self._next_start(self._out_starts.get(dst, []), t)
         return min(next_in, next_out)
+
+    def release_of_block(
+        self, src: int, dst: int, t: float, t_next: float
+    ) -> Tuple[float, bool]:
+        """Earliest end among the reservations starting at ``t_next``.
+
+        Companion to :meth:`next_reserved_time`: when the free gap
+        ``[t, t_next)`` is too small to fit a setup, the circuit stays
+        infeasible until the blocking reservation releases its port.  The
+        minimum end over both ports' ``t_next``-starting reservations is a
+        proven lower bound on when that can change.
+
+        Returns ``(end, on_input)`` — the bound and whether the
+        earliest-releasing blocker sits on the input port (so the caller
+        knows which port's release to wait for).  ``(inf, True)`` if
+        neither port has a blocker, which cannot happen when ``t_next``
+        came from :meth:`next_reserved_time` with a finite value.
+        """
+        end = float("inf")
+        on_input = True
+        for table, starts_table, port, is_input in (
+            (self._in, self._in_starts, src, True),
+            (self._out, self._out_starts, dst, False),
+        ):
+            starts = starts_table.get(port)
+            if not starts:
+                continue
+            idx = bisect.bisect_left(starts, t - TIME_EPS)
+            if idx < len(starts) and starts[idx] <= t_next + TIME_EPS:
+                candidate = table[port][idx].end
+                if candidate < end:
+                    end = candidate
+                    on_input = is_input
+        return end, on_input
 
     def next_release_after(self, t: float) -> Optional[float]:
         """Earliest reservation end strictly after ``t`` across all ports.
@@ -173,19 +277,6 @@ class PortReservationTable:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def _check_no_overlap(
-        self, reservations: List[Reservation], starts: List[float], new: Reservation
-    ) -> None:
-        idx = bisect.bisect_left(starts, new.start)
-        # The previous reservation must end before the new one starts...
-        if idx > 0 and reservations[idx - 1].end > new.start + TIME_EPS:
-            raise PortConflictError(
-                f"{new} overlaps existing {reservations[idx - 1]}"
-            )
-        # ...and the next must start after the new one ends.
-        if idx < len(reservations) and reservations[idx].start < new.end - TIME_EPS:
-            raise PortConflictError(f"{new} overlaps existing {reservations[idx]}")
-
     def reserve(
         self,
         src: int,
@@ -204,22 +295,93 @@ class PortReservationTable:
         reservation = Reservation(
             start=start, end=end, src=src, dst=dst, coflow_id=coflow_id, setup=setup
         )
-        in_list = self._in.setdefault(src, [])
-        in_starts = self._in_starts.setdefault(src, [])
-        out_list = self._out.setdefault(dst, [])
-        out_starts = self._out_starts.setdefault(dst, [])
-        self._check_no_overlap(in_list, in_starts, reservation)
-        self._check_no_overlap(out_list, out_starts, reservation)
+        self._insert(reservation)
+        return reservation
 
-        idx = bisect.bisect_left(in_starts, reservation.start)
-        in_list.insert(idx, reservation)
-        in_starts.insert(idx, reservation.start)
-        idx = bisect.bisect_left(out_starts, reservation.start)
-        out_list.insert(idx, reservation)
-        out_starts.insert(idx, reservation.start)
+    def _insert(self, reservation: Reservation) -> None:
+        """Insert with overlap checks; one bisect per port, reused for both
+        the check and the insertion point (this is the hottest PRT write)."""
+        in_list = self._in.setdefault(reservation.src, [])
+        in_starts = self._in_starts.setdefault(reservation.src, [])
+        out_list = self._out.setdefault(reservation.dst, [])
+        out_starts = self._out_starts.setdefault(reservation.dst, [])
+        idx_in = bisect.bisect_left(in_starts, reservation.start)
+        self._check_neighbors(in_list, idx_in, reservation)
+        idx_out = bisect.bisect_left(out_starts, reservation.start)
+        self._check_neighbors(out_list, idx_out, reservation)
+        in_list.insert(idx_in, reservation)
+        in_starts.insert(idx_in, reservation.start)
+        out_list.insert(idx_out, reservation)
+        out_starts.insert(idx_out, reservation.start)
         bisect.insort(self._ends, reservation.end)
         self._reservations.append(reservation)
-        return reservation
+
+    @staticmethod
+    def _check_neighbors(
+        reservations: List[Reservation], idx: int, new: Reservation
+    ) -> None:
+        """Overlap check against the would-be neighbors at insert point ``idx``."""
+        if idx > 0 and reservations[idx - 1].end > new.start + TIME_EPS:
+            raise PortConflictError(
+                f"{new} overlaps existing {reservations[idx - 1]}"
+            )
+        if idx < len(reservations) and reservations[idx].start < new.end - TIME_EPS:
+            raise PortConflictError(f"{new} overlaps existing {reservations[idx]}")
+
+    def replay(self, reservations: Sequence[Reservation]) -> None:
+        """Re-insert already-validated reservations (e.g. a cached Coflow
+        plan after a :meth:`rollback`).  Overlap checks still apply, so a
+        stale plan that no longer fits raises :class:`PortConflictError`
+        instead of corrupting the table."""
+        for reservation in reservations:
+            self._insert(reservation)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / rollback
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Token for the current state; pass to :meth:`rollback` to undo
+        every reservation made after this point."""
+        return len(self._reservations)
+
+    def rollback(self, token: int) -> int:
+        """Undo all reservations made after ``checkpoint()`` returned
+        ``token`` (most recent first).  Returns the number undone."""
+        if token < 0 or token > len(self._reservations):
+            raise ValueError(
+                f"invalid checkpoint token {token} for table of {len(self._reservations)}"
+            )
+        undone = 0
+        while len(self._reservations) > token:
+            reservation = self._reservations.pop()
+            self._remove_from_port(
+                self._in, self._in_starts, reservation.src, reservation
+            )
+            self._remove_from_port(
+                self._out, self._out_starts, reservation.dst, reservation
+            )
+            idx = bisect.bisect_left(self._ends, reservation.end)
+            # Duplicate end values are interchangeable floats; drop any one.
+            del self._ends[idx]
+            undone += 1
+        return undone
+
+    @staticmethod
+    def _remove_from_port(
+        table: Dict[int, List[Reservation]],
+        starts_table: Dict[int, List[float]],
+        port: int,
+        reservation: Reservation,
+    ) -> None:
+        reservations = table[port]
+        starts = starts_table[port]
+        idx = bisect.bisect_left(starts, reservation.start)
+        # Starts are unique per port (reservations never overlap), so the
+        # bisect lands exactly on the entry to remove.
+        if idx >= len(reservations) or reservations[idx] is not reservation:
+            raise ValueError(f"{reservation} not found on port {port}")
+        del reservations[idx]
+        del starts[idx]
 
     # ------------------------------------------------------------------
     # Validation (used heavily by the test suite)

@@ -33,10 +33,12 @@ test suite checks the two produce identical reservations.
 
 from __future__ import annotations
 
+import bisect
 import enum
 import heapq
 import itertools
 import math
+import operator
 import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
@@ -44,6 +46,14 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 from repro.core.coflow import Coflow
 from repro.core.prt import PortReservationTable, Reservation, TIME_EPS
 from repro.units import DEFAULT_BANDWIDTH, DEFAULT_DELTA
+
+
+#: Sort key for attempt batches; C-level attrgetter keeps the hot loop lean.
+_ORDER_KEY = operator.attrgetter("order_index")
+
+
+def _reservation_start(reservation: Reservation) -> float:
+    return reservation.start
 
 
 class ReservationOrder(enum.Enum):
@@ -85,37 +95,90 @@ class CoflowSchedule:
         """Number of circuit establishments (reservations paying a setup)."""
         return sum(1 for r in self.reservations if r.setup > 0)
 
+    def index_at_or_after(self, t: float) -> int:
+        """First index whose reservation starts at/after ``t - TIME_EPS``.
+
+        Reservations are appended in non-decreasing start order, so the
+        list is bisectable; simulators use this to visit only the
+        reservations overlapping an event window instead of scanning the
+        whole plan.
+        """
+        return bisect.bisect_left(self.reservations, t - TIME_EPS, key=_reservation_start)
+
+    def first_start(self) -> float:
+        """Start of the earliest reservation (inf for an empty plan)."""
+        return self.reservations[0].start if self.reservations else float("inf")
+
     @property
     def makespan(self) -> float:
         return self.completion_time - self.start_time
 
 
 #: Circuits already configured for a Coflow at the schedule origin: either
-#: a set (setup complete) or a mapping ``circuit -> remaining setup seconds``.
+#: a set (setup complete), a mapping ``circuit -> remaining setup seconds``,
+#: or a mapping ``circuit -> (remaining setup, anchor end)`` where the
+#: anchor is the absolute end time the circuit's continuation was already
+#: planned to reach.  The anchor lets a replan reproduce the prior plan's
+#: end *bitwise* (``now + (σ + remaining)`` re-associates floating point),
+#: which the incremental simulator relies on to detect unchanged plans.
 EstablishedCircuits = Union[
     FrozenSet[Tuple[int, int]],
     Set[Tuple[int, int]],
     Mapping[Tuple[int, int], float],
+    Mapping[Tuple[int, int], Tuple[float, float]],
 ]
 
 
-def _normalize_established(established: EstablishedCircuits) -> Dict[Tuple[int, int], float]:
+def _normalize_established(
+    established: Optional[EstablishedCircuits],
+) -> Dict[Tuple[int, int], Tuple[float, Optional[float]]]:
+    """Normalize to ``{circuit: (remaining setup, anchor end or None)}``."""
+    if not established:
+        return {}
     if isinstance(established, Mapping):
-        return dict(established)
-    return {circuit: 0.0 for circuit in established}
+        normalized: Dict[Tuple[int, int], Tuple[float, Optional[float]]] = {}
+        for circuit, value in established.items():
+            if isinstance(value, tuple):
+                normalized[circuit] = (value[0], value[1])
+            else:
+                normalized[circuit] = (float(value), None)
+        return normalized
+    return {circuit: (0.0, None) for circuit in established}
 
 
-@dataclass
 class _Entry:
-    """Mutable remaining demand for one circuit while scheduling."""
+    """Mutable remaining demand for one circuit while scheduling.
 
-    src: int
-    dst: int
-    remaining: float  # processing seconds still to transmit
-    order_index: int = 0
+    Identity-hashed (entries live in pending sets); ``__slots__`` because
+    the inter-Coflow replay creates one per circuit per replan.
 
-    def __hash__(self) -> int:  # identity hash: entries live in pending sets
-        return id(self)
+    ``blocked_until``/``blocked_key`` memoize a proven fact about the last
+    failed attempt: *which* port blocks this circuit and until *when* (the
+    end of the covering/blocking reservation).  No attempt strictly before
+    that instant can succeed, and the port cannot release earlier (per-port
+    reservations never overlap), so the entry waits in that one port's
+    queue and is re-examined exactly when the port frees up.  Skipped
+    attempts are exactly the ones that would have failed, so schedules are
+    bit-identical with or without the memo.  ``blocked_key`` uses the
+    scheduler's integer port-key encoding (input ``p`` → ``2p``, output
+    ``p`` → ``2p + 1``).
+    """
+
+    __slots__ = ("src", "dst", "remaining", "order_index", "blocked_until", "blocked_key")
+
+    def __init__(self, src: int, dst: int, remaining: float, order_index: int = 0) -> None:
+        self.src = src
+        self.dst = dst
+        self.remaining = remaining
+        self.order_index = order_index
+        self.blocked_until = 0.0
+        self.blocked_key = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"_Entry(src={self.src}, dst={self.dst}, "
+            f"remaining={self.remaining}, order_index={self.order_index})"
+        )
 
 
 class SunflowScheduler:
@@ -189,71 +252,168 @@ class SunflowScheduler:
         if not entries:
             return schedule
 
-        # Pending entries indexed by the ports they need.
-        pending_by_port: Dict[Tuple[str, int], Set[_Entry]] = {}
-        for entry in entries:
-            pending_by_port.setdefault(("in", entry.src), set()).add(entry)
-            pending_by_port.setdefault(("out", entry.dst), set()).add(entry)
         outstanding = len(entries)
 
-        # Release events: (time, src, dst).  Seed with the ends of
+        # Release events: the scheduling clock.  Seed with the ends of
         # pre-existing reservations (higher-priority Coflows, guard slices)
         # on the ports this Coflow actually uses — releases elsewhere cannot
         # change any entry's feasibility; new ends are pushed as we reserve.
-        # A counter breaks ties deterministically.
-        counter = itertools.count()
-        events: List[Tuple[float, int, int, int]] = []
+        # Events carry the released circuit so the loop knows which port
+        # queues to wake.
         used_inputs = {entry.src for entry in entries}
         used_outputs = {entry.dst for entry in entries}
-        seeded = set()
+        seeded: Set[Tuple[float, int, int]] = set()
         for port in used_inputs:
-            for reservation in prt.reservations_for_input(port):
-                if reservation.end > start_time + TIME_EPS:
-                    seeded.add((reservation.end, reservation.src, reservation.dst))
+            for reservation in prt.input_releases_after(port, start_time):
+                seeded.add((reservation.end, reservation.src, reservation.dst))
         for port in used_outputs:
-            for reservation in prt.reservations_for_output(port):
-                if reservation.end > start_time + TIME_EPS:
-                    seeded.add((reservation.end, reservation.src, reservation.dst))
-        for end, src, dst in seeded:
-            heapq.heappush(events, (end, next(counter), src, dst))
+            for reservation in prt.output_releases_after(port, start_time):
+                seeded.add((reservation.end, reservation.src, reservation.dst))
+        events: List[Tuple[float, int, int]] = list(seeded)
+        heapq.heapify(events)
 
-        def attempt(batch: Iterable[_Entry], t: float) -> None:
+        # Blocked entries wait in per-port queues, sorted by consideration
+        # order.  Port keys are ints — input ``p`` → ``2p``, output ``p`` →
+        # ``2p + 1`` — which hash and compare faster than tuples in the hot
+        # sets below.  An entry sits in the queue of the one port *proven*
+        # to block it (``_Entry.blocked_key``) and is re-examined exactly
+        # when that port releases; releases of its other port in between
+        # are guaranteed-failure attempts in the reference implementation,
+        # so skipping them cannot change the schedule (the ``TIME_EPS``
+        # batch window below absorbs the case where both ports release
+        # within tolerance of each other).
+        waiting: Dict[int, List[_Entry]] = {}
+
+        def enqueue(entry: _Entry) -> None:
+            """File an entry under the port recorded in ``blocked_key``."""
+            bucket = waiting.get(entry.blocked_key)
+            if bucket is None:
+                waiting[entry.blocked_key] = [entry]
+            elif bucket[-1].order_index < entry.order_index:
+                bucket.append(entry)
+            else:
+                bisect.insort(bucket, entry, key=_ORDER_KEY)
+
+        def reattach(key: int, suffix: List[_Entry]) -> None:
+            """Put an unexamined (still sorted) queue suffix back to wait."""
+            bucket = waiting.get(key)
+            if bucket is None:
+                waiting[key] = suffix
+            else:
+                # Entries moved onto this port during the same batch; both
+                # runs are sorted, so merge them.
+                waiting[key] = list(heapq.merge(suffix, bucket, key=_ORDER_KEY))
+
+        def examine(entry: _Entry, t: float, taken: Set[int]) -> None:
+            """Attempt one entry whose ports are not yet taken this batch."""
             nonlocal outstanding
-            for entry in sorted(batch, key=lambda e: e.order_index):
-                if entry.remaining <= TIME_EPS:
-                    continue
-                before = entry.remaining
-                entry.remaining = self._make_reservation(
-                    prt, schedule, entry, t, start_time, established
+            before = entry.remaining
+            entry.remaining = self._make_reservation(
+                prt, schedule, entry, t, start_time, established
+            )
+            if entry.remaining != before:
+                reservation = schedule.reservations[-1]
+                taken.add(reservation.src * 2)
+                taken.add(reservation.dst * 2 + 1)
+                heapq.heappush(
+                    events, (reservation.end, reservation.src, reservation.dst)
                 )
-                if entry.remaining != before:
-                    reservation = schedule.reservations[-1]
-                    heapq.heappush(
-                        events,
-                        (reservation.end, next(counter), reservation.src, reservation.dst),
-                    )
                 if entry.remaining <= TIME_EPS:
-                    pending_by_port[("in", entry.src)].discard(entry)
-                    pending_by_port[("out", entry.dst)].discard(entry)
                     outstanding -= 1
+                else:
+                    # Truncated: the entry's own reservation covers its
+                    # ports until it ends — wait out its own input port.
+                    entry.blocked_key = reservation.src * 2
+                    enqueue(entry)
+            else:
+                # Failed: ``_make_reservation`` recorded the blocking port
+                # in ``blocked_key``.
+                enqueue(entry)
 
-        attempt(entries, start_time)
+        # First pass: every entry, in consideration order, at the origin.
+        taken: Set[int] = set()
+        for entry in entries:
+            key = entry.src * 2
+            if key in taken:
+                entry.blocked_key = key
+                enqueue(entry)
+                continue
+            key = entry.dst * 2 + 1
+            if key in taken:
+                entry.blocked_key = key
+                enqueue(entry)
+                continue
+            examine(entry, start_time, taken)
+
         while outstanding > 0:
             if not events:
                 raise RuntimeError(
                     f"coflow {coflow_id}: demand left but no future release"
                 )
             t = events[0][0]
-            released_ports: Set[Tuple[str, int]] = set()
-            while events and events[0][0] <= t + TIME_EPS:
-                _, _, src, dst = heapq.heappop(events)
-                released_ports.add(("in", src))
-                released_ports.add(("out", dst))
-            candidates: Set[_Entry] = set()
-            for port in released_ports:
-                candidates.update(pending_by_port.get(port, ()))
-            if candidates:
-                attempt(candidates, t)
+            horizon = t + TIME_EPS
+            released: Set[int] = set()
+            while events and events[0][0] <= horizon:
+                _, src, dst = heapq.heappop(events)
+                released.add(src * 2)
+                released.add(dst * 2 + 1)
+            queues: List[Tuple[int, List[_Entry]]] = []
+            for key in released:
+                bucket = waiting.pop(key, None)
+                if bucket:
+                    queues.append((key, bucket))
+            if not queues:
+                continue
+            taken = set()
+            if len(queues) == 1:
+                # Fast path: one port queue woke up.  Examine entries in
+                # order until the port is taken again; the untouched suffix
+                # is provably blocked until the new reservation ends, so it
+                # goes back to waiting wholesale.
+                key, queue = queues[0]
+                size = len(queue)
+                i = 0
+                while i < size and key not in taken:
+                    entry = queue[i]
+                    i += 1
+                    other = entry.dst * 2 + 1 if key & 1 == 0 else entry.src * 2
+                    if other in taken:
+                        entry.blocked_key = other
+                        enqueue(entry)
+                    else:
+                        examine(entry, t, taken)
+                if i < size:
+                    reattach(key, queue[i:] if i else queue)
+            else:
+                # Several ports released within tolerance: interleave their
+                # queues so entries are still examined in global
+                # consideration order.
+                ptrs = [0] * len(queues)
+                heads = [
+                    (queue[0].order_index, j)
+                    for j, (_, queue) in enumerate(queues)
+                ]
+                heapq.heapify(heads)
+                while heads:
+                    _, j = heapq.heappop(heads)
+                    key, queue = queues[j]
+                    i = ptrs[j]
+                    if key in taken:
+                        # Port re-taken this batch: the rest of this queue
+                        # is provably blocked; leave it parked wholesale.
+                        reattach(key, queue[i:] if i else queue)
+                        continue
+                    entry = queue[i]
+                    i += 1
+                    ptrs[j] = i
+                    if i < len(queue):
+                        heapq.heappush(heads, (queue[i].order_index, j))
+                    other = entry.dst * 2 + 1 if key & 1 == 0 else entry.src * 2
+                    if other in taken:
+                        entry.blocked_key = other
+                        enqueue(entry)
+                    else:
+                        examine(entry, t, taken)
         return schedule
 
     def schedule_coflow(
@@ -286,7 +446,7 @@ class SunflowScheduler:
         demands: Sequence[Tuple[int, Mapping[Tuple[int, int], float]]],
         start_time: float = 0.0,
         prt: Optional[PortReservationTable] = None,
-        established: Mapping[int, "EstablishedCircuits"] = {},
+        established: Optional[Mapping[int, "EstablishedCircuits"]] = None,
     ) -> Tuple[PortReservationTable, Dict[int, CoflowSchedule]]:
         """Schedule several Coflows, highest priority first, on one PRT.
 
@@ -302,6 +462,8 @@ class SunflowScheduler:
         """
         if prt is None:
             prt = PortReservationTable()
+        if established is None:
+            established = {}
         schedules: Dict[int, CoflowSchedule] = {}
         for coflow_id, demand_times in demands:
             schedules[coflow_id] = self.schedule_demand(
@@ -398,25 +560,39 @@ class SunflowScheduler:
         entry: _Entry,
         t: float,
         start_time: float,
-        established: FrozenSet[Tuple[int, int]],
+        established: Mapping[Tuple[int, int], Tuple[float, Optional[float]]],
     ) -> float:
         """Algorithm 1, MakeReservation: try to reserve for one entry at ``t``.
 
         Returns the remaining processing time after the reservation (the
         unchanged remaining time if no reservation could be made).
         """
-        if not (prt.input_free_at(entry.src, t) and prt.output_free_at(entry.dst, t)):
+        covering = prt.input_reservation_at(entry.src, t)
+        if covering is not None:
+            entry.blocked_key = entry.src * 2
+        else:
+            covering = prt.output_reservation_at(entry.dst, t)
+            if covering is not None:
+                entry.blocked_key = entry.dst * 2 + 1
+        if covering is not None:
+            # The port stays covered until the blocking reservation ends;
+            # any attempt strictly before that is guaranteed to land here
+            # again, so it can be skipped without probing.
+            if covering.end > entry.blocked_until:
+                entry.blocked_until = covering.end
             return entry.remaining
 
         # A circuit already configured (or mid-setup) for this flow at the
         # schedule origin only pays its remaining setup if we keep using it
         # from that same instant.
+        anchor: Optional[float] = None
         reuse = (
             abs(t - start_time) <= TIME_EPS
             and (entry.src, entry.dst) in established
         )
         if reuse:
-            setup = min(self.delta, established[(entry.src, entry.dst)])
+            setup_left, anchor = established[(entry.src, entry.dst)]
+            setup = min(self.delta, setup_left)
         else:
             setup = self.delta
 
@@ -426,13 +602,38 @@ class SunflowScheduler:
         if max_length <= setup + TIME_EPS:
             # The gap cannot fit even the reconfiguration: reserving would
             # transmit nothing, so skip (Algorithm 1 line 19, lm < δ).
+            # The gap only shrinks as t advances toward ``t_next``, and the
+            # blocking reservation then covers the port until it ends — so
+            # no attempt before that end can succeed either.
+            block_end, on_input = prt.release_of_block(
+                entry.src, entry.dst, t, t_next
+            )
+            if block_end > entry.blocked_until:
+                entry.blocked_until = block_end
+            entry.blocked_key = entry.src * 2 if on_input else entry.dst * 2 + 1
             return entry.remaining
-        length = min(max_length, desired_length)
+        if desired_length < max_length:
+            length = desired_length
+            end = t + length
+            if anchor is not None and abs(end - anchor) <= TIME_EPS:
+                # An uninterrupted continuation of an already-planned
+                # circuit: land on the previously planned end exactly, so
+                # replanning the same state reproduces the same
+                # reservation bit-for-bit instead of drifting by float
+                # re-association.
+                end = anchor
+        else:
+            # Truncated (or exactly fitting) reservation: land exactly on
+            # the blocking reservation's start — ``t + (t_next - t)`` can
+            # drift from ``t_next`` by an ulp, and downstream plans key on
+            # these endpoints bitwise.
+            length = max_length
+            end = t_next
         reservation = prt.reserve(
             entry.src,
             entry.dst,
             start=t,
-            end=t + length,
+            end=end,
             coflow_id=schedule.coflow_id,
             setup=setup,
         )

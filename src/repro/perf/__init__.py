@@ -1,0 +1,12 @@
+"""Performance observability for the simulation hot paths.
+
+* :class:`PerfCounters` — named counters and per-phase wall timers used by
+  the inter-Coflow simulator to report replans avoided, reservations
+  made/replayed, and where time went.
+* :mod:`repro.perf.replay_bench` — the end-to-end trace-replay benchmark
+  comparing the incremental replanner against the full-replan path.
+"""
+
+from repro.perf.counters import PerfCounters
+
+__all__ = ["PerfCounters"]

@@ -1,0 +1,94 @@
+"""End-to-end trace-replay benchmark for the inter-Coflow replanner.
+
+Replays a synthetic Facebook-like trace (§5.1's 150-port fabric) through
+:class:`~repro.sim.circuit_sim.InterCoflowSimulator` twice — once with the
+incremental prefix-reuse replanner and once with the validation-only
+full-replan path — measures both walls, and cross-checks that every
+Coflow's completion time and switching count are *identical* between the
+two runs.  The CLI wrapper in ``benchmarks/bench_trace_replay.py`` dumps
+the result as ``BENCH_trace_replay.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.perf.counters import PerfCounters
+
+
+def run_trace_replay(
+    num_coflows: int = 500,
+    num_ports: int = 150,
+    max_width: Optional[int] = None,
+    seed: int = 2016,
+    compare_full: bool = True,
+) -> Dict[str, Any]:
+    """Run the replay benchmark; returns a JSON-ready result dict.
+
+    Args:
+        num_coflows: trace length (the headline configuration uses 500).
+        num_ports: switch radix (the paper's fabric has 150 ports).
+        max_width: cap on Coflow width, ``None`` for unbounded (paper
+            scale — wide Coflows are what make replanning expensive).
+        seed: trace generator seed.
+        compare_full: also run the full-replan path and verify per-Coflow
+            results match bit-for-bit (skip for quick timing-only runs).
+
+    Returns:
+        ``{"bench": "trace_replay", "wall_s": ..., "events": ...,
+        "coflows": ..., ...}`` — ``wall_s`` is the incremental-mode wall;
+        the full-replan wall, speedup, mismatch count, and the incremental
+        run's perf counters ride along.
+    """
+    # Imported here so ``repro.perf`` stays importable without the
+    # simulation stack.
+    from repro.sim.circuit_sim import InterCoflowSimulator
+    from repro.workloads.synthetic import FacebookLikeTraceGenerator, GeneratorConfig
+
+    config = GeneratorConfig(
+        num_ports=num_ports,
+        num_coflows=num_coflows,
+        max_width=max_width,
+        seed=seed,
+    )
+    trace = FacebookLikeTraceGenerator(config).generate()
+
+    def replay(incremental: bool):
+        perf = PerfCounters()
+        simulator = InterCoflowSimulator(trace, incremental=incremental, perf=perf)
+        start = time.perf_counter()
+        report = simulator.run()
+        wall = time.perf_counter() - start
+        return wall, report, perf
+
+    wall_inc, report_inc, perf_inc = replay(incremental=True)
+
+    result: Dict[str, Any] = {
+        "bench": "trace_replay",
+        "wall_s": wall_inc,
+        "events": perf_inc.count("events"),
+        "coflows": len(report_inc.records),
+        "config": {
+            "num_coflows": num_coflows,
+            "num_ports": num_ports,
+            "max_width": max_width,
+            "seed": seed,
+        },
+        "counters": perf_inc.snapshot(),
+    }
+
+    if compare_full:
+        wall_full, report_full, _ = replay(incremental=False)
+        by_id = {record.coflow_id: record for record in report_full.records}
+        mismatches = sum(
+            1
+            for record in report_inc.records
+            if record.completion_time != by_id[record.coflow_id].completion_time
+            or record.switching_count != by_id[record.coflow_id].switching_count
+        )
+        result["full_replan_wall_s"] = wall_full
+        result["speedup_vs_full"] = wall_full / wall_inc if wall_inc > 0 else None
+        result["mismatches"] = mismatches
+
+    return result

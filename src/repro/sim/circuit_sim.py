@@ -27,13 +27,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.coflow import Coflow, CoflowTrace
 from repro.core.policies import CoflowView, Policy, ShortestFirst
 from repro.core.prt import PortReservationTable, TIME_EPS
 from repro.core.starvation import StarvationGuard
-from repro.core.sunflow import ReservationOrder, SunflowScheduler
+from repro.core.sunflow import CoflowSchedule, ReservationOrder, SunflowScheduler
+from repro.perf import PerfCounters
 from repro.schedulers.base import AssignmentScheduler
 from repro.sim.assignment_exec import SwitchModel, execute_assignments
 from repro.sim.results import SimulationReport, make_record
@@ -107,13 +108,52 @@ class _ActiveCoflow:
 
     coflow: Coflow
     remaining: Dict[Circuit, float]
-    #: Circuits configured (value = remaining setup seconds; 0 = live).
-    established: Dict[Circuit, float] = field(default_factory=dict)
+    #: Circuits configured, as ``circuit -> (remaining setup seconds,
+    #: anchor end)``: 0 remaining setup means the circuit is live, and the
+    #: anchor is the absolute end its continuation was planned to reach
+    #: (lets a replan reproduce the same reservation bit-for-bit).
+    established: Dict[Circuit, Tuple[float, float]] = field(default_factory=dict)
     switching_count: int = 0
 
     @property
     def done(self) -> bool:
         return all(p <= TIME_EPS for p in self.remaining.values())
+
+
+@dataclass(slots=True)
+class _PlanLayer:
+    """One Coflow's cached plan inside the layered PRT (insertion order =
+    priority order at the time the layer was planned)."""
+
+    coflow_id: int
+    plan: CoflowSchedule
+    #: PRT checkpoint taken just before this layer's reservations.
+    token: int
+
+
+def _same_future_occupancy(
+    old: CoflowSchedule, new: CoflowSchedule, now: float
+) -> bool:
+    """True when two plans reserve bit-identical port time on ``[now, ∞)``.
+
+    Exact float comparison on purpose: a reused downstream plan is only
+    byte-equivalent to a full replan if the constraint set above it is
+    *identical*, not merely close.  Anything that drifts — even by one ulp
+    — must invalidate the suffix.
+    """
+    old_iv = [
+        (r.src, r.dst, r.start if r.start > now else now, r.end)
+        for r in old.reservations
+        if r.end > now
+    ]
+    new_iv = [
+        (r.src, r.dst, r.start if r.start > now else now, r.end)
+        for r in new.reservations
+        if r.end > now
+    ]
+    old_iv.sort()
+    new_iv.sort()
+    return old_iv == new_iv
 
 
 class InterCoflowSimulator:
@@ -130,6 +170,16 @@ class InterCoflowSimulator:
             every plan and serve all Coflows on the enabled circuits.
         priority_classes: operator-assigned classes per Coflow id (lower is
             more important); defaults to a single class.
+        incremental: when True (default), replans reuse the unchanged
+            prefix of the previous plan instead of recomputing every
+            active Coflow at every event; results are identical to the
+            full-replan path (``incremental=False``), which remains
+            available for validation.  Guarded runs always use the full
+            path (the guard horizon moves every event, so no prefix
+            survives anyway).
+        perf: counter sink for replans avoided / reservations made / wall
+            time per phase; a fresh :class:`~repro.perf.PerfCounters` is
+            created if omitted and exposed as :attr:`perf`.
     """
 
     def __init__(
@@ -142,6 +192,8 @@ class InterCoflowSimulator:
         guard: Optional[StarvationGuard] = None,
         priority_classes: Optional[Dict[int, int]] = None,
         rng: Optional[random.Random] = None,
+        incremental: bool = True,
+        perf: Optional[PerfCounters] = None,
     ) -> None:
         self.trace = trace.sorted_by_arrival()
         self.bandwidth_bps = bandwidth_bps
@@ -150,6 +202,12 @@ class InterCoflowSimulator:
         self.guard = guard
         self.priority_classes = priority_classes or {}
         self.scheduler = SunflowScheduler(delta=delta, order=order, rng=rng)
+        self.incremental = incremental
+        self.perf = perf if perf is not None else PerfCounters()
+        # Incremental-replan state: a persistent layered PRT plus the plan
+        # stack it currently holds, in planning (priority) order.
+        self._prt = PortReservationTable()
+        self._layers: List[_PlanLayer] = []
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationReport:
@@ -159,6 +217,9 @@ class InterCoflowSimulator:
         next_arrival_index = 0
         active: Dict[int, _ActiveCoflow] = {}
         now = 0.0
+        perf = self.perf
+        self._prt = PortReservationTable()
+        self._layers = []
 
         while active or next_arrival_index < len(arrivals):
             if not active:
@@ -175,7 +236,9 @@ class InterCoflowSimulator:
                 )
                 next_arrival_index += 1
 
-            schedules = self._replan(active, now)
+            perf.inc("events")
+            with perf.timer("plan"):
+                schedules = self._replan(active, now)
             next_arrival = (
                 arrivals[next_arrival_index].arrival_time
                 if next_arrival_index < len(arrivals)
@@ -191,14 +254,16 @@ class InterCoflowSimulator:
                         event_time = min(event_time, window.end)
                         break
 
-            self._advance(active, schedules, now, event_time)
-            self._record_completions(active, report, event_time)
+            with perf.timer("advance"):
+                self._advance(active, schedules, now, event_time)
+            with perf.timer("record"):
+                self._record_completions(active, report, event_time)
             now = event_time
         return report
 
     # ------------------------------------------------------------------
-    def _replan(self, active: Dict[int, _ActiveCoflow], now: float):
-        """Re-run InterCoflow over the remaining demand of active Coflows."""
+    def _ordered_ids(self, active: Dict[int, _ActiveCoflow]) -> List[int]:
+        """Active Coflow ids in the policy's priority order."""
         views = [
             CoflowView(
                 coflow_id=cid,
@@ -208,9 +273,31 @@ class InterCoflowSimulator:
             )
             for cid, state in active.items()
         ]
-        ordered = self.policy.order(views)
-        demands = [(view.coflow_id, active[view.coflow_id].remaining) for view in ordered]
+        return [view.coflow_id for view in self.policy.order(views)]
+
+    def _replan(
+        self, active: Dict[int, _ActiveCoflow], now: float
+    ) -> Dict[int, CoflowSchedule]:
+        """(Re)plan every active Coflow's remaining demand at ``now``.
+
+        Dispatches to the incremental prefix-reuse path unless it is
+        disabled or a starvation guard is active (the guard's reservation
+        horizon moves with every event, so no plan prefix survives and the
+        full path is just as fast).
+        """
+        if self.incremental and self.guard is None:
+            return self._replan_incremental(active, now)
+        return self._replan_full(active, now)
+
+    def _replan_full(
+        self, active: Dict[int, _ActiveCoflow], now: float
+    ) -> Dict[int, CoflowSchedule]:
+        """Re-run InterCoflow over the remaining demand of active Coflows."""
+        ordered = self._ordered_ids(active)
+        demands = [(cid, active[cid].remaining) for cid in ordered]
         established = {cid: state.established for cid, state in active.items()}
+        perf = self.perf
+        perf.inc("full_replans")
 
         horizon = self._guard_horizon(active, now)
         while True:
@@ -221,13 +308,146 @@ class InterCoflowSimulator:
                 demands, start_time=now, prt=prt, established=established
             )
             if self.guard is None:
-                return schedules
+                break
             latest = max(s.completion_time for s in schedules.values())
             if latest <= horizon - self.guard.cycle:
-                return schedules
+                break
             # Plan ran past the reserved guard region; extend and retry so
             # no plan escapes the guard's periodic blackouts.
             horizon = latest + 2 * self.guard.max_service_gap
+        perf.inc("plans_computed", len(schedules))
+        perf.inc(
+            "reservations_made",
+            sum(len(s.reservations) for s in schedules.values()),
+        )
+        return schedules
+
+    def _replan_incremental(
+        self, active: Dict[int, _ActiveCoflow], now: float
+    ) -> Dict[int, CoflowSchedule]:
+        """Prefix-reuse replanning over the persistent layered PRT.
+
+        ``schedule_many`` fills the PRT in strict priority order, so a
+        Coflow's plan depends only on (a) its own remaining demand and
+        established circuits and (b) the port time reserved by
+        higher-priority Coflows.  At an event we therefore:
+
+        1. keep the prefix of plan layers whose Coflow is untouched (no
+           reservation started before ``now``) and whose priority rank is
+           unchanged;
+        2. roll the PRT back to the first dirty layer;
+        3. walking down the dirty suffix, *replay* a cached plan verbatim
+           while the constraint set above is bit-identical to the one it
+           was computed against, and re-run ``schedule_demand`` otherwise.
+
+        A replan whose future occupancy comes out bit-identical to the
+        cached plan (the common case: a served Coflow continuing its
+        established circuits) keeps the suffix below it reusable.
+        """
+        perf = self.perf
+        perf.inc("incremental_replans")
+        order_ids = self._ordered_ids(active)
+        prt, layers = self._prt, self._layers
+
+        # 1. Reusable prefix.
+        keep = 0
+        ptr = 0
+        while keep < len(layers):
+            layer = layers[keep]
+            if layer.coflow_id not in active:
+                # Completed Coflow: all its port time lies in the past, so
+                # the layer constrains nothing ahead and may stay in place.
+                if layer.plan.completion_time > now + TIME_EPS:
+                    break
+                keep += 1
+                continue
+            if ptr >= len(order_ids) or order_ids[ptr] != layer.coflow_id:
+                break
+            if layer.plan.first_start() < now - TIME_EPS:
+                break  # received service or setup: its inputs changed
+            keep += 1
+            ptr += 1
+
+        # 2. Roll back the dirty suffix.
+        dropped = layers[keep:]
+        if ptr == 0:
+            # No live plan survives the prefix walk; anything still kept is
+            # a completed Coflow whose port time lies wholly in the past and
+            # so constrains nothing from ``now`` on.  Dropping the whole
+            # table is both the compaction (per-port lists would otherwise
+            # grow with the age of the run) and a rollback that costs O(1)
+            # instead of popping every journal entry.
+            if layers or dropped:
+                perf.inc("prt_compactions")
+                prt.clear()
+                layers.clear()
+        elif dropped:
+            perf.inc("reservations_rolled_back", prt.rollback(dropped[0].token))
+            del layers[keep:]
+        perf.inc("plans_kept", ptr)
+        perf.inc("replans_avoided", ptr)
+
+        cached = [layer for layer in dropped if layer.coflow_id in active]
+        cached_ids = {layer.coflow_id for layer in cached}
+        schedules = {
+            layer.coflow_id: layer.plan
+            for layer in layers
+            if layer.coflow_id in active
+        }
+
+        # 3. Rebuild the suffix.  ``equivalent`` (the constraint set above
+        # the walk is bit-identical to what the cached plans were computed
+        # against) only matters while an untouched cached plan remains
+        # ahead — past the last one, stop paying for the bookkeeping.
+        last_reusable = -1
+        for index, layer in enumerate(cached):
+            if layer.plan.first_start() >= now - TIME_EPS:
+                last_reusable = index
+        equivalent = True
+        cptr = 0
+        for cid in order_ids[ptr:]:
+            state = active[cid]
+            token = prt.checkpoint()
+            if cptr > last_reusable:
+                equivalent = False
+            old_plan = None
+            if cptr < len(cached) and cached[cptr].coflow_id == cid:
+                old_plan = cached[cptr].plan
+                cptr += 1
+            elif cid in cached_ids:
+                # Priority reordering: the constraint context every cached
+                # plan below was computed against no longer matches.
+                equivalent = False
+            if (
+                equivalent
+                and old_plan is not None
+                and old_plan.first_start() >= now - TIME_EPS
+            ):
+                prt.replay(old_plan.reservations)
+                plan = old_plan
+                perf.inc("plans_reused")
+                perf.inc("replans_avoided")
+                perf.inc("reservations_replayed", len(plan.reservations))
+            else:
+                plan = self.scheduler.schedule_demand(
+                    prt,
+                    cid,
+                    state.remaining,
+                    start_time=now,
+                    established=state.established,
+                )
+                perf.inc("plans_computed")
+                perf.inc("reservations_made", len(plan.reservations))
+                if equivalent:
+                    if old_plan is not None:
+                        equivalent = _same_future_occupancy(old_plan, plan, now)
+                    else:
+                        # A new arrival: its reservations constrain every
+                        # Coflow below unless it reserved nothing.
+                        equivalent = not plan.reservations
+            layers.append(_PlanLayer(coflow_id=cid, plan=plan, token=token))
+            schedules[cid] = plan
+        return schedules
 
     def _guard_horizon(self, active: Dict[int, _ActiveCoflow], now: float) -> float:
         if self.guard is None:
@@ -247,13 +467,20 @@ class InterCoflowSimulator:
         start: float,
         end: float,
     ) -> None:
-        """Bank transfer progress from the plan over ``[start, end)``."""
+        """Bank transfer progress from the plan over ``[start, end)``.
+
+        Every plan in ``schedules`` was computed (or revalidated) at
+        ``start``, so its reservations all begin at or after ``start``;
+        the bisect visits only those beginning before ``end`` instead of
+        scanning the whole plan.
+        """
         for cid, schedule in schedules.items():
             state = active[cid]
-            established: Dict[Circuit, float] = {}
-            for reservation in schedule.reservations:
-                if reservation.start >= end - TIME_EPS:
-                    continue
+            established: Dict[Circuit, Tuple[float, float]] = {}
+            reservations = schedule.reservations
+            cutoff = schedule.index_at_or_after(end)
+            for index in range(cutoff):
+                reservation = reservations[index]
                 served = reservation.transmitted_before(end)
                 circuit = reservation.circuit
                 if served > 0:
@@ -266,8 +493,12 @@ class InterCoflowSimulator:
                 if end < reservation.end - TIME_EPS:
                     # Circuit is up (or mid-setup) at the event instant; a
                     # replan reusing it immediately pays only the remaining
-                    # setup time.
-                    established[circuit] = max(0.0, reservation.transmit_start - end)
+                    # setup time, and anchoring the planned end makes the
+                    # continuation reproducible bit-for-bit.
+                    established[circuit] = (
+                        max(0.0, reservation.transmit_start - end),
+                        reservation.end,
+                    )
             state.established = established
         if self.guard is not None:
             self._apply_guard_service(active, start, end)

@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.prt import PortConflictError, PortReservationTable, Reservation
+from repro.core.prt import (
+    TIME_EPS,
+    PortConflictError,
+    PortReservationTable,
+    Reservation,
+)
 
 
 def make_prt():
@@ -117,6 +122,98 @@ class TestQueries:
         first = prt.reserve(0, 1, start=5.0, end=6.0, coflow_id=1, setup=0.0)
         second = prt.reserve(2, 3, start=0.0, end=1.0, coflow_id=1, setup=0.0)
         assert list(prt) == [first, second]
+
+    def test_next_reserved_time_epsilon_boundary(self):
+        """A reservation starting within TIME_EPS *before* ``t`` still
+        counts as the next reserved time: the sub-epsilon gap ahead of it
+        must never be mistaken for usable port time."""
+        prt = make_prt()
+        prt.reserve(0, 1, start=1.0, end=2.0, coflow_id=1, setup=0.0)
+        t = 1.0 + TIME_EPS / 2
+        assert prt.next_reserved_time(0, 1, t) == pytest.approx(1.0, abs=TIME_EPS)
+        # Strictly past the tolerance the reservation is behind us.
+        assert prt.next_reserved_time(0, 1, 1.0 + 3 * TIME_EPS) == float("inf")
+
+    def test_release_of_block(self):
+        prt = make_prt()
+        prt.reserve(0, 1, start=1.0, end=4.0, coflow_id=1, setup=0.0)
+        prt.reserve(2, 3, start=1.0, end=2.0, coflow_id=1, setup=0.0)
+        # Circuit (0, 3): both ports have a blocker starting at 1.0; the
+        # output one releases first.
+        end, on_input = prt.release_of_block(0, 3, 0.5, 1.0)
+        assert end == pytest.approx(2.0)
+        assert on_input is False
+        # Circuit (0, 1): only the input blocker matters.
+        end, on_input = prt.release_of_block(0, 5, 0.5, 1.0)
+        assert end == pytest.approx(4.0)
+        assert on_input is True
+        # No blocker on either port.
+        end, on_input = prt.release_of_block(7, 8, 0.5, 1.0)
+        assert end == float("inf")
+
+
+class TestCheckpointRollback:
+    def test_rollback_undoes_suffix(self):
+        prt = make_prt()
+        kept = prt.reserve(0, 1, start=0.0, end=1.0, coflow_id=1, setup=0.0)
+        token = prt.checkpoint()
+        prt.reserve(0, 1, start=2.0, end=3.0, coflow_id=2, setup=0.0)
+        prt.reserve(4, 5, start=0.0, end=9.0, coflow_id=2, setup=0.0)
+        assert prt.rollback(token) == 2
+        assert list(prt) == [kept]
+        assert prt.makespan() == pytest.approx(1.0)
+        assert prt.input_free_at(4, 5.0)
+        prt.validate()
+
+    def test_rollback_then_reserve_again(self):
+        prt = make_prt()
+        token = prt.checkpoint()
+        prt.reserve(0, 1, start=0.0, end=1.0, coflow_id=1, setup=0.0)
+        prt.rollback(token)
+        # The undone interval is free again.
+        prt.reserve(0, 1, start=0.5, end=1.5, coflow_id=2, setup=0.0)
+        prt.validate()
+
+    def test_rollback_rejects_bad_token(self):
+        prt = make_prt()
+        with pytest.raises(ValueError):
+            prt.rollback(5)
+        with pytest.raises(ValueError):
+            prt.rollback(-1)
+
+    def test_replay_reinserts_cached_reservations(self):
+        prt = make_prt()
+        token = prt.checkpoint()
+        made = [
+            prt.reserve(0, 1, start=0.0, end=1.0, coflow_id=1, setup=0.1),
+            prt.reserve(2, 3, start=0.5, end=2.0, coflow_id=1, setup=0.1),
+        ]
+        prt.rollback(token)
+        prt.replay(made)
+        assert list(prt) == made
+        prt.validate()
+
+    def test_replay_still_checks_conflicts(self):
+        prt = make_prt()
+        stale = Reservation(start=0.0, end=2.0, src=0, dst=1, coflow_id=1, setup=0.0)
+        prt.reserve(0, 9, start=1.0, end=3.0, coflow_id=2, setup=0.0)
+        with pytest.raises(PortConflictError):
+            prt.replay([stale])
+
+    def test_clear_empties_everything(self):
+        prt = make_prt()
+        prt.reserve(0, 1, start=0.0, end=1.0, coflow_id=1, setup=0.0)
+        prt.reserve(2, 3, start=0.0, end=2.0, coflow_id=1, setup=0.0)
+        prt.clear()
+        assert len(prt) == 0
+        assert prt.makespan() == 0.0
+        assert prt.next_release_after(0.0) is None
+        assert prt.input_free_at(0, 0.5)
+        # A cleared table accepts fresh reservations and a full rollback.
+        token = prt.checkpoint()
+        assert token == 0
+        prt.reserve(0, 1, start=0.0, end=1.0, coflow_id=2, setup=0.0)
+        prt.validate()
 
 
 @st.composite
