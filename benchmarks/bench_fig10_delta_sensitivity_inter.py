@@ -8,28 +8,60 @@ Paper (Sunflow trace replay, B = 1 Gbps; per-Coflow CCT normalized to its
     p95       7.22  1.00  0.98   0.98  0.98
 
 As at the intra level, optimizing switches below ~1 ms buys little.
+
+The five δ points run as one ``repro.sweep`` grid over the declarative
+facade spec.  ``REPRO_SWEEP_WORKERS`` sets the pool size (default
+serial), ``REPRO_SWEEP_CACHE`` points the content-hash cache at a
+directory so re-runs recompute only changed cells.
 """
 
-from repro.sim import mean, percentile, simulate_inter_sunflow
+import os
+
+from repro.api import NetworkSpec, SimulationSpec, TraceSpec
+from repro.sim import mean, percentile
+from repro.sweep import SweepSpec, run_sweep
 from repro.units import MS, US
 
 from _utils import emit, header, run_once
-from conftest import BANDWIDTH
+from conftest import BANDWIDTH, MAX_WIDTH, NUM_COFLOWS, SEED
 
 DELTAS = [(100 * MS, "100ms"), (10 * MS, "10ms"), (1 * MS, "1ms"),
           (100 * US, "100us"), (10 * US, "10us")]
 PAPER_AVG = {"100ms": 4.91, "10ms": 1.00, "1ms": 0.65, "100us": 0.61, "10us": 0.61}
 PAPER_P95 = {"100ms": 7.22, "10ms": 1.00, "1ms": 0.98, "100us": 0.98, "10us": 0.98}
 
+SWEEP_WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "0"))
+SWEEP_CACHE = os.environ.get("REPRO_SWEEP_CACHE") or None
 
-def test_fig10_delta_sensitivity_inter(benchmark, trace, sunflow_inter_1g):
+EVAL_TRACE = TraceSpec(
+    kind="facebook",
+    num_ports=150,
+    num_coflows=NUM_COFLOWS,
+    max_width=MAX_WIDTH,
+    seed=SEED,
+    perturb=0.05,
+)
+
+
+def test_fig10_delta_sensitivity_inter(benchmark):
+    grid = SweepSpec(
+        name="fig10-delta-inter",
+        base=SimulationSpec(
+            trace=EVAL_TRACE,
+            mode="inter",
+            scheduler="sunflow",
+            network=NetworkSpec(bandwidth_bps=BANDWIDTH),
+        ),
+        axes={"network.delta": [delta for delta, _ in DELTAS]},
+    )
+
     def sweep():
-        reports = {}
-        for delta, label in DELTAS:
-            if label == "10ms":
-                reports[label] = sunflow_inter_1g
-            else:
-                reports[label] = simulate_inter_sunflow(trace, BANDWIDTH, delta)
+        result = run_sweep(grid, workers=SWEEP_WORKERS, cache_dir=SWEEP_CACHE)
+        assert not result.failures(), [o.result for o in result.failures()]
+        reports = {
+            label: result.find({"network.delta": delta}).report()
+            for delta, label in DELTAS
+        }
         baseline = reports["10ms"].by_id()
         return {
             label: [

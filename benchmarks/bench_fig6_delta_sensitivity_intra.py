@@ -8,34 +8,70 @@ CCT):
     p95      13.12  1.00  0.99   0.99  0.99
 
 The marginal benefit of switches faster than ~1 ms is tiny.
+
+The five δ points run as one ``repro.sweep`` grid over the declarative
+facade spec (the engine regenerates the evaluation trace per cell from
+its ``TraceSpec``).  ``REPRO_SWEEP_WORKERS`` sets the pool size (default
+serial), ``REPRO_SWEEP_CACHE`` points the content-hash cache at a
+directory so re-runs recompute only changed cells.
 """
 
-from repro.sim import mean, percentile, simulate_intra_sunflow
+import os
+
+from repro.api import NetworkSpec, SimulationSpec, TraceSpec
+from repro.sim import mean, percentile
+from repro.sweep import SweepSpec, run_sweep
 from repro.units import MS, US
 
 from _utils import emit, header, run_once
-from conftest import BANDWIDTH
+from conftest import BANDWIDTH, MAX_WIDTH, NUM_COFLOWS, SEED
 
 DELTAS = [(100 * MS, "100ms"), (10 * MS, "10ms"), (1 * MS, "1ms"),
           (100 * US, "100us"), (10 * US, "10us")]
 PAPER_AVG = {"100ms": 5.71, "10ms": 1.00, "1ms": 0.65, "100us": 0.61, "10us": 0.61}
 PAPER_P95 = {"100ms": 13.12, "10ms": 1.00, "1ms": 0.99, "100us": 0.99, "10us": 0.99}
 
+SWEEP_WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "0"))
+SWEEP_CACHE = os.environ.get("REPRO_SWEEP_CACHE") or None
 
-def test_fig6_delta_sensitivity_intra(benchmark, trace):
+#: The same workload as the ``trace`` fixture, declaratively.
+EVAL_TRACE = TraceSpec(
+    kind="facebook",
+    num_ports=150,
+    num_coflows=NUM_COFLOWS,
+    max_width=MAX_WIDTH,
+    seed=SEED,
+    perturb=0.05,
+)
+
+
+def test_fig6_delta_sensitivity_intra(benchmark):
+    grid = SweepSpec(
+        name="fig6-delta-intra",
+        base=SimulationSpec(
+            trace=EVAL_TRACE,
+            mode="intra",
+            scheduler="sunflow",
+            network=NetworkSpec(bandwidth_bps=BANDWIDTH),
+        ),
+        axes={"network.delta": [delta for delta, _ in DELTAS]},
+    )
+
     def sweep():
+        result = run_sweep(grid, workers=SWEEP_WORKERS, cache_dir=SWEEP_CACHE)
+        assert not result.failures(), [o.result for o in result.failures()]
         reports = {
-            label: simulate_intra_sunflow(trace, BANDWIDTH, delta)
+            label: result.find({"network.delta": delta}).report()
             for delta, label in DELTAS
         }
         baseline = reports["10ms"].by_id()
-        normalized = {}
-        for label, report in reports.items():
-            normalized[label] = [
+        return {
+            label: [
                 record.cct / baseline[record.coflow_id].cct
                 for record in report.records
             ]
-        return normalized
+            for label, report in reports.items()
+        }
 
     normalized = run_once(benchmark, sweep)
 

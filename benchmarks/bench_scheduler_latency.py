@@ -5,43 +5,54 @@ under 1 second for Coflows with up to 3 000 subflows.  We measure this
 Python implementation on the same |C| sweep; the quadratic trend is the
 claim, the constant differs by language.
 
-This is the one benchmark where pytest-benchmark's repeated rounds are
-meaningful (pure CPU, no simulation state), so it uses them.
+The |C| points run as one ``repro.sweep`` grid: each cell regenerates a
+dense random Coflow from its ``TraceSpec`` (kind ``"random-coflow"``) and
+schedules it through the facade, and the engine's per-cell wall clock is
+the latency measurement.  ``REPRO_SWEEP_WORKERS`` sets the pool size
+(default serial); with a pool, per-cell wall times remain meaningful
+because every cell is timed inside its own worker process.
 """
 
-import random
+import os
 
-import pytest
-
-from repro.core.prt import PortReservationTable
-from repro.core.sunflow import SunflowScheduler
+from repro.api import NetworkSpec, SimulationSpec, TraceSpec
+from repro.sweep import SweepSpec, run_sweep
 from repro.units import MS
 
-from _utils import emit, header
+from _utils import emit, header, run_once
+
+NUM_FLOWS = [100, 300, 1000, 3000]
+
+SWEEP_WORKERS = int(os.environ.get("REPRO_SWEEP_WORKERS", "0"))
+SWEEP_CACHE = os.environ.get("REPRO_SWEEP_CACHE") or None
 
 
-def coflow_demand(num_flows, num_ports, seed):
-    rng = random.Random(seed)
-    demand = {}
-    while len(demand) < num_flows:
-        demand[(rng.randrange(num_ports), rng.randrange(num_ports))] = rng.uniform(
-            0.01, 1.0
-        )
-    return demand
+def test_scheduler_latency(benchmark):
+    grid = SweepSpec(
+        name="scheduler-latency",
+        base=SimulationSpec(
+            trace=TraceSpec(kind="random-coflow", num_ports=150, seed=2016),
+            mode="intra",
+            scheduler="sunflow",
+            network=NetworkSpec(delta=10 * MS),
+        ),
+        axes={"trace.num_flows": NUM_FLOWS},
+    )
 
+    def sweep():
+        result = run_sweep(grid, workers=SWEEP_WORKERS, cache_dir=SWEEP_CACHE)
+        assert not result.failures(), [o.result for o in result.failures()]
+        return result
 
-@pytest.mark.parametrize("num_flows", [100, 300, 1000, 3000])
-def test_scheduler_latency(benchmark, num_flows):
-    demand = coflow_demand(num_flows, 150, seed=num_flows)
-    scheduler = SunflowScheduler(delta=10 * MS)
+    result = run_once(benchmark, sweep)
 
-    def plan():
-        return scheduler.schedule_demand(PortReservationTable(), 1, demand)
-
-    schedule = benchmark.pedantic(plan, rounds=3, iterations=1)
-    assert len(schedule.reservations) >= num_flows
-
-    if num_flows == 3000:
-        header("§6: Sunflow scheduling latency (paper: <1 s at |C|=3000, C++)")
-        emit(f"  |C|=3000 mean plan time: {benchmark.stats['mean']:.3f} s "
-             "(Python; see the pytest-benchmark table for the sweep)")
+    header("§6: Sunflow scheduling latency (paper: <1 s at |C|=3000, C++)")
+    emit(f"{'|C|':>6} {'plan+sim wall':>14} {'setups':>8}")
+    for num_flows in NUM_FLOWS:
+        outcome = result.find({"trace.num_flows": num_flows})
+        (record,) = outcome.report().records
+        # One reservation per flow at minimum — Sunflow never splits fewer.
+        assert record.switching_count >= num_flows
+        wall = "cached" if outcome.from_cache else f"{outcome.wall_s:.3f}s"
+        emit(f"{num_flows:>6} {wall:>14} {record.switching_count:>8}")
+    emit("  (Python; wall includes trace generation and CCT accounting)")

@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Sweep-engine benchmark: serial vs parallel vs cache-warm.
+
+Standalone CLI (not a pytest bench): runs the same δ × seed grid of
+inter-Coflow replays three ways —
+
+1. **serial** (``workers=1``) into a fresh content-hash cache,
+2. **parallel** (``--workers``, default 4) into a separate fresh cache,
+3. **cache-warm** (``--workers``) against the serial run's cache, which
+   must serve every cell without recomputing anything —
+
+verifies the per-cell result payloads are byte-identical across all
+three runs, and writes the timing summary to ``BENCH_sweep_engine.json``
+at the repository root.
+
+    PYTHONPATH=src python benchmarks/bench_sweep_engine.py
+    PYTHONPATH=src python benchmarks/bench_sweep_engine.py --coflows 200 --workers 8
+
+Parallel speedup is bounded by the machine: the JSON records
+``cpu_count`` next to the measured speedup so a 1-core container's
+numbers aren't mistaken for an engine regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+
+def run_grid(grid, workers, cache_dir):
+    from repro.sweep import run_sweep
+
+    start = time.perf_counter()
+    result = run_sweep(grid, workers=workers, cache_dir=cache_dir)
+    return result, time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--coflows", type=int, default=120, help="trace length")
+    parser.add_argument("--ports", type=int, default=150, help="switch radix")
+    parser.add_argument("--max-width", type=int, default=30, help="Coflow width cap")
+    parser.add_argument(
+        "--workers", type=int, default=4, help="pool size for the parallel run"
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[1, 2, 3, 4],
+        help="trace seeds (one grid axis)",
+    )
+    parser.add_argument(
+        "--cache-root",
+        type=pathlib.Path,
+        default=None,
+        help="keep the result caches here (default: a temp dir, deleted)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_sweep_engine.json",
+        help="where to write the JSON summary",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.api import NetworkSpec, SimulationSpec, TraceSpec
+    from repro.sweep import SweepSpec
+    from repro.units import GBPS, MS
+
+    grid = SweepSpec(
+        name="sweep-engine-bench",
+        base=SimulationSpec(
+            trace=TraceSpec(
+                kind="facebook",
+                num_ports=args.ports,
+                num_coflows=args.coflows,
+                max_width=args.max_width,
+                perturb=0.05,
+            ),
+            mode="inter",
+            scheduler="sunflow",
+            network=NetworkSpec(bandwidth_bps=1 * GBPS),
+        ),
+        axes={
+            "network.delta": [100 * MS, 10 * MS, 1 * MS],
+            "trace.seed": args.seeds,
+        },
+    )
+    num_cells = len(grid.cells())
+
+    cache_root = args.cache_root
+    cleanup = cache_root is None
+    if cleanup:
+        cache_root = pathlib.Path(tempfile.mkdtemp(prefix="sweep-bench-"))
+    try:
+        serial, wall_serial = run_grid(grid, 1, cache_root / "serial")
+        parallel, wall_parallel = run_grid(grid, args.workers, cache_root / "parallel")
+        warm, wall_warm = run_grid(grid, args.workers, cache_root / "serial")
+    finally:
+        if cleanup:
+            shutil.rmtree(cache_root, ignore_errors=True)
+
+    failures = serial.failures() + parallel.failures() + warm.failures()
+    mismatches = [
+        outcome.cell_id
+        for outcome, other, third in zip(
+            serial.outcomes, parallel.outcomes, warm.outcomes
+        )
+        if not (
+            outcome.result_bytes() == other.result_bytes() == third.result_bytes()
+        )
+    ]
+    identical = not mismatches and not failures
+
+    try:
+        cpu_count = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cpu_count = os.cpu_count() or 1
+
+    summary = {
+        "cells": num_cells,
+        "workers": args.workers,
+        "cpu_count": cpu_count,
+        "wall_serial_s": wall_serial,
+        "wall_parallel_s": wall_parallel,
+        "wall_cache_warm_s": wall_warm,
+        "speedup_parallel": wall_serial / wall_parallel,
+        "speedup_cache_warm": wall_serial / wall_warm,
+        "cache_hits_warm": warm.cache_hits,
+        "identical": identical,
+        "mismatched_cells": mismatches,
+        "failed_cells": [outcome.cell_id for outcome in failures],
+        "grid": {
+            "coflows": args.coflows,
+            "ports": args.ports,
+            "max_width": args.max_width,
+            "deltas_s": [100 * MS, 10 * MS, 1 * MS],
+            "seeds": args.seeds,
+        },
+    }
+
+    args.output.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    print(
+        f"{num_cells} cells: serial {wall_serial:.2f}s, "
+        f"parallel({args.workers}w) {wall_parallel:.2f}s "
+        f"({summary['speedup_parallel']:.2f}x), "
+        f"cache-warm {wall_warm:.2f}s ({summary['speedup_cache_warm']:.2f}x, "
+        f"{warm.cache_hits}/{num_cells} hits) on {cpu_count} CPU(s)"
+    )
+    if args.workers > cpu_count:
+        print(
+            f"note: only {cpu_count} CPU(s) available — parallel speedup is "
+            "machine-bound, not an engine property"
+        )
+    if warm.cache_hits != num_cells:
+        print(
+            f"ERROR: cache-warm run recomputed "
+            f"{num_cells - warm.cache_hits} cells",
+            file=sys.stderr,
+        )
+        return 1
+    if not identical:
+        print(
+            f"ERROR: results differ across runs "
+            f"(mismatched={mismatches}, failed={summary['failed_cells']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,17 +2,24 @@
 # Entry point for the repository's performance benchmarks.
 #
 # Runs the end-to-end trace-replay benchmark (incremental vs full
-# inter-Coflow replanning) at paper scale and leaves the summary in
-# BENCH_trace_replay.json at the repository root.  Extra arguments are
-# forwarded, e.g.:
+# inter-Coflow replanning) at paper scale and the sweep-engine benchmark
+# (serial vs parallel vs cache-warm over a δ × seed grid), leaving the
+# summaries in BENCH_trace_replay.json and BENCH_sweep_engine.json at the
+# repository root.  Extra arguments are forwarded to the trace-replay
+# bench, e.g.:
 #
 #   benchmarks/run_benchmarks.sh --coflows 120 --max-width 30
 #
 # The paper-figure benches (bench_fig*.py etc.) stay on pytest-benchmark:
 #
 #   PYTHONPATH=src python -m pytest benchmarks/ -q
+#
+# and the δ-sensitivity figures accept REPRO_SWEEP_WORKERS=N /
+# REPRO_SWEEP_CACHE=dir to parallelize and cache their sweep grids.
 
 set -e
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_trace_replay.py "$@"
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_sweep_engine.py

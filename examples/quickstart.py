@@ -1,15 +1,16 @@
 #!/usr/bin/env python
 """Quickstart: schedule one Coflow on an optical circuit switch.
 
-Builds the many-to-many shuffle of the paper's Figure 1, schedules it with
-Sunflow, and prints the resulting circuit timeline alongside the
-theoretical lower bounds.
+Builds the many-to-many shuffle of the paper's Figure 1, runs it through
+the unified ``repro.api.simulate`` facade, and prints the resulting
+circuit timeline alongside the theoretical lower bounds.
 
 Run:
     python examples/quickstart.py
 """
 
-from repro import Coflow, SunflowScheduler, circuit_lower_bound, packet_lower_bound
+from repro import Coflow, CoflowTrace, SunflowScheduler
+from repro.api import NetworkSpec, SimulationSpec, simulate
 from repro.units import GBPS, MB, MS
 
 BANDWIDTH = 1 * GBPS  # link rate B
@@ -33,9 +34,21 @@ def main() -> None:
         },
     )
 
-    scheduler = SunflowScheduler(delta=DELTA)
-    schedule = scheduler.schedule_coflow(shuffle, bandwidth_bps=BANDWIDTH)
+    # Every simulation — Sunflow or baseline, intra or inter, circuit or
+    # packet — runs through one declarative entry point.
+    spec = SimulationSpec(
+        trace=CoflowTrace(num_ports=7, coflows=[shuffle]),
+        mode="intra",
+        scheduler="sunflow",
+        network=NetworkSpec(bandwidth_bps=BANDWIDTH, delta=DELTA),
+    )
+    report = simulate(spec)
+    record = report.records[0]
 
+    # For the circuit-by-circuit timeline, ask the scheduler directly.
+    schedule = SunflowScheduler(delta=DELTA).schedule_coflow(
+        shuffle, bandwidth_bps=BANDWIDTH
+    )
     print("Sunflow circuit timeline (one reservation per flow — no preemption):")
     print(f"{'circuit':>12} {'start':>8} {'end':>8} {'setup':>7} {'transmit':>9}")
     for reservation in sorted(schedule.reservations, key=lambda r: (r.start, r.src)):
@@ -45,15 +58,13 @@ def main() -> None:
             f"{reservation.setup * 1000:>5.0f}ms {reservation.transmit_duration:>8.3f}s"
         )
 
-    tcl = circuit_lower_bound(shuffle, BANDWIDTH, DELTA)
-    tpl = packet_lower_bound(shuffle, BANDWIDTH)
     print()
-    print(f"Coflow completion time: {schedule.makespan:.3f} s")
-    print(f"circuit-switched lower bound TcL: {tcl:.3f} s "
-          f"(CCT/TcL = {schedule.makespan / tcl:.3f}, Lemma 1 caps this at 2)")
-    print(f"packet-switched lower bound TpL:  {tpl:.3f} s "
-          f"(CCT/TpL = {schedule.makespan / tpl:.3f})")
-    print(f"circuit setups: {schedule.num_setups} "
+    print(f"Coflow completion time: {record.cct:.3f} s")
+    print(f"circuit-switched lower bound TcL: {record.circuit_lower:.3f} s "
+          f"(CCT/TcL = {record.cct_over_circuit_lower:.3f}, Lemma 1 caps this at 2)")
+    print(f"packet-switched lower bound TpL:  {record.packet_lower:.3f} s "
+          f"(CCT/TpL = {record.cct_over_packet_lower:.3f})")
+    print(f"circuit setups: {record.switching_count} "
           f"(= |C| = {shuffle.num_flows}, the minimum possible)")
 
 

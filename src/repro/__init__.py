@@ -19,10 +19,14 @@ from repro.core import (
     packet_lower_bound,
 )
 
+from repro import api, sweep
+
 __version__ = "1.0.0"
 
 __all__ = [
     "units",
+    "api",
+    "sweep",
     "Coflow",
     "CoflowCategory",
     "CoflowSchedule",

@@ -1,0 +1,148 @@
+"""The unified simulation entry point: ``repro.api.simulate(spec)``.
+
+One signature for every evaluation backend.  The (mode, scheduler) pair
+selects among the seven historical entry points:
+
+========  ================  ============================================
+mode      scheduler         legacy entry point
+========  ================  ============================================
+intra     sunflow           ``simulate_intra_sunflow``
+intra     solstice/tms/     ``simulate_intra_assignment``
+          edmond
+intra     sunflow-hybrid    ``simulate_intra_hybrid``
+inter     sunflow           ``simulate_inter_sunflow``
+inter     varys/aalo        ``simulate_packet``
+inter     sunflow-hybrid    ``simulate_inter_hybrid``
+inter     system            ``simulate_system``
+========  ================  ============================================
+
+The legacy functions remain importable and behave exactly as before;
+``simulate`` is a dispatcher over them, so results are identical by
+construction (asserted per backend by ``tests/api/test_facade.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.api.spec import SimulationSpec
+from repro.core.policies import POLICIES, Policy
+from repro.core.sunflow import ReservationOrder
+from repro.schedulers import EdmondScheduler, SolsticeScheduler, TmsScheduler
+from repro.sim.assignment_exec import SwitchModel
+from repro.sim.circuit_sim import (
+    simulate_inter_sunflow,
+    simulate_intra_assignment,
+    simulate_intra_sunflow,
+)
+from repro.sim.hybrid import HybridConfig, simulate_inter_hybrid, simulate_intra_hybrid
+from repro.sim.packet_sim import simulate_packet
+from repro.sim.results import SimulationReport
+from repro.sim.aalo import AaloAllocator
+from repro.sim.varys import VarysAllocator
+from repro.system.runner import simulate_system
+
+_ASSIGNMENT_SCHEDULERS = {
+    "solstice": SolsticeScheduler,
+    "tms": TmsScheduler,
+    "edmond": EdmondScheduler,
+}
+_PACKET_ALLOCATORS = {
+    "varys": VarysAllocator,
+    "aalo": AaloAllocator,
+}
+
+
+def _resolve_policy(spec: SimulationSpec) -> Optional[Policy]:
+    if spec.policy is None:
+        return None
+    try:
+        return POLICIES[spec.policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {spec.policy!r}; expected one of {sorted(POLICIES)}"
+        ) from None
+
+
+def _unsupported(spec: SimulationSpec) -> ValueError:
+    return ValueError(
+        f"scheduler {spec.scheduler!r} does not support mode {spec.mode!r}"
+    )
+
+
+def simulate(spec: SimulationSpec) -> SimulationReport:
+    """Run the scenario a :class:`~repro.api.spec.SimulationSpec` describes.
+
+    Returns the same :class:`~repro.sim.results.SimulationReport` the
+    matching legacy entry point would, for any of the eight backends.
+
+    Raises:
+        ValueError: for (mode, scheduler) pairs with no backend — e.g. the
+            assignment baselines have no inter-Coflow replay, and the
+            packet allocators and system stack have no intra mode.
+    """
+    trace = spec.resolve_trace()
+    bandwidth = spec.network.bandwidth_bps
+    delta = spec.network.delta
+    order = ReservationOrder(spec.order)
+    rng = random.Random(spec.seed) if spec.seed is not None else None
+
+    if spec.scheduler == "sunflow":
+        if spec.mode == "intra":
+            return simulate_intra_sunflow(
+                trace, bandwidth, delta, order=order, rng=rng
+            )
+        guard = (
+            spec.guard.build(trace.num_ports, delta)
+            if spec.guard is not None
+            else None
+        )
+        return simulate_inter_sunflow(
+            trace,
+            bandwidth,
+            delta,
+            policy=_resolve_policy(spec),
+            order=order,
+            guard=guard,
+            priority_classes=spec.priority_mapping(),
+            rng=rng,
+        )
+
+    if spec.scheduler in _ASSIGNMENT_SCHEDULERS:
+        if spec.mode != "intra":
+            raise _unsupported(spec)
+        scheduler = _ASSIGNMENT_SCHEDULERS[spec.scheduler]()
+        return simulate_intra_assignment(
+            trace,
+            scheduler,
+            bandwidth,
+            delta,
+            model=SwitchModel(spec.switch_model),
+        )
+
+    if spec.scheduler in _PACKET_ALLOCATORS:
+        if spec.mode != "inter":
+            raise _unsupported(spec)
+        allocator = _PACKET_ALLOCATORS[spec.scheduler]()
+        return simulate_packet(trace, allocator, bandwidth)
+
+    if spec.scheduler == "sunflow-hybrid":
+        config = spec.hybrid if spec.hybrid is not None else HybridConfig()
+        if spec.mode == "intra":
+            return simulate_intra_hybrid(trace, config, bandwidth, delta, order=order)
+        return simulate_inter_hybrid(trace, config, bandwidth, delta)
+
+    if spec.scheduler == "system":
+        if spec.mode != "inter":
+            raise _unsupported(spec)
+        return simulate_system(
+            trace,
+            bandwidth,
+            delta,
+            latency=spec.latency,
+            policy=_resolve_policy(spec),
+            priority_classes=spec.priority_mapping(),
+        )
+
+    raise AssertionError(f"unhandled scheduler {spec.scheduler!r}")  # pragma: no cover

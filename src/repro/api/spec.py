@@ -1,0 +1,414 @@
+"""Declarative simulation specifications for the :mod:`repro.api` facade.
+
+A :class:`SimulationSpec` names *what* to simulate — workload, mode,
+scheduler, network parameters, policy knobs, seed — without running
+anything, in one canonical vocabulary shared by every backend:
+
+* ``bandwidth_bps`` is the link rate ``B`` (bits per second),
+* ``delta`` is the reconfiguration delay ``δ`` (seconds),
+* ``mode`` is ``"intra"`` (back-to-back service, §5.3) or ``"inter"``
+  (trace replay with arrivals, §5.4),
+* ``scheduler`` selects the backend (Sunflow, the assignment baselines,
+  the packet-switched allocators, the hybrid fabric, or the system-level
+  deployment stack).
+
+Specs are frozen, hashable, and round-trip through plain-JSON payloads
+(:func:`spec_to_payload` / :func:`spec_from_payload`) so the sweep engine
+can ship them across process boundaries and content-hash them for its
+result cache.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.coflow import Coflow, CoflowTrace
+from repro.core.starvation import StarvationGuard
+from repro.core.sunflow import ReservationOrder
+from repro.sim.assignment_exec import SwitchModel
+from repro.sim.hybrid import HybridConfig
+from repro.system.runner import LatencyConfig
+from repro.units import DEFAULT_BANDWIDTH, DEFAULT_DELTA, MB
+
+#: Payload-format version, folded into sweep cache keys so stale cache
+#: entries from an older layout are never served.
+PAYLOAD_VERSION = 1
+
+MODES = ("intra", "inter")
+SCHEDULERS = (
+    "sunflow",
+    "solstice",
+    "tms",
+    "edmond",
+    "varys",
+    "aalo",
+    "sunflow-hybrid",
+    "system",
+)
+
+TRACE_KINDS = ("facebook", "random-coflow", "file")
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The fabric: link rate ``B`` and reconfiguration delay ``δ``.
+
+    Attributes:
+        bandwidth_bps: per-port line rate in bits per second.
+        delta: circuit reconfiguration delay in seconds (ignored by the
+            pure packet-switched backends, which have no circuits).
+    """
+
+    bandwidth_bps: float = DEFAULT_BANDWIDTH
+    delta: float = DEFAULT_DELTA
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_bps!r}")
+        if self.delta < 0:
+            raise ValueError(f"delta must be non-negative, got {self.delta!r}")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Declarative workload source — reproducible from parameters alone.
+
+    Three kinds:
+
+    * ``"facebook"`` — the synthetic Facebook-like generator used by the
+      evaluation (optionally with the paper's ±5 % size perturbation),
+    * ``"random-coflow"`` — a single dense random Coflow of ``num_flows``
+      subflows (the §6 scheduler-latency workload),
+    * ``"file"`` — a coflow-benchmark format trace file at ``path``.
+
+    Unlike an in-memory :class:`~repro.core.coflow.CoflowTrace`, a
+    ``TraceSpec`` is pure data: sweep workers regenerate the trace from it
+    deterministically, and its fields participate in cache keys.
+    """
+
+    kind: str = "facebook"
+    # facebook-generator knobs (mirror GeneratorConfig defaults where the
+    # benchmark harness overrides them).
+    num_ports: int = 150
+    num_coflows: int = 526
+    max_width: Optional[int] = None
+    mean_interarrival: float = 6.8
+    seed: int = 2016
+    #: ±fraction uniform size noise (0 disables; the evaluation uses 0.05).
+    perturb: float = 0.0
+    # random-coflow knobs.
+    num_flows: int = 100
+    min_flow_bytes: float = 1 * MB
+    max_flow_bytes: float = 100 * MB
+    # file knob.
+    path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRACE_KINDS:
+            raise ValueError(f"unknown trace kind {self.kind!r}; expected {TRACE_KINDS}")
+        if self.kind == "file" and not self.path:
+            raise ValueError("trace kind 'file' needs a path")
+        if not 0 <= self.perturb < 1:
+            raise ValueError(f"perturb must be in [0, 1), got {self.perturb!r}")
+
+    def load(self) -> CoflowTrace:
+        """Materialize the trace this spec describes (deterministic)."""
+        if self.kind == "file":
+            from repro.workloads import parse_trace
+
+            return parse_trace(self.path)
+        if self.kind == "random-coflow":
+            rng = random.Random(self.seed)
+            demand: Dict[Tuple[int, int], float] = {}
+            while len(demand) < self.num_flows:
+                circuit = (
+                    rng.randrange(self.num_ports),
+                    rng.randrange(self.num_ports),
+                )
+                demand[circuit] = rng.uniform(self.min_flow_bytes, self.max_flow_bytes)
+            coflow = Coflow.from_demand(1, demand)
+            return CoflowTrace(self.num_ports, [coflow])
+        from repro.workloads import (
+            FacebookLikeTraceGenerator,
+            GeneratorConfig,
+            perturb_sizes,
+        )
+
+        config = GeneratorConfig(
+            num_ports=self.num_ports,
+            num_coflows=self.num_coflows,
+            mean_interarrival=self.mean_interarrival,
+            max_width=self.max_width,
+            seed=self.seed,
+        )
+        trace = FacebookLikeTraceGenerator(config).generate()
+        if self.perturb:
+            trace = perturb_sizes(trace, fraction=self.perturb, seed=self.seed)
+        return trace
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """Declarative starvation guard: the ``(T + τ)`` interval geometry.
+
+    The fabric size and ``δ`` come from the simulation's trace and network
+    at build time, so a guard spec stays reusable across sweep cells.
+    """
+
+    period: float
+    tau: float
+    origin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0 or self.tau <= 0:
+            raise ValueError(
+                f"T and tau must be positive, got T={self.period}, tau={self.tau}"
+            )
+
+    def build(self, num_ports: int, delta: float) -> StarvationGuard:
+        return StarvationGuard(
+            num_ports=num_ports,
+            period=self.period,
+            tau=self.tau,
+            delta=delta,
+            origin=self.origin,
+        )
+
+
+def _normalize_enum(value, enum_cls, label: str) -> str:
+    if isinstance(value, enum_cls):
+        return value.value
+    try:
+        return enum_cls(value).value
+    except ValueError:
+        raise ValueError(
+            f"unknown {label} {value!r}; expected one of "
+            f"{[member.value for member in enum_cls]}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """One complete simulation scenario for :func:`repro.api.simulate`.
+
+    Attributes:
+        trace: the workload — either a declarative :class:`TraceSpec`
+            (required for process-parallel sweeps and caching) or an
+            in-memory :class:`~repro.core.coflow.CoflowTrace`.
+        mode: ``"intra"`` or ``"inter"``.
+        scheduler: one of :data:`SCHEDULERS`.
+        network: link rate and reconfiguration delay.
+        policy: inter-Coflow priority policy name from
+            :data:`repro.core.policies.POLICIES` (None = backend default,
+            shortest-first).
+        order: intra-Coflow reservation consideration order
+            (:class:`~repro.core.sunflow.ReservationOrder` or its value).
+        switch_model: which circuits stop during reconfiguration, for the
+            assignment baselines.
+        guard: optional starvation guard geometry (Sunflow inter only).
+        hybrid: hybrid-fabric parameters (``sunflow-hybrid`` only;
+            defaults to :class:`~repro.sim.hybrid.HybridConfig`).
+        latency: control-plane delays (``system`` scheduler only).
+        priority_classes: operator classes as ``((coflow_id, class), …)``;
+            mappings are accepted and normalized.
+        seed: seeds the scheduler's RNG (``order="random"``); None keeps
+            the legacy default (unseeded = deterministic orders only).
+    """
+
+    trace: Union[TraceSpec, CoflowTrace]
+    mode: str = "intra"
+    scheduler: str = "sunflow"
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    policy: Optional[str] = None
+    order: Union[str, ReservationOrder] = ReservationOrder.ORDERED_PORT.value
+    switch_model: Union[str, SwitchModel] = SwitchModel.NOT_ALL_STOP.value
+    guard: Optional[GuardSpec] = None
+    hybrid: Optional[HybridConfig] = None
+    latency: Optional[LatencyConfig] = None
+    priority_classes: Optional[Tuple[Tuple[int, int], ...]] = None
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; expected one of {MODES}")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; expected one of {SCHEDULERS}"
+            )
+        object.__setattr__(
+            self, "order", _normalize_enum(self.order, ReservationOrder, "order")
+        )
+        object.__setattr__(
+            self,
+            "switch_model",
+            _normalize_enum(self.switch_model, SwitchModel, "switch model"),
+        )
+        if isinstance(self.priority_classes, Mapping):
+            object.__setattr__(
+                self,
+                "priority_classes",
+                tuple(sorted(self.priority_classes.items())),
+            )
+        elif self.priority_classes is not None:
+            object.__setattr__(
+                self,
+                "priority_classes",
+                tuple(sorted((int(k), int(v)) for k, v in self.priority_classes)),
+            )
+
+    # ------------------------------------------------------------------
+    def resolve_trace(self) -> CoflowTrace:
+        """The in-memory trace (loading/generating a declarative spec)."""
+        if isinstance(self.trace, TraceSpec):
+            return self.trace.load()
+        return self.trace
+
+    def priority_mapping(self) -> Optional[Dict[int, int]]:
+        if self.priority_classes is None:
+            return None
+        return dict(self.priority_classes)
+
+
+# ----------------------------------------------------------------------
+# Payload (plain-JSON) serialization
+# ----------------------------------------------------------------------
+def _trace_to_payload(trace: Union[TraceSpec, CoflowTrace]) -> dict:
+    if isinstance(trace, TraceSpec):
+        payload = {f.name: getattr(trace, f.name) for f in fields(trace)}
+        payload["__trace__"] = "spec"
+        return payload
+    return {
+        "__trace__": "inline",
+        "num_ports": trace.num_ports,
+        "coflows": [
+            {
+                "id": coflow.coflow_id,
+                "arrival": coflow.arrival_time,
+                # Sorted so equal traces encode (and hash) identically
+                # regardless of flow insertion order.
+                "flows": sorted([f.src, f.dst, f.size_bytes] for f in coflow.flows),
+            }
+            for coflow in trace
+        ],
+    }
+
+
+def _trace_from_payload(payload: dict) -> Union[TraceSpec, CoflowTrace]:
+    payload = dict(payload)
+    kind = payload.pop("__trace__")
+    if kind == "spec":
+        return TraceSpec(**payload)
+    coflows = [
+        Coflow.from_demand(
+            entry["id"],
+            {(src, dst): size for src, dst, size in entry["flows"]},
+            arrival_time=entry["arrival"],
+        )
+        for entry in payload["coflows"]
+    ]
+    return CoflowTrace(payload["num_ports"], coflows)
+
+
+def spec_to_payload(spec: SimulationSpec) -> dict:
+    """A plain-JSON dict capturing the spec exactly (for hashing/IPC)."""
+    return {
+        "version": PAYLOAD_VERSION,
+        "trace": _trace_to_payload(spec.trace),
+        "mode": spec.mode,
+        "scheduler": spec.scheduler,
+        "network": {
+            "bandwidth_bps": spec.network.bandwidth_bps,
+            "delta": spec.network.delta,
+        },
+        "policy": spec.policy,
+        "order": spec.order,
+        "switch_model": spec.switch_model,
+        "guard": (
+            None
+            if spec.guard is None
+            else {
+                "period": spec.guard.period,
+                "tau": spec.guard.tau,
+                "origin": spec.guard.origin,
+            }
+        ),
+        "hybrid": (
+            None
+            if spec.hybrid is None
+            else {
+                "size_threshold_bytes": spec.hybrid.size_threshold_bytes,
+                "packet_bandwidth_fraction": spec.hybrid.packet_bandwidth_fraction,
+            }
+        ),
+        "latency": (
+            None
+            if spec.latency is None
+            else {
+                "registration": spec.latency.registration,
+                "command": spec.latency.command,
+                "signal": spec.latency.signal,
+                "report": spec.latency.report,
+            }
+        ),
+        "priority_classes": (
+            None
+            if spec.priority_classes is None
+            else [list(pair) for pair in spec.priority_classes]
+        ),
+        "seed": spec.seed,
+    }
+
+
+def spec_from_payload(payload: Mapping) -> SimulationSpec:
+    """Inverse of :func:`spec_to_payload`."""
+    version = payload.get("version", PAYLOAD_VERSION)
+    if version != PAYLOAD_VERSION:
+        raise ValueError(f"unsupported spec payload version {version!r}")
+    guard = payload.get("guard")
+    hybrid = payload.get("hybrid")
+    latency = payload.get("latency")
+    classes = payload.get("priority_classes")
+    return SimulationSpec(
+        trace=_trace_from_payload(payload["trace"]),
+        mode=payload.get("mode", "intra"),
+        scheduler=payload.get("scheduler", "sunflow"),
+        network=NetworkSpec(**payload.get("network", {})),
+        policy=payload.get("policy"),
+        order=payload.get("order", ReservationOrder.ORDERED_PORT.value),
+        switch_model=payload.get("switch_model", SwitchModel.NOT_ALL_STOP.value),
+        guard=None if guard is None else GuardSpec(**guard),
+        hybrid=None if hybrid is None else HybridConfig(**hybrid),
+        latency=None if latency is None else LatencyConfig(**latency),
+        priority_classes=(
+            None if classes is None else tuple((int(k), int(v)) for k, v in classes)
+        ),
+        seed=payload.get("seed"),
+    )
+
+
+def override_spec(spec: SimulationSpec, path: str, value) -> SimulationSpec:
+    """Return ``spec`` with the dotted ``path`` replaced by ``value``.
+
+    Paths address spec fields (``"scheduler"``, ``"seed"``) and nested
+    frozen-dataclass fields (``"network.delta"``, ``"trace.seed"``,
+    ``"guard.tau"``, ``"hybrid.packet_bandwidth_fraction"``).  Overriding
+    into a nested spec that is ``None`` (e.g. ``guard.tau`` without a base
+    guard) is an error — the base spec must carry the structure.
+    """
+    head, _, rest = path.partition(".")
+    valid = {f.name for f in fields(spec)}
+    if head not in valid:
+        raise ValueError(f"unknown spec field {head!r} in override {path!r}")
+    if not rest:
+        return replace(spec, **{head: value})
+    nested = getattr(spec, head)
+    if nested is None:
+        raise ValueError(
+            f"cannot override {path!r}: base spec has no {head!r} section"
+        )
+    nested_fields = {f.name for f in fields(nested)}
+    if rest not in nested_fields:
+        raise ValueError(f"unknown field {rest!r} of {head!r} in override {path!r}")
+    return replace(spec, **{head: replace(nested, **{rest: value})})

@@ -11,7 +11,10 @@ Subcommands mirror the evaluation workflow:
 * ``inter``    — full trace replay (Sunflow / Varys / Aalo) with average
   CCT summaries,
 * ``compare``  — all schedulers side by side,
-* ``timeline`` — ASCII rendering of one Coflow's circuit schedule.
+* ``timeline`` — ASCII rendering of one Coflow's circuit schedule,
+* ``sweep``    — run a declarative experiment grid (TOML/JSON
+  :class:`~repro.sweep.SweepSpec`) through the process-parallel sweep
+  engine with a content-hash result cache.
 """
 
 from __future__ import annotations
@@ -137,6 +140,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", choices=("intra", "inter"), default="intra",
         help="back-to-back service or full arrivals replay",
     )
+
+    sweep = commands.add_parser(
+        "sweep", help="run a declarative experiment grid (repro.sweep)"
+    )
+    sweep.add_argument("spec", help="path to a TOML or JSON SweepSpec grid file")
+    sweep.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 = serial in-process, identical results)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="content-hash result cache; re-runs recompute only changed cells",
+    )
+    sweep.add_argument(
+        "--output-dir", default=None,
+        help="write sweep.json + cells.csv here",
+    )
+    sweep.add_argument(
+        "--timeout-s", type=float, default=None,
+        help="per-cell wall-clock budget; late cells record a timeout result",
+    )
     return parser
 
 
@@ -166,6 +190,46 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({trace.total_bytes / 1e9:.1f} GB) to {args.output}"
         )
         return 0
+
+    if args.command == "sweep":
+        from repro.sweep import SweepRunner, SweepSpec
+
+        spec = SweepSpec.from_file(args.spec)
+
+        def show_progress(progress) -> None:
+            eta = (
+                f"{progress.eta_s:.0f}s" if progress.done < progress.total else "done"
+            )
+            print(
+                f"[{progress.done}/{progress.total}] "
+                f"{progress.cached} cached, {progress.failed} failed, ETA {eta}"
+            )
+
+        result = SweepRunner(
+            spec,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            timeout_s=args.timeout_s,
+            progress=show_progress,
+        ).run()
+
+        print(f"{'cell':<48} {'status':>8} {'avg CCT':>9} {'wall':>8}")
+        for outcome in result.outcomes:
+            avg = outcome.summary().get("average_cct")
+            avg_text = f"{avg:>8.3f}s" if avg is not None else f"{'-':>9}"
+            print(
+                f"{outcome.cell_id:<48} {outcome.status:>8} {avg_text} "
+                f"{outcome.wall_s:>7.2f}s"
+            )
+        print(
+            f"sweep {result.name!r}: {len(result)} cells in {result.wall_s:.2f}s "
+            f"({result.cache_hits} cached, {len(result.failures())} failed, "
+            f"{result.workers} workers)"
+        )
+        if args.output_dir:
+            json_path, csv_path = result.write(args.output_dir)
+            print(f"wrote {json_path} and {csv_path}")
+        return 1 if result.failures() else 0
 
     trace = parse_trace(args.trace)
 

@@ -1,0 +1,72 @@
+"""Keyword-compatibility shims for the legacy ``simulate_*`` entry points.
+
+The seven historical entry points grew up in different modules and, with
+them, different keyword spellings for the same physical quantities (the
+reconfiguration delay has been called ``delta`` and ``reconf_delay``; the
+link rate ``bandwidth_bps``, ``bandwidth`` and ``rate_bps``).  The
+:mod:`repro.api` facade fixes one canonical spelling per quantity; this
+module keeps the old spellings alive on the legacy functions behind a
+:class:`DeprecationWarning` so existing call sites keep working while new
+code migrates.
+
+Deliberately dependency-free (only :mod:`functools`/:mod:`warnings`) so
+any simulator module can import it without creating a cycle with
+``repro.api``.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+#: Deprecated keyword -> canonical keyword, shared by every legacy entry
+#: point.  ``repro.api`` accepts only the canonical spellings.
+LEGACY_KEYWORD_ALIASES = {
+    "reconf_delay": "delta",
+    "reconfiguration_delay": "delta",
+    "bandwidth": "bandwidth_bps",
+    "rate_bps": "bandwidth_bps",
+}
+
+
+def canonical_kwargs(**aliases: str) -> Callable[[F], F]:
+    """Decorator mapping deprecated keyword spellings onto canonical ones.
+
+    ``canonical_kwargs(reconf_delay="delta")`` lets callers keep writing
+    ``fn(reconf_delay=0.01)``: the call is rewritten to ``fn(delta=0.01)``
+    and a :class:`DeprecationWarning` names the replacement.  Passing both
+    the alias and its canonical spelling is a :class:`TypeError` (the call
+    is ambiguous).
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            for alias, canonical in aliases.items():
+                if alias not in kwargs:
+                    continue
+                if canonical in kwargs:
+                    raise TypeError(
+                        f"{fn.__name__}() got deprecated keyword {alias!r} "
+                        f"alongside its canonical spelling {canonical!r}"
+                    )
+                warnings.warn(
+                    f"keyword {alias!r} of {fn.__name__}() is deprecated; "
+                    f"use {canonical!r}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                kwargs[canonical] = kwargs.pop(alias)
+            return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def legacy_entry_point(fn: F) -> F:
+    """The standard shim applied to every legacy ``simulate_*`` function."""
+    return canonical_kwargs(**LEGACY_KEYWORD_ALIASES)(fn)

@@ -34,6 +34,7 @@ from repro.core.policies import CoflowView, Policy, ShortestFirst
 from repro.core.prt import PortReservationTable, TIME_EPS
 from repro.core.starvation import StarvationGuard
 from repro.core.sunflow import CoflowSchedule, ReservationOrder, SunflowScheduler
+from repro.compat import legacy_entry_point
 from repro.perf import PerfCounters
 from repro.schedulers.base import AssignmentScheduler
 from repro.sim.assignment_exec import SwitchModel, execute_assignments
@@ -46,6 +47,7 @@ Circuit = Tuple[int, int]
 # ----------------------------------------------------------------------
 # Intra-Coflow mode (§5.3): one Coflow in the network at a time
 # ----------------------------------------------------------------------
+@legacy_entry_point
 def simulate_intra_sunflow(
     trace: CoflowTrace,
     bandwidth_bps: float = DEFAULT_BANDWIDTH,
@@ -70,6 +72,7 @@ def simulate_intra_sunflow(
     return report
 
 
+@legacy_entry_point
 def simulate_intra_assignment(
     trace: CoflowTrace,
     scheduler: AssignmentScheduler,
@@ -544,6 +547,7 @@ class InterCoflowSimulator:
             )
 
 
+@legacy_entry_point
 def simulate_inter_sunflow(
     trace: CoflowTrace,
     bandwidth_bps: float = DEFAULT_BANDWIDTH,

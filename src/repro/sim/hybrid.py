@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.compat import legacy_entry_point
 from repro.core.bounds import packet_lower_bound
 from repro.core.coflow import Coflow, CoflowTrace
 from repro.core.sunflow import ReservationOrder, SunflowScheduler
@@ -96,6 +97,7 @@ def split_trace(
     )
 
 
+@legacy_entry_point
 def simulate_intra_hybrid(
     trace: CoflowTrace,
     config: HybridConfig,
@@ -139,6 +141,7 @@ def simulate_intra_hybrid(
     return report
 
 
+@legacy_entry_point
 def simulate_inter_hybrid(
     trace: CoflowTrace,
     config: HybridConfig,

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro.compat import legacy_entry_point
 from repro.core.coflow import Coflow, CoflowTrace
 from repro.core.prt import TIME_EPS
 from repro.sim.results import SimulationReport, make_record
@@ -237,6 +238,7 @@ class PacketSimulator:
                 state.sent_seconds += served
 
 
+@legacy_entry_point
 def simulate_packet(
     trace: CoflowTrace,
     allocator: RateAllocator,

@@ -1,0 +1,54 @@
+"""Process-parallel experiment-sweep engine (``repro.sweep``).
+
+Declare a grid once, run it anywhere:
+
+    from repro.api import NetworkSpec, SimulationSpec, TraceSpec
+    from repro.sweep import SweepSpec, run_sweep
+
+    sweep = SweepSpec(
+        name="delta-sensitivity",
+        base=SimulationSpec(trace=TraceSpec(num_coflows=200, max_width=40)),
+        axes={"network.delta": [0.1, 0.01, 0.001], "scheduler": ["sunflow"]},
+    )
+    result = run_sweep(sweep, workers=4, cache_dir=".sweep-cache")
+    result.write("results/delta-sensitivity")
+
+Cells are the cartesian product of the axes; each runs through
+:func:`repro.api.simulate` in a worker process with deterministic
+seeding, per-cell timeout and crash isolation, and a content-hash disk
+cache so re-runs recompute only changed cells.
+"""
+
+from repro.sweep.cache import ResultCache, canonical_bytes, content_key
+from repro.sweep.engine import (
+    CellOutcome,
+    SweepProgress,
+    SweepResult,
+    SweepRunner,
+    run_sweep,
+)
+from repro.sweep.spec import SweepCell, SweepSpec, derive_cell_seed
+from repro.sweep.worker import (
+    CellTimeout,
+    cell_timeout,
+    report_from_payload,
+    report_to_payload,
+)
+
+__all__ = [
+    "ResultCache",
+    "canonical_bytes",
+    "content_key",
+    "CellOutcome",
+    "SweepProgress",
+    "SweepResult",
+    "SweepRunner",
+    "run_sweep",
+    "SweepCell",
+    "SweepSpec",
+    "derive_cell_seed",
+    "CellTimeout",
+    "cell_timeout",
+    "report_from_payload",
+    "report_to_payload",
+]

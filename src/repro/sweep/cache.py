@@ -1,0 +1,67 @@
+"""Content-addressed on-disk result cache for sweep cells.
+
+A cell's cache key is the SHA-256 of the canonical JSON encoding of its
+full specification (workload, scheduler, network, seed, payload-format
+version).  Re-running a sweep therefore recomputes only cells whose
+specification changed — editing one axis value invalidates exactly the
+cells that use it.
+
+Cached values are the cells' *deterministic* result payloads (records and
+summaries, never wall-clock timings), stored as the same canonical bytes
+the engine uses for its byte-identity checks, so a cache-warm run returns
+bit-for-bit the bytes a cold run computed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+
+def canonical_bytes(obj) -> bytes:
+    """Canonical JSON encoding: sorted keys, no whitespace, ASCII only.
+
+    Python's ``repr``-based float formatting is deterministic across
+    processes and platforms (shortest round-trip representation), so two
+    equal payloads always encode to identical bytes.
+    """
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+
+
+def content_key(payload) -> str:
+    """SHA-256 hex digest of a payload's canonical encoding."""
+    return hashlib.sha256(canonical_bytes(payload)).hexdigest()
+
+
+class ResultCache:
+    """Sharded ``<root>/<key[:2]>/<key>.json`` store of cell results."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The cached canonical bytes for ``key``, or None on a miss."""
+        try:
+            return self.path(key).read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def put(self, key: str, data: bytes) -> None:
+        """Store ``data`` under ``key`` atomically (write + rename)."""
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,444 @@
+"""Process-parallel sweep execution with caching and crash isolation.
+
+:class:`SweepRunner` drives a :class:`~repro.sweep.spec.SweepSpec` to a
+:class:`SweepResult`:
+
+* cells whose content-hash is already in the :class:`ResultCache` are
+  served from disk without computing anything;
+* the rest fan out over a ``multiprocessing`` worker pool (``workers``
+  processes; ``workers <= 1`` runs serially in-process through the *same*
+  per-cell code path, so serial and parallel results are byte-identical);
+* a cell that raises records an ``error`` result, a cell that exceeds
+  ``timeout_s`` records a ``timeout`` result, and a cell that takes its
+  whole worker process down is retried once in a fresh pool before being
+  recorded as ``crashed`` — in every case the sweep keeps going;
+* progress (done/total, cache hits, failures, ETA) streams through an
+  optional callback, and :class:`~repro.perf.PerfCounters` record where
+  the time went.
+
+Results aggregate to JSON and CSV in the same spirit as the repository's
+``BENCH_*.json`` / ``benchmarks/results`` files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.api.spec import spec_to_payload
+from repro.perf import PerfCounters
+from repro.sim.results import SimulationReport
+from repro.sweep.cache import ResultCache, canonical_bytes, content_key
+from repro.sweep.spec import SweepCell, SweepSpec
+from repro.sweep.worker import report_from_payload, run_cell
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """Snapshot handed to the progress callback after every cell."""
+
+    total: int
+    done: int
+    computed: int
+    cached: int
+    failed: int
+    elapsed_s: float
+
+    @property
+    def eta_s(self) -> float:
+        """Naive remaining-time estimate from the average cell cost so far."""
+        if self.done == 0:
+            return float("inf")
+        return self.elapsed_s / self.done * (self.total - self.done)
+
+
+@dataclass
+class CellOutcome:
+    """One cell's fate: where its result came from and what it is."""
+
+    index: int
+    cell_id: str
+    overrides: Tuple[Tuple[str, object], ...]
+    status: str  # ok | error | timeout | crashed
+    result: dict
+    key: Optional[str] = None
+    from_cache: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def result_bytes(self) -> bytes:
+        """Canonical bytes of the deterministic result payload."""
+        return canonical_bytes(self.result)
+
+    def report(self) -> SimulationReport:
+        if not self.ok:
+            raise ValueError(f"cell {self.cell_id!r} has no report ({self.status})")
+        return report_from_payload(self.result["report"])
+
+    def summary(self) -> dict:
+        return self.result.get("report", {}).get("summary", {})
+
+
+@dataclass
+class SweepResult:
+    """All cell outcomes of one sweep run, in grid order."""
+
+    name: str
+    outcomes: List[CellOutcome]
+    wall_s: float
+    workers: int
+    perf: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def outcome(self, cell_id: str) -> CellOutcome:
+        for outcome in self.outcomes:
+            if outcome.cell_id == cell_id:
+                return outcome
+        raise KeyError(f"no cell {cell_id!r} in sweep {self.name!r}")
+
+    def find(self, overrides: Mapping[str, object]) -> CellOutcome:
+        """The unique outcome whose axis values include all of ``overrides``."""
+        matches = [
+            outcome
+            for outcome in self.outcomes
+            if all(
+                item in outcome.overrides for item in overrides.items()
+            )
+        ]
+        if not matches:
+            raise KeyError(f"no cell matches {dict(overrides)!r}")
+        if len(matches) > 1:
+            raise KeyError(f"{len(matches)} cells match {dict(overrides)!r}")
+        return matches[0]
+
+    def report(self, cell_id: str) -> SimulationReport:
+        return self.outcome(cell_id).report()
+
+    def failures(self) -> List[CellOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.from_cache)
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "workers": self.workers,
+            "wall_s": self.wall_s,
+            "cells_total": len(self.outcomes),
+            "cells_failed": len(self.failures()),
+            "cache_hits": self.cache_hits,
+            "perf": self.perf,
+            "cells": [
+                {
+                    "index": outcome.index,
+                    "cell_id": outcome.cell_id,
+                    "overrides": [list(pair) for pair in outcome.overrides],
+                    "status": outcome.status,
+                    "from_cache": outcome.from_cache,
+                    "wall_s": outcome.wall_s,
+                    "key": outcome.key,
+                    "result": outcome.result,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+    def write(self, output_dir: Union[str, Path]) -> Tuple[Path, Path]:
+        """Write ``sweep.json`` (full) and ``cells.csv`` (one row per cell).
+
+        The JSON mirrors the root-level ``BENCH_*.json`` convention; the
+        CSV matches the plain-series layout of ``benchmarks/results``.
+        """
+        output_dir = Path(output_dir)
+        output_dir.mkdir(parents=True, exist_ok=True)
+        json_path = output_dir / "sweep.json"
+        json_path.write_text(
+            json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        csv_path = output_dir / "cells.csv"
+        with open(csv_path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                [
+                    "index",
+                    "cell_id",
+                    "status",
+                    "from_cache",
+                    "wall_s",
+                    "coflows",
+                    "average_cct",
+                    "median_cct",
+                    "p95_cct",
+                    "max_cct",
+                    "total_switching",
+                ]
+            )
+            for outcome in self.outcomes:
+                summary = outcome.summary()
+                writer.writerow(
+                    [
+                        outcome.index,
+                        outcome.cell_id,
+                        outcome.status,
+                        int(outcome.from_cache),
+                        f"{outcome.wall_s:.6f}",
+                        summary.get("coflows", ""),
+                        summary.get("average_cct", ""),
+                        summary.get("median_cct", ""),
+                        summary.get("p95_cct", ""),
+                        summary.get("max_cct", ""),
+                        summary.get("total_switching", ""),
+                    ]
+                )
+        return json_path, csv_path
+
+
+ProgressCallback = Callable[[SweepProgress], None]
+
+
+def _pool_context():
+    """Prefer fork (fast, inherits the loaded package) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class SweepRunner:
+    """Executes a sweep: cache → worker pool → aggregated result.
+
+    Args:
+        spec: the grid to run.
+        workers: pool size; ``0`` or ``1`` runs serially in-process
+            (identical per-cell code path and results).
+        cache_dir: directory of the content-hash result cache; None
+            disables caching.
+        timeout_s: per-cell wall-clock budget (None = unbounded).
+        perf: counter sink; a fresh one is created if omitted and exposed
+            as :attr:`perf`.
+        progress: callback invoked with a :class:`SweepProgress` after
+            every settled cell.
+        max_attempts: pool submissions per cell before a pool-killing cell
+            is recorded as ``crashed`` (the second attempt runs in a fresh
+            pool alongside the innocent retried cells).
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        workers: int = 0,
+        cache_dir: Optional[Union[str, Path]] = None,
+        timeout_s: Optional[float] = None,
+        perf: Optional[PerfCounters] = None,
+        progress: Optional[ProgressCallback] = None,
+        max_attempts: int = 2,
+    ) -> None:
+        self.spec = spec
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.timeout_s = timeout_s
+        self.perf = perf if perf is not None else PerfCounters()
+        self.progress = progress
+        self.max_attempts = max_attempts
+
+    # ------------------------------------------------------------------
+    def run(self) -> SweepResult:
+        start = time.perf_counter()
+        perf = self.perf
+        cells = self.spec.cells()
+        perf.inc("sweep_cells_total", len(cells))
+        outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+        tasks: List[dict] = []
+        cell_by_id: Dict[str, SweepCell] = {}
+
+        with perf.timer("sweep_prepare"):
+            for cell in cells:
+                if cell.error is not None:
+                    # Poisoned axis value: the overrides never produced a
+                    # valid spec.  Record and move on.
+                    perf.inc("sweep_cell_errors")
+                    outcomes[cell.index] = CellOutcome(
+                        index=cell.index,
+                        cell_id=cell.cell_id,
+                        overrides=cell.overrides,
+                        status="error",
+                        result={"status": "error", "error": cell.error},
+                    )
+                    continue
+                key = content_key(spec_to_payload(cell.spec))
+                cached = self.cache.get(key) if self.cache is not None else None
+                if cached is not None:
+                    perf.inc("sweep_cache_hits")
+                    result = json.loads(cached)
+                    outcomes[cell.index] = CellOutcome(
+                        index=cell.index,
+                        cell_id=cell.cell_id,
+                        overrides=cell.overrides,
+                        status=result.get("status", "ok"),
+                        result=result,
+                        key=key,
+                        from_cache=True,
+                    )
+                    continue
+                cell_by_id[cell.cell_id] = cell
+                tasks.append(
+                    {
+                        "cell_id": cell.cell_id,
+                        "key": key,
+                        "spec": spec_to_payload(cell.spec),
+                        "timeout_s": self.timeout_s,
+                    }
+                )
+
+        self._emit_progress(outcomes, start)
+        with perf.timer("sweep_compute"):
+            if tasks:
+                if self.workers > 1:
+                    self._run_pool(tasks, cell_by_id, outcomes, start)
+                else:
+                    self._run_serial(tasks, cell_by_id, outcomes, start)
+
+        assert all(outcome is not None for outcome in outcomes)
+        return SweepResult(
+            name=self.spec.name,
+            outcomes=outcomes,  # type: ignore[arg-type]
+            wall_s=time.perf_counter() - start,
+            workers=self.workers,
+            perf=perf.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    def _settle(
+        self,
+        task: dict,
+        result: dict,
+        wall_s: float,
+        outcomes: List[Optional[CellOutcome]],
+        start: float,
+    ) -> None:
+        cell_id = task["cell_id"]
+        cell = self._cell_by_id[cell_id]
+        status = result.get("status", "error")
+        if status == "ok":
+            perf_name = "sweep_cells_computed"
+            if self.cache is not None:
+                self.cache.put(task["key"], canonical_bytes(result))
+        else:
+            perf_name = "sweep_cell_errors"
+        self.perf.inc(perf_name)
+        outcomes[cell.index] = CellOutcome(
+            index=cell.index,
+            cell_id=cell_id,
+            overrides=cell.overrides,
+            status=status,
+            result=result,
+            key=task["key"],
+            wall_s=wall_s,
+        )
+        self._emit_progress(outcomes, start)
+
+    def _run_serial(self, tasks, cell_by_id, outcomes, start) -> None:
+        self._cell_by_id = cell_by_id
+        for task in tasks:
+            cell_id, result, wall_s = run_cell(task)
+            self._settle(task, result, wall_s, outcomes, start)
+
+    def _run_pool(self, tasks, cell_by_id, outcomes, start) -> None:
+        self._cell_by_id = cell_by_id
+        context = _pool_context()
+        attempts: Dict[str, int] = {task["cell_id"]: 0 for task in tasks}
+        pending = list(tasks)
+        while pending:
+            current, pending = pending, []
+            with ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            ) as pool:
+                futures = {pool.submit(run_cell, task): task for task in current}
+                for future in as_completed(futures):
+                    task = futures[future]
+                    cell_id = task["cell_id"]
+                    try:
+                        _, result, wall_s = future.result()
+                    except BrokenProcessPool:
+                        # The pool died under this cell (or while it was
+                        # queued behind the killer).  Retry in a fresh
+                        # pool; give up only after max_attempts.
+                        attempts[cell_id] += 1
+                        if attempts[cell_id] >= self.max_attempts:
+                            self.perf.inc("sweep_cell_crashes")
+                            self._settle(
+                                task,
+                                {
+                                    "status": "crashed",
+                                    "error": "worker process died",
+                                },
+                                0.0,
+                                outcomes,
+                                start,
+                            )
+                        else:
+                            self.perf.inc("sweep_cell_retries")
+                            pending.append(task)
+                        continue
+                    except Exception as exc:  # pickling or submission bug
+                        self._settle(
+                            task,
+                            {
+                                "status": "error",
+                                "error": f"{type(exc).__name__}: {exc}",
+                            },
+                            0.0,
+                            outcomes,
+                            start,
+                        )
+                        continue
+                    self._settle(task, result, wall_s, outcomes, start)
+
+    # ------------------------------------------------------------------
+    def _emit_progress(self, outcomes, start: float) -> None:
+        if self.progress is None:
+            return
+        settled = [outcome for outcome in outcomes if outcome is not None]
+        self.progress(
+            SweepProgress(
+                total=len(outcomes),
+                done=len(settled),
+                computed=sum(
+                    1 for o in settled if not o.from_cache and o.status == "ok"
+                ),
+                cached=sum(1 for o in settled if o.from_cache),
+                failed=sum(1 for o in settled if o.status != "ok"),
+                elapsed_s=time.perf_counter() - start,
+            )
+        )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 0,
+    cache_dir: Optional[Union[str, Path]] = None,
+    timeout_s: Optional[float] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepResult:
+    """One-call sweep execution (the CLI and benchmarks use this)."""
+    return SweepRunner(
+        spec,
+        workers=workers,
+        cache_dir=cache_dir,
+        timeout_s=timeout_s,
+        progress=progress,
+    ).run()

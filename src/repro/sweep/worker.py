@@ -1,0 +1,148 @@
+"""Per-cell execution, shared by the serial and the pooled paths.
+
+``run_cell`` is the unit of work the engine ships to worker processes: it
+rebuilds the :class:`~repro.api.spec.SimulationSpec` from its plain-JSON
+payload, runs :func:`repro.api.simulate` under an optional wall-clock
+timeout, and returns a *deterministic* result payload (records and
+summary statistics, no timings).  The serial path calls the very same
+function in-process, which is what makes serial, parallel, and cache-warm
+runs byte-identical per cell.
+
+Crash isolation: any exception inside the cell — bad scenario, scheduler
+bug, timeout — is converted into an ``error``/``timeout`` result payload
+instead of propagating, so one poisoned cell cannot kill a sweep.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.api.facade import simulate
+from repro.api.spec import spec_from_payload
+from repro.core.coflow import CoflowCategory
+from repro.sim.results import CoflowRecord, SimulationReport, mean, percentile
+
+
+class CellTimeout(Exception):
+    """A cell exceeded its wall-clock budget."""
+
+
+@contextmanager
+def cell_timeout(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`CellTimeout` if the block runs longer than ``seconds``.
+
+    Uses ``SIGALRM``, so it only arms in a main thread on POSIX; elsewhere
+    the block runs unbounded (the pool's crash isolation still applies).
+    """
+    if (
+        not seconds
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise CellTimeout(f"cell exceeded {seconds} s")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+# ----------------------------------------------------------------------
+# Report <-> payload
+# ----------------------------------------------------------------------
+_RECORD_FIELDS = (
+    "coflow_id",
+    "arrival_time",
+    "completion_time",
+    "num_flows",
+    "total_bytes",
+    "circuit_lower",
+    "packet_lower",
+    "switching_count",
+    "average_processing_time",
+)
+
+
+def report_to_payload(report: SimulationReport) -> dict:
+    """Deterministic plain-JSON encoding of a simulation report."""
+    records = sorted(report.records, key=lambda r: r.coflow_id)
+    ccts = [record.cct for record in records]
+    return {
+        "scheduler": report.scheduler,
+        "bandwidth_bps": report.bandwidth_bps,
+        "delta": report.delta,
+        "records": [
+            {
+                **{name: getattr(record, name) for name in _RECORD_FIELDS},
+                "category": record.category.value,
+                "cct": record.cct,
+            }
+            for record in records
+        ],
+        "summary": {
+            "coflows": len(records),
+            "average_cct": mean(ccts) if ccts else 0.0,
+            "median_cct": percentile(ccts, 50) if ccts else 0.0,
+            "p95_cct": percentile(ccts, 95) if ccts else 0.0,
+            "max_cct": max(ccts) if ccts else 0.0,
+            "total_switching": sum(r.switching_count for r in records),
+        },
+    }
+
+
+def report_from_payload(payload: dict) -> SimulationReport:
+    """Rebuild a :class:`SimulationReport` from its payload encoding."""
+    report = SimulationReport(
+        payload["scheduler"], payload["bandwidth_bps"], payload["delta"]
+    )
+    for entry in payload["records"]:
+        report.add(
+            CoflowRecord(
+                category=CoflowCategory(entry["category"]),
+                **{name: entry[name] for name in _RECORD_FIELDS},
+            )
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# The unit of work
+# ----------------------------------------------------------------------
+def execute_cell(task: Dict) -> dict:
+    """Run one cell; always returns a result payload, never raises.
+
+    The payload deliberately omits the cell id and any timing, so the
+    bytes are a pure function of the cell's spec — the property the
+    content-addressed cache and the byte-identity checks rely on.
+    """
+    try:
+        spec = spec_from_payload(task["spec"])
+        with cell_timeout(task.get("timeout_s")):
+            report = simulate(spec)
+        return {
+            "status": "ok",
+            "seed": spec.seed,
+            "report": report_to_payload(report),
+        }
+    except CellTimeout:
+        return {"status": "timeout", "timeout_s": task.get("timeout_s")}
+    except Exception as exc:  # noqa: BLE001 - crash isolation is the point
+        return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
+
+
+def run_cell(task: Dict) -> Tuple[str, dict, float]:
+    """Pool entry point: ``(cell_id, result payload, wall seconds)``."""
+    start = time.perf_counter()
+    result = execute_cell(task)
+    return task["cell_id"], result, time.perf_counter() - start

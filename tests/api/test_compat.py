@@ -1,0 +1,80 @@
+"""Legacy keyword spellings stay usable — with a ``DeprecationWarning``.
+
+Historical call sites spelled the network parameters differently
+(``bandwidth=``, ``rate_bps=``, ``reconf_delay=``…).  The
+``repro.compat.legacy_entry_point`` shim maps them onto the canonical
+``bandwidth_bps``/``delta`` vocabulary on every ``simulate_*`` function.
+"""
+
+import warnings
+
+import pytest
+
+from repro.compat import LEGACY_KEYWORD_ALIASES, canonical_kwargs
+from repro.sim import simulate_inter_sunflow, simulate_intra_sunflow
+from repro.units import GBPS, MS
+
+BANDWIDTH = 1 * GBPS
+DELTA = 10 * MS
+
+
+@pytest.mark.parametrize("alias", ["reconf_delay", "reconfiguration_delay"])
+def test_delta_aliases(figure1_coflow, alias):
+    from repro.core.coflow import CoflowTrace
+
+    trace = CoflowTrace(7, [figure1_coflow])
+    canonical = simulate_intra_sunflow(trace, BANDWIDTH, DELTA)
+    with pytest.deprecated_call(match=f"{alias}.*delta"):
+        aliased = simulate_intra_sunflow(trace, BANDWIDTH, **{alias: DELTA})
+    assert aliased.records == canonical.records
+
+
+@pytest.mark.parametrize("alias", ["bandwidth", "rate_bps"])
+def test_bandwidth_aliases(figure1_coflow, alias):
+    from repro.core.coflow import CoflowTrace
+
+    trace = CoflowTrace(7, [figure1_coflow])
+    canonical = simulate_inter_sunflow(trace, BANDWIDTH, DELTA)
+    with pytest.deprecated_call(match=f"{alias}.*bandwidth_bps"):
+        aliased = simulate_inter_sunflow(trace, delta=DELTA, **{alias: BANDWIDTH})
+    assert aliased.records == canonical.records
+
+
+def test_alias_and_canonical_together_rejected(figure1_coflow):
+    from repro.core.coflow import CoflowTrace
+
+    trace = CoflowTrace(7, [figure1_coflow])
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        with pytest.raises(TypeError, match="alongside"):
+            simulate_intra_sunflow(
+                trace, BANDWIDTH, delta=DELTA, reconf_delay=DELTA
+            )
+
+
+def test_canonical_spelling_warns_nothing(figure1_coflow):
+    from repro.core.coflow import CoflowTrace
+
+    trace = CoflowTrace(7, [figure1_coflow])
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        simulate_intra_sunflow(trace, bandwidth_bps=BANDWIDTH, delta=DELTA)
+
+
+def test_decorator_is_reusable():
+    @canonical_kwargs(old_name="new_name")
+    def f(new_name=0):
+        return new_name
+
+    with pytest.deprecated_call():
+        assert f(old_name=42) == 42
+    assert f(new_name=7) == 7
+
+
+def test_every_alias_is_registered():
+    assert LEGACY_KEYWORD_ALIASES == {
+        "reconf_delay": "delta",
+        "reconfiguration_delay": "delta",
+        "bandwidth": "bandwidth_bps",
+        "rate_bps": "bandwidth_bps",
+    }

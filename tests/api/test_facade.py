@@ -1,0 +1,226 @@
+"""``repro.api.simulate`` must match every legacy entry point exactly.
+
+The facade is a dispatcher, not a reimplementation: for each of the seven
+historical ``simulate_*`` functions there is a (mode, scheduler) spec
+that produces the identical report, record for record.
+"""
+
+import random
+
+import pytest
+
+from repro.api import (
+    GuardSpec,
+    NetworkSpec,
+    SimulationSpec,
+    TraceSpec,
+    simulate,
+    spec_from_payload,
+    spec_to_payload,
+)
+from repro.core.policies import POLICIES
+from repro.core.starvation import StarvationGuard
+from repro.core.sunflow import ReservationOrder
+from repro.schedulers import EdmondScheduler, SolsticeScheduler, TmsScheduler
+from repro.sim import (
+    simulate_inter_sunflow,
+    simulate_intra_assignment,
+    simulate_intra_sunflow,
+    simulate_packet,
+)
+from repro.sim.aalo import AaloAllocator
+from repro.sim.hybrid import HybridConfig, simulate_inter_hybrid, simulate_intra_hybrid
+from repro.sim.varys import VarysAllocator
+from repro.system.runner import simulate_system
+from repro.units import GBPS, MS
+from repro.workloads import FacebookLikeTraceGenerator, GeneratorConfig, perturb_sizes
+
+BANDWIDTH = 1 * GBPS
+DELTA = 10 * MS
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    """A fast 8-Coflow workload shared by all equivalence checks."""
+    config = GeneratorConfig(
+        num_ports=12, num_coflows=8, max_width=4, mean_interarrival=1.5, seed=3
+    )
+    return FacebookLikeTraceGenerator(config).generate()
+
+
+def assert_reports_equal(ours, legacy):
+    assert len(ours.records) == len(legacy.records)
+    key = lambda record: record.coflow_id  # noqa: E731
+    for mine, theirs in zip(
+        sorted(ours.records, key=key), sorted(legacy.records, key=key)
+    ):
+        assert mine == theirs
+
+
+def spec_for(trace, **kwargs):
+    kwargs.setdefault("network", NetworkSpec(bandwidth_bps=BANDWIDTH, delta=DELTA))
+    return SimulationSpec(trace=trace, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# One equivalence test per legacy entry point
+# ----------------------------------------------------------------------
+def test_intra_sunflow(tiny_trace):
+    report = simulate(spec_for(tiny_trace, mode="intra", scheduler="sunflow"))
+    legacy = simulate_intra_sunflow(tiny_trace, BANDWIDTH, DELTA)
+    assert_reports_equal(report, legacy)
+
+
+@pytest.mark.parametrize(
+    "name, scheduler_cls",
+    [("solstice", SolsticeScheduler), ("tms", TmsScheduler), ("edmond", EdmondScheduler)],
+)
+def test_intra_assignment(tiny_trace, name, scheduler_cls):
+    report = simulate(spec_for(tiny_trace, mode="intra", scheduler=name))
+    legacy = simulate_intra_assignment(tiny_trace, scheduler_cls(), BANDWIDTH, DELTA)
+    assert_reports_equal(report, legacy)
+
+
+def test_inter_sunflow(tiny_trace):
+    report = simulate(spec_for(tiny_trace, mode="inter", scheduler="sunflow"))
+    legacy = simulate_inter_sunflow(tiny_trace, BANDWIDTH, DELTA)
+    assert_reports_equal(report, legacy)
+
+
+def test_inter_sunflow_policy_and_guard(tiny_trace):
+    guard = GuardSpec(period=2.0, tau=0.5)
+    report = simulate(
+        spec_for(
+            tiny_trace, mode="inter", scheduler="sunflow", policy="fifo", guard=guard
+        )
+    )
+    legacy = simulate_inter_sunflow(
+        tiny_trace,
+        BANDWIDTH,
+        DELTA,
+        policy=POLICIES["fifo"],
+        guard=StarvationGuard(
+            num_ports=tiny_trace.num_ports, period=2.0, tau=0.5, delta=DELTA
+        ),
+    )
+    assert_reports_equal(report, legacy)
+
+
+@pytest.mark.parametrize(
+    "name, allocator_cls", [("varys", VarysAllocator), ("aalo", AaloAllocator)]
+)
+def test_packet(tiny_trace, name, allocator_cls):
+    report = simulate(spec_for(tiny_trace, mode="inter", scheduler=name))
+    legacy = simulate_packet(tiny_trace, allocator_cls(), BANDWIDTH)
+    assert_reports_equal(report, legacy)
+
+
+def test_intra_hybrid(tiny_trace):
+    report = simulate(spec_for(tiny_trace, mode="intra", scheduler="sunflow-hybrid"))
+    legacy = simulate_intra_hybrid(tiny_trace, HybridConfig(), BANDWIDTH, DELTA)
+    assert_reports_equal(report, legacy)
+
+
+def test_inter_hybrid(tiny_trace):
+    report = simulate(spec_for(tiny_trace, mode="inter", scheduler="sunflow-hybrid"))
+    legacy = simulate_inter_hybrid(tiny_trace, HybridConfig(), BANDWIDTH, DELTA)
+    assert_reports_equal(report, legacy)
+
+
+def test_system(tiny_trace):
+    report = simulate(spec_for(tiny_trace, mode="inter", scheduler="system"))
+    legacy = simulate_system(tiny_trace, BANDWIDTH, DELTA)
+    assert_reports_equal(report, legacy)
+
+
+def test_seeded_random_order(tiny_trace):
+    """``spec.seed`` reproduces the legacy explicit-rng call."""
+    spec = spec_for(
+        tiny_trace, mode="intra", scheduler="sunflow", order="random", seed=5
+    )
+    legacy = simulate_intra_sunflow(
+        tiny_trace,
+        BANDWIDTH,
+        DELTA,
+        order=ReservationOrder.RANDOM,
+        rng=random.Random(5),
+    )
+    assert_reports_equal(simulate(spec), legacy)
+    # …and the same spec is reproducible.
+    assert_reports_equal(simulate(spec), simulate(spec))
+
+
+# ----------------------------------------------------------------------
+# Validation and declarative traces
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "mode, scheduler",
+    [("intra", "varys"), ("intra", "aalo"), ("inter", "solstice"),
+     ("inter", "tms"), ("inter", "edmond"), ("intra", "system")],
+)
+def test_unsupported_combination_raises(tiny_trace, mode, scheduler):
+    with pytest.raises(ValueError, match="does not support"):
+        simulate(spec_for(tiny_trace, mode=mode, scheduler=scheduler))
+
+
+def test_unknown_names_rejected_at_construction(tiny_trace):
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        spec_for(tiny_trace, scheduler="bogus")
+    with pytest.raises(ValueError, match="unknown mode"):
+        spec_for(tiny_trace, mode="sideways")
+    with pytest.raises(ValueError, match="unknown policy"):
+        simulate(spec_for(tiny_trace, mode="inter", policy="bogus"))
+
+
+def test_trace_spec_matches_generator(small_trace):
+    """A declarative ``TraceSpec`` regenerates the fixture trace exactly."""
+    declared = TraceSpec(
+        kind="facebook",
+        num_ports=20,
+        num_coflows=24,
+        max_width=8,
+        mean_interarrival=2.0,
+        seed=7,
+        perturb=0.05,
+    ).load()
+    assert declared.num_ports == small_trace.num_ports
+    assert len(declared) == len(small_trace)
+    for mine, theirs in zip(declared, small_trace):
+        assert mine.coflow_id == theirs.coflow_id
+        assert mine.arrival_time == theirs.arrival_time
+        assert {(f.src, f.dst): f.size_bytes for f in mine.flows} == {
+            (f.src, f.dst): f.size_bytes for f in theirs.flows
+        }
+
+
+def test_trace_spec_simulates_like_inline_trace(small_trace):
+    declared = TraceSpec(
+        kind="facebook",
+        num_ports=20,
+        num_coflows=24,
+        max_width=8,
+        mean_interarrival=2.0,
+        seed=7,
+        perturb=0.05,
+    )
+    assert_reports_equal(
+        simulate(spec_for(declared)), simulate(spec_for(small_trace))
+    )
+
+
+@pytest.mark.parametrize("declarative", [True, False])
+def test_payload_round_trip(tiny_trace, declarative):
+    trace = TraceSpec(num_coflows=4, seed=9) if declarative else tiny_trace
+    spec = spec_for(
+        trace,
+        mode="inter",
+        scheduler="sunflow",
+        policy="fifo",
+        guard=GuardSpec(period=3.0, tau=1.0),
+        priority_classes={2: 1, 1: 0},
+        seed=11,
+    )
+    payload = spec_to_payload(spec)
+    assert spec_to_payload(spec_from_payload(payload)) == payload
+    if declarative:
+        assert spec_from_payload(payload) == spec

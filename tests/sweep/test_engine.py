@@ -1,0 +1,156 @@
+"""Sweep execution: determinism, caching, isolation, timeouts."""
+
+import json
+
+import pytest
+
+from repro.api import NetworkSpec, SimulationSpec, TraceSpec
+from repro.perf import PerfCounters
+from repro.sweep import SweepRunner, SweepSpec, run_sweep
+
+TRACE = TraceSpec(kind="facebook", num_ports=12, num_coflows=5, max_width=4, seed=3)
+
+
+def make_grid(name="grid", mode="intra", schedulers=("sunflow", "solstice"), trace=TRACE):
+    return SweepSpec(
+        name=name,
+        base=SimulationSpec(trace=trace, mode=mode, network=NetworkSpec()),
+        axes={"network.delta": [0.01, 0.001], "scheduler": list(schedulers)},
+    )
+
+
+def cell_bytes(result):
+    return [outcome.result_bytes() for outcome in result.outcomes]
+
+
+def test_serial_run_completes_all_cells():
+    result = run_sweep(make_grid())
+    assert len(result) == 4
+    assert not result.failures()
+    assert all(outcome.status == "ok" for outcome in result.outcomes)
+    assert all(len(outcome.report()) == 5 for outcome in result.outcomes)
+
+
+def test_serial_and_parallel_results_byte_identical():
+    serial = run_sweep(make_grid())
+    parallel = run_sweep(make_grid(), workers=2)
+    assert cell_bytes(serial) == cell_bytes(parallel)
+    # Grid order is preserved regardless of completion order.
+    assert [o.cell_id for o in serial.outcomes] == [o.cell_id for o in parallel.outcomes]
+
+
+def test_find_locates_cells_by_axis_values():
+    result = run_sweep(make_grid())
+    outcome = result.find({"network.delta": 0.001, "scheduler": "solstice"})
+    assert outcome.cell_id == "network.delta=0.001/scheduler=solstice"
+    with pytest.raises(KeyError, match="2 cells match"):
+        result.find({"scheduler": "sunflow"})
+    with pytest.raises(KeyError, match="no cell matches"):
+        result.find({"scheduler": "tms"})
+
+
+def test_cache_serves_second_run(tmp_path):
+    cache = tmp_path / "cache"
+    perf = PerfCounters()
+    cold = SweepRunner(make_grid(), cache_dir=cache, perf=perf).run()
+    assert cold.cache_hits == 0
+    assert perf.snapshot()["counts"]["sweep_cells_computed"] == 4
+
+    perf = PerfCounters()
+    warm = SweepRunner(make_grid(), cache_dir=cache, perf=perf).run()
+    assert warm.cache_hits == 4
+    counts = perf.snapshot()["counts"]
+    assert counts["sweep_cache_hits"] == 4
+    assert "sweep_cells_computed" not in counts
+    assert cell_bytes(cold) == cell_bytes(warm)
+
+
+def test_cache_keys_are_content_addressed(tmp_path):
+    """Renaming the sweep or reordering axes reuses the same cached cells."""
+    cache = tmp_path / "cache"
+    run_sweep(make_grid(name="first"), cache_dir=cache)
+    renamed = SweepSpec(
+        name="second",
+        base=SimulationSpec(trace=TRACE, mode="intra", network=NetworkSpec()),
+        axes=[("scheduler", ("sunflow", "solstice")), ("network.delta", (0.01, 0.001))],
+    )
+    result = run_sweep(renamed, cache_dir=cache)
+    assert result.cache_hits == 4
+
+
+def test_changed_cells_recompute_unchanged_stay_cached(tmp_path):
+    cache = tmp_path / "cache"
+    run_sweep(make_grid(), cache_dir=cache)
+    wider = SweepSpec(
+        name="grid",
+        base=SimulationSpec(trace=TRACE, mode="intra", network=NetworkSpec()),
+        axes={"network.delta": [0.01, 0.001, 0.0001], "scheduler": ["sunflow", "solstice"]},
+    )
+    result = run_sweep(wider, cache_dir=cache)
+    assert len(result) == 6
+    assert result.cache_hits == 4  # only the two new δ=0.0001 cells computed
+
+
+def test_poisoned_cell_isolated_from_healthy_cells():
+    result = run_sweep(make_grid(schedulers=("sunflow", "bogus")))
+    statuses = {o.cell_id: o.status for o in result.outcomes}
+    assert statuses["network.delta=0.01/scheduler=sunflow"] == "ok"
+    assert statuses["network.delta=0.01/scheduler=bogus"] == "error"
+    assert len(result.failures()) == 2
+    for failure in result.failures():
+        assert "bogus" in failure.result["error"]
+
+
+def test_runtime_error_isolated_from_healthy_cells():
+    # solstice has no inter-Coflow replay: the facade raises inside the
+    # worker, which must surface as an error cell, not a dead sweep.
+    result = run_sweep(make_grid(mode="inter"), workers=2)
+    statuses = {o.cell_id: o.status for o in result.outcomes}
+    assert statuses["network.delta=0.01/scheduler=sunflow"] == "ok"
+    assert statuses["network.delta=0.01/scheduler=solstice"] == "error"
+    assert "does not support" in result.outcome(
+        "network.delta=0.01/scheduler=solstice"
+    ).result["error"]
+
+
+def test_timeout_records_timeout_status():
+    heavy = TraceSpec(kind="facebook", num_ports=40, num_coflows=40, max_width=20, seed=3)
+    grid = SweepSpec(
+        name="slow",
+        base=SimulationSpec(trace=heavy, mode="inter", network=NetworkSpec()),
+        axes={"network.delta": [0.01]},
+    )
+    result = run_sweep(grid, timeout_s=1e-4)
+    assert result.outcomes[0].status == "timeout"
+    # Failed cells are never cached, so a later unbounded run recomputes.
+    assert result.outcomes[0].result == {"status": "timeout", "timeout_s": 1e-4}
+
+
+def test_failed_cells_not_cached(tmp_path):
+    cache = tmp_path / "cache"
+    grid = make_grid(mode="inter")  # solstice cells fail
+    run_sweep(grid, cache_dir=cache)
+    rerun = run_sweep(grid, cache_dir=cache)
+    by_status = {o.cell_id: o for o in rerun.outcomes}
+    assert by_status["network.delta=0.01/scheduler=sunflow"].from_cache
+    assert not by_status["network.delta=0.01/scheduler=solstice"].from_cache
+
+
+def test_progress_callback_reaches_completion():
+    snapshots = []
+    SweepRunner(make_grid(), progress=snapshots.append).run()
+    assert snapshots[-1].done == snapshots[-1].total == 4
+    assert snapshots[-1].failed == 0
+    assert snapshots[-1].eta_s == 0.0
+
+
+def test_write_outputs_json_and_csv(tmp_path):
+    result = run_sweep(make_grid())
+    json_path, csv_path = result.write(tmp_path / "out")
+    payload = json.loads(json_path.read_text())
+    assert payload["cells_total"] == 4
+    assert payload["cells_failed"] == 0
+    assert len(payload["cells"]) == 4
+    lines = csv_path.read_text().strip().splitlines()
+    assert lines[0].startswith("index,cell_id,status")
+    assert len(lines) == 5

@@ -1,0 +1,38 @@
+"""Tier-1 smoke test: a real multi-process sweep end to end.
+
+Small enough for every test run (4 cells, 5 tiny Coflows each), but it
+exercises the full stack — declarative trace, facade dispatch, worker
+pool, per-cell payloads, aggregation — with an actual 2-worker pool.
+"""
+
+from repro.api import NetworkSpec, SimulationSpec, TraceSpec
+from repro.sweep import SweepSpec, run_sweep
+
+
+def make_grid():
+    return SweepSpec(
+        name="smoke",
+        base=SimulationSpec(
+            trace=TraceSpec(
+                kind="facebook", num_ports=10, num_coflows=5, max_width=3, seed=1
+            ),
+            mode="intra",
+            network=NetworkSpec(),
+        ),
+        axes={"network.delta": [0.01, 0.001], "scheduler": ["sunflow", "solstice"]},
+    )
+
+
+def test_four_cell_sweep_with_two_workers():
+    result = run_sweep(make_grid(), workers=2)
+    assert len(result) == 4
+    assert not result.failures()
+    for outcome in result.outcomes:
+        summary = outcome.summary()
+        assert summary["coflows"] == 5
+        assert summary["average_cct"] > 0
+    # The parallel run reproduces the serial bytes exactly.
+    serial = run_sweep(make_grid())
+    assert [o.result_bytes() for o in serial.outcomes] == [
+        o.result_bytes() for o in result.outcomes
+    ]

@@ -1,0 +1,142 @@
+"""Grid expansion: ``SweepSpec`` → cells."""
+
+import pytest
+
+from repro.api import NetworkSpec, SimulationSpec, TraceSpec
+from repro.sweep import SweepSpec, derive_cell_seed
+
+TRACE = TraceSpec(kind="facebook", num_ports=12, num_coflows=4, max_width=4, seed=3)
+
+
+def base_spec(**kwargs):
+    kwargs.setdefault("trace", TRACE)
+    return SimulationSpec(**kwargs)
+
+
+@pytest.fixture
+def grid():
+    return SweepSpec(
+        name="demo",
+        base=base_spec(),
+        axes={
+            "network.delta": [0.1, 0.01],
+            "scheduler": ["sunflow", "solstice"],
+        },
+    )
+
+
+def test_cartesian_cells_axis_major(grid):
+    cells = grid.cells()
+    assert grid.num_cells() == len(cells) == 4
+    assert [cell.cell_id for cell in cells] == [
+        "network.delta=0.1/scheduler=sunflow",
+        "network.delta=0.1/scheduler=solstice",
+        "network.delta=0.01/scheduler=sunflow",
+        "network.delta=0.01/scheduler=solstice",
+    ]
+    assert [cell.index for cell in cells] == [0, 1, 2, 3]
+
+
+def test_overrides_applied_to_nested_fields(grid):
+    cell = grid.cells()[2]
+    assert cell.spec.network.delta == 0.01
+    assert cell.spec.scheduler == "sunflow"
+    # Untouched base fields survive.
+    assert cell.spec.trace == TRACE
+    assert cell.spec.network.bandwidth_bps == NetworkSpec().bandwidth_bps
+
+
+def test_no_axes_is_a_single_base_cell():
+    cells = SweepSpec(name="one", base=base_spec()).cells()
+    assert len(cells) == 1
+    assert cells[0].cell_id == "base"
+
+
+def test_empty_axis_rejected():
+    with pytest.raises(ValueError, match="no values"):
+        SweepSpec(name="bad", base=base_spec(), axes={"scheduler": []})
+
+
+def test_unknown_override_path_poisons_only_that_cell():
+    cells = SweepSpec(
+        name="typo", base=base_spec(), axes={"network.dleta": [0.1]}
+    ).cells()
+    assert cells[0].spec is None
+    assert "dleta" in cells[0].error
+
+
+def test_invalid_axis_value_poisons_only_that_cell(grid):
+    cells = SweepSpec(
+        name="poison",
+        base=base_spec(),
+        axes={"scheduler": ["sunflow", "bogus"]},
+    ).cells()
+    ok, poisoned = cells
+    assert ok.spec is not None and ok.error is None
+    assert poisoned.spec is None
+    assert "bogus" in poisoned.error
+
+
+def test_derived_seeds_are_deterministic_and_distinct(grid):
+    seeds = [cell.spec.seed for cell in grid.cells()]
+    assert seeds == [cell.spec.seed for cell in grid.cells()]
+    assert len(set(seeds)) == len(seeds)
+    # The derivation is the content hash of the *unseeded* spec.
+    unseeded = grid.cells()[0]
+    expected = derive_cell_seed(base_spec(network=NetworkSpec(delta=0.1)))
+    assert unseeded.spec.seed == expected
+
+
+def test_explicit_base_seed_is_kept():
+    cells = SweepSpec(
+        name="seeded", base=base_spec(seed=99), axes={"network.delta": [0.1, 0.01]}
+    ).cells()
+    assert [cell.spec.seed for cell in cells] == [99, 99]
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+def test_json_round_trip(grid, tmp_path):
+    path = tmp_path / "grid.json"
+    grid.write(path)
+    loaded = SweepSpec.from_file(path)
+    assert loaded == grid
+    assert [c.cell_id for c in loaded.cells()] == [c.cell_id for c in grid.cells()]
+
+
+def test_toml_grid_file(tmp_path):
+    path = tmp_path / "grid.toml"
+    path.write_text(
+        """
+name = "toml-demo"
+
+[base]
+mode = "intra"
+scheduler = "sunflow"
+
+[base.trace]
+kind = "facebook"
+num_ports = 12
+num_coflows = 4
+max_width = 4
+seed = 3
+
+[base.network]
+bandwidth_bps = 1e9
+delta = 0.01
+
+[axes]
+"network.delta" = [0.1, 0.01]
+scheduler = ["sunflow", "solstice"]
+""",
+        encoding="utf-8",
+    )
+    loaded = SweepSpec.from_file(path)
+    assert loaded.name == "toml-demo"
+    assert loaded.base.trace == TRACE
+    assert loaded.num_cells() == 4
+    assert loaded.axes == (
+        ("network.delta", (0.1, 0.01)),
+        ("scheduler", ("sunflow", "solstice")),
+    )

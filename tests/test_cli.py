@@ -118,6 +118,59 @@ class TestStats:
         assert "width |C|" in out
 
 
+class TestSweep:
+    GRID = """
+name = "cli-demo"
+
+[base]
+mode = "intra"
+scheduler = "sunflow"
+
+[base.trace]
+kind = "facebook"
+num_ports = 10
+num_coflows = 4
+max_width = 3
+seed = 1
+
+[axes]
+"network.delta" = [0.01, 0.001]
+scheduler = ["sunflow", "solstice"]
+"""
+
+    @pytest.fixture
+    def grid_file(self, tmp_path):
+        path = tmp_path / "grid.toml"
+        path.write_text(self.GRID)
+        return path
+
+    def test_runs_grid_and_writes_outputs(self, grid_file, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert main([
+            "sweep", str(grid_file), "--output-dir", str(out_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[4/4]" in out
+        assert "4 cells" in out and "0 failed" in out
+        assert (out_dir / "sweep.json").exists()
+        assert (out_dir / "cells.csv").exists()
+
+    def test_cache_dir_serves_second_run(self, grid_file, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["sweep", str(grid_file), "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", str(grid_file), "--cache-dir", str(cache)]) == 0
+        assert "4 cached" in capsys.readouterr().out
+
+    def test_failing_cell_sets_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "grid.toml"
+        path.write_text(self.GRID.replace('"solstice"]', '"bogus"]'))
+        assert main(["sweep", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "error" in out
+        assert "2 failed" in out
+
+
 class TestExport:
     def test_writes_records_csv(self, trace_file, tmp_path, capsys):
         out = tmp_path / "records.csv"
