@@ -71,6 +71,15 @@ def main(argv=None) -> int:
         f"incremental: {result['wall_s']:.2f}s over {result['events']} events, "
         f"{result['coflows']} coflows"
     )
+    hit_rate = result.get("plan_cache_hit_rate")
+    kept = result.get("plans_kept_per_computed")
+    print(
+        "reuse: "
+        f"plan-cache hit rate {hit_rate if hit_rate is None else f'{hit_rate:.1%}'}, "
+        f"kept/computed {kept if kept is None else f'{kept:.2f}'}, "
+        f"{result.get('plans_transformed', 0)} transformed, "
+        f"{result.get('plans_reused', 0)} replayed"
+    )
     if "full_replan_wall_s" in result:
         print(
             f"full replan: {result['full_replan_wall_s']:.2f}s "

@@ -19,7 +19,42 @@
 
 set -e
 cd "$(dirname "$0")/.."
+
+# Perf smoke: remember the committed replay wall before the bench
+# overwrites BENCH_trace_replay.json, then warn (non-fatally) if the
+# fresh run regressed by more than 25%.  Machine-to-machine variance is
+# larger than that, so this only flags regressions against a baseline
+# produced on the same machine.
+baseline_wall=""
+if [ -f BENCH_trace_replay.json ]; then
+    baseline_wall=$(python -c "import json; print(json.load(open('BENCH_trace_replay.json')).get('wall_s', ''))")
+fi
+# A custom --output (or non-default trace config) diverts the summary
+# away from the committed file, so the smoke comparison below would be
+# apples-to-oranges — skip it.
+if [ "$#" -gt 0 ]; then
+    baseline_wall=""
+fi
+
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_trace_replay.py "$@"
+
+if [ -n "$baseline_wall" ]; then
+    python - "$baseline_wall" <<'EOF'
+import json, sys
+baseline = float(sys.argv[1])
+wall = json.load(open("BENCH_trace_replay.json"))["wall_s"]
+ratio = wall / baseline if baseline > 0 else 0.0
+if ratio > 1.25:
+    print(
+        f"WARNING: trace replay took {wall:.2f}s vs committed baseline "
+        f"{baseline:.2f}s ({ratio:.2f}x) — possible performance regression",
+        file=sys.stderr,
+    )
+else:
+    print(f"perf smoke: replay wall {wall:.2f}s vs baseline {baseline:.2f}s ({ratio:.2f}x)")
+EOF
+fi
+
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_sweep_engine.py

@@ -67,6 +67,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-sunflow",
         description="Sunflow (CoNEXT 2016) reproduction toolkit",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the command under cProfile and print the top 25 functions "
+        "by cumulative time to stderr (goes before the subcommand, e.g. "
+        "`repro-sunflow --profile inter trace.txt`)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser("generate", help="synthesize a Facebook-like trace")
@@ -173,7 +180,20 @@ def _print_cct_summary(label: str, values: List[float]) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.profile:
+        import cProfile
+        import pstats
 
+        profiler = cProfile.Profile()
+        try:
+            return profiler.runcall(_dispatch, args)
+        finally:
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(25)
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "generate":
         config = GeneratorConfig(
             num_ports=args.ports,

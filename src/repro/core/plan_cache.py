@@ -1,0 +1,288 @@
+"""Gap-signature cache of intra-Coflow plans (the second planner layer).
+
+Algorithm 1 is a *deterministic* function of surprisingly few inputs: the
+Coflow's remaining demand entries (in consideration order), its
+established-circuit state, the schedule origin, the scheduler's
+``(delta, order, quantum)`` configuration — and the occupancy, from the
+origin onward, of exactly the ports the demand touches.  Releases or
+reservations anywhere else cannot reach any query the planner makes.
+
+Only plans *without* established circuits are cached.  A Coflow holding
+circuits is mid-service: its remaining demand mutates at every event, so
+its key could never recur, and its continuations are already carried
+forward bit-for-bit by the incremental replanner's transform-keep path
+(:meth:`~repro.sim.circuit_sim.InterCoflowSimulator._transform_continuation`).
+Exempting it keeps signature capture off the per-event service path.
+
+The cache exploits this: every computed plan is stored under a key built
+from those inputs, with the port occupancy captured as *gap-signature
+profiles* (:meth:`PortReservationTable.input_profile`) — the per-port
+boundary suffix at/after the origin plus a covered-at-origin parity bit.
+On a later ``schedule_demand`` call with the same key, the cached
+reservations are replayed into the PRT verbatim instead of re-running
+Algorithm 1.  Replay still performs full overlap checks, so a stale entry
+that no longer fits raises and is invalidated (defense in depth; a
+matching signature proves it fits).
+
+Two kinds of hit:
+
+* **Exact** — same origin, bitwise-equal profiles.  These occur when the
+  same planning problem recurs at one instant, e.g. the starvation
+  guard's grow-horizon retry loop re-planning Coflows whose ports the
+  extended guard windows did not touch.
+
+* **Shifted** — the stored plan was computed at an *earlier* origin
+  ``s0 <= now``, placed nothing before ``now``, and its profiles
+  re-truncated at ``now`` equal the current ones.  Then a fresh run at
+  ``now`` provably reproduces it bit-for-bit:
+  with every touched port's occupancy identical, a blocked entry's
+  wait-release-reattempt chain from ``now`` converges to the same first
+  feasible instant the old chain found (there is provably no earlier
+  moment with both ports free, else the old run would have reserved
+  there), and placements at/after ``now`` then cascade identically in
+  consideration order.  (Established circuits would break this: their
+  setup discount applies only at examinations within ``TIME_EPS`` of the
+  origin — the one query whose outcome depends on the origin itself —
+  which is one more reason they are exempt from caching.)
+  This is the common case in trace replay: a priority reshuffle forces
+  the incremental replanner to rebuild its layer stack, but the queued
+  (never-served) Coflows deep in the order see the same port occupancy
+  they saw last event, just later.
+
+``ReservationOrder.RANDOM`` must bypass the cache entirely: a hit would
+skip the ``rng.shuffle`` and desynchronize the stream for every later
+plan.  (``SORTED_DEMAND`` and quantization are pure functions of the
+demand already in the key, so they cache fine.)
+
+Counters (``plan_cache_hits``, ``plan_cache_shifted_hits``,
+``plan_cache_misses``, ``plan_cache_invalidations``,
+``plan_cache_evictions``, ``plan_cache_bypasses``) are kept on the cache
+and folded into the simulator's :class:`~repro.perf.PerfCounters` after a
+run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.prt import (
+    PortConflictError,
+    PortReservationTable,
+    Reservation,
+    TIME_EPS,
+)
+
+Circuit = Tuple[int, int]
+
+#: Per-port gap signature: ``(parity, *boundary suffix)``.
+Profile = Tuple[float, ...]
+
+
+def _advance_profile(profile: Profile, t: float) -> Profile:
+    """Re-truncate a stored profile at a later instant ``t``.
+
+    Equivalent to recomputing :meth:`PortReservationTable._profile` at
+    ``t`` against the boundary array the profile was cut from — dropped
+    boundaries flip the parity bit per pair consumed.
+    """
+    i = bisect_right(profile, t + TIME_EPS, 1)
+    if i == 1:
+        return profile
+    if i == len(profile):
+        return (0,)
+    return (int(profile[0]) ^ ((i - 1) & 1), *profile[i:])
+
+
+class _CacheEntry:
+    """One cached plan: its origin, context signature, and reservations."""
+
+    __slots__ = ("start", "first_start", "in_profiles", "out_profiles", "reservations")
+
+    def __init__(
+        self,
+        start: float,
+        first_start: float,
+        in_profiles: Tuple[Profile, ...],
+        out_profiles: Tuple[Profile, ...],
+        reservations: Tuple[Reservation, ...],
+    ) -> None:
+        self.start = start
+        self.first_start = first_start
+        self.in_profiles = in_profiles
+        self.out_profiles = out_profiles
+        self.reservations = reservations
+
+
+class PlanProbe:
+    """Lookup context handed back by :meth:`PlanCache.fetch` on a miss.
+
+    Holds the key and the (already computed) current profiles so the
+    subsequent :meth:`PlanCache.store` does not recompute them.
+    """
+
+    __slots__ = ("key", "start", "in_profiles", "out_profiles")
+
+    def __init__(
+        self,
+        key: Tuple,
+        start: float,
+        in_profiles: Tuple[Profile, ...],
+        out_profiles: Tuple[Profile, ...],
+    ) -> None:
+        self.key = key
+        self.start = start
+        self.in_profiles = in_profiles
+        self.out_profiles = out_profiles
+
+
+class PlanCache:
+    """LRU cache of intra-Coflow plans keyed by gap signatures.
+
+    Args:
+        maxsize: number of distinct ``(config, coflow, demand,
+            established)`` keys retained (LRU eviction beyond it).
+        bucket_size: cached contexts kept per key — the same Coflow's
+            plan recurs at a handful of recent origins at most.
+    """
+
+    def __init__(self, maxsize: int = 2048, bucket_size: int = 2) -> None:
+        self.maxsize = maxsize
+        self.bucket_size = bucket_size
+        self._entries: "OrderedDict[Tuple, List[_CacheEntry]]" = OrderedDict()
+        self.counters: Dict[str, int] = {
+            "plan_cache_hits": 0,
+            "plan_cache_shifted_hits": 0,
+            "plan_cache_misses": 0,
+            "plan_cache_invalidations": 0,
+            "plan_cache_evictions": 0,
+            "plan_cache_bypasses": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def note_bypass(self) -> None:
+        """Record a call that must not use the cache (RANDOM order)."""
+        self.counters["plan_cache_bypasses"] += 1
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Hits over lookups so far (None before the first lookup)."""
+        c = self.counters
+        lookups = c["plan_cache_hits"] + c["plan_cache_misses"]
+        if lookups == 0:
+            return None
+        return c["plan_cache_hits"] / lookups
+
+    # ------------------------------------------------------------------
+    def fetch(
+        self,
+        prt: PortReservationTable,
+        config_key: Tuple,
+        coflow_id: int,
+        demand_times: Mapping[Circuit, float],
+        start_time: float,
+    ) -> Tuple[Optional[List[Reservation]], Optional[PlanProbe]]:
+        """Look up a cached plan for this exact planning problem.
+
+        Only demands with *no established circuits* reach the cache (see
+        the module docstring), so the key is ``(config, coflow, demand)``
+        and every candidate either matches at the same origin or is
+        checked for a shifted hit.  On a hit the cached reservations are
+        replayed into ``prt`` and returned as a fresh list (the caller
+        wraps them in its own schedule object).  On a miss, returns a
+        :class:`PlanProbe` to pass to :meth:`store` once the plan has
+        been computed.  Returns ``(None, None)`` for empty demands
+        (nothing worth caching).
+
+        ``demand_times`` is keyed by its *iteration order*, not sorted:
+        callers hold per-Coflow demand dicts whose key order is fixed for
+        the Coflow's lifetime, and the planner sorts entries itself, so
+        insertion order never changes the plan — at worst a reordered
+        dict misses a hit it could have had.
+        """
+        if not demand_times:
+            return None, None
+        demand_key = tuple(demand_times.items())
+        key = (config_key, coflow_id, demand_key)
+
+        in_ports = {src for src, _ in demand_times}
+        out_ports = {dst for _, dst in demand_times}
+        in_profiles = tuple(
+            prt.input_profile(p, start_time) for p in sorted(in_ports)
+        )
+        out_profiles = tuple(
+            prt.output_profile(p, start_time) for p in sorted(out_ports)
+        )
+
+        counters = self.counters
+        bucket = self._entries.get(key)
+        if bucket is not None:
+            for entry in bucket:
+                if entry.start == start_time:
+                    matched = (
+                        entry.in_profiles == in_profiles
+                        and entry.out_profiles == out_profiles
+                    )
+                elif (
+                    entry.start < start_time
+                    and entry.first_start >= start_time - TIME_EPS
+                ):
+                    matched = all(
+                        _advance_profile(stored, start_time) == current
+                        for stored, current in zip(entry.in_profiles, in_profiles)
+                    ) and all(
+                        _advance_profile(stored, start_time) == current
+                        for stored, current in zip(entry.out_profiles, out_profiles)
+                    )
+                else:
+                    matched = False
+                if not matched:
+                    continue
+                try:
+                    prt.replay(entry.reservations)
+                except PortConflictError:
+                    # A matching signature proves the plan fits; this is
+                    # pure defense against future query/profile drift.
+                    bucket.remove(entry)
+                    if not bucket:
+                        del self._entries[key]
+                    counters["plan_cache_invalidations"] += 1
+                    break
+                counters["plan_cache_hits"] += 1
+                if entry.start != start_time:
+                    counters["plan_cache_shifted_hits"] += 1
+                self._entries.move_to_end(key)
+                return list(entry.reservations), None
+
+        counters["plan_cache_misses"] += 1
+        return None, PlanProbe(key, start_time, in_profiles, out_profiles)
+
+    def store(
+        self,
+        probe: PlanProbe,
+        reservations: Sequence[Reservation],
+        first_start: float,
+    ) -> None:
+        """Cache a freshly computed plan under the probe's signature."""
+        entry = _CacheEntry(
+            start=probe.start,
+            first_start=first_start,
+            in_profiles=probe.in_profiles,
+            out_profiles=probe.out_profiles,
+            reservations=tuple(reservations),
+        )
+        entries = self._entries
+        bucket = entries.get(key := probe.key)
+        if bucket is None:
+            entries[key] = [entry]
+        else:
+            bucket.insert(0, entry)
+            del bucket[self.bucket_size :]
+        entries.move_to_end(key)
+        while len(entries) > self.maxsize:
+            entries.popitem(last=False)
+            self.counters["plan_cache_evictions"] += 1

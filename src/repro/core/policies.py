@@ -41,14 +41,15 @@ class CoflowView:
     @property
     def bottleneck(self) -> float:
         """Remaining ``T^p_L``: the busiest port's remaining seconds of work."""
-        input_load: Dict[int, float] = defaultdict(float)
-        output_load: Dict[int, float] = defaultdict(float)
+        # One defaultdict over both port spaces (input ``p`` → ``2p``,
+        # output ``p`` → ``2p + 1``): this property runs on every view at
+        # every replan.
+        loads: Dict[int, float] = defaultdict(float)
         for (src, dst), p in self.remaining_times.items():
             if p > 0:
-                input_load[src] += p
-                output_load[dst] += p
-        loads = list(input_load.values()) + list(output_load.values())
-        return max(loads) if loads else 0.0
+                loads[src * 2] += p
+                loads[dst * 2 + 1] += p
+        return max(loads.values()) if loads else 0.0
 
     @property
     def total_time(self) -> float:

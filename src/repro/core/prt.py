@@ -13,25 +13,52 @@ at ``t`` frees its ports at exactly ``t``, and a new reservation may begin
 at ``t``.  The table enforces the port constraint of §2.1 — an input
 (output) port carries at most one circuit at any instant — by refusing
 overlapping reservations.
+
+Storage layout
+--------------
+
+Each port timeline is a struct-of-arrays, not a list of objects: an
+``array('d')`` of interleaved boundaries ``[s0, e0, s1, e1, ...]`` plus an
+``array('q')`` of indices into the insertion-order journal.  Per-port
+reservations never overlap, so the boundary array is sorted and one bisect
+answers every hot query — "is the port covered at ``t``?" is a single
+``bisect_right`` whose *parity* is the answer (odd ⇒ inside an interval).
+The hot queries (:meth:`input_covering_end`, :meth:`next_reserved_time`,
+:meth:`release_of_block`, :meth:`release_events_for_input`) therefore
+compare raw doubles without touching a :class:`Reservation`;  full objects
+are materialized from the journal only for the plan-facing API
+(:meth:`reserve` returns the object recorded in a Coflow's plan,
+:meth:`reservations_for_input` and friends rebuild views on demand).
+
+The pre-array implementation is retained as
+:class:`repro.core.prt_reference.ReferencePortReservationTable` and the
+two are differentially fuzzed against each other.
 """
 
 from __future__ import annotations
 
-import bisect
+from array import array
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: Tolerance for floating-point time comparisons throughout the scheduler.
 TIME_EPS = 1e-9
 
+#: Profile of a port with no (future) reservations; shared singleton.
+_EMPTY_PROFILE: Tuple[float, ...] = (0,)
 
-def _start_of(reservation: "Reservation") -> float:
-    return reservation.start
 
-
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Reservation:
     """One circuit held on ``[start, end)`` between ``src`` and ``dst``.
+
+    Treat instances as immutable: reservations are shared between the
+    journal, plan layers, and cached plans, and are hashed/compared by
+    value.  (The class is not ``frozen`` because frozen-dataclass
+    ``__init__`` pays an ``object.__setattr__`` call per field, and the
+    schedulers construct hundreds of thousands of these on the replay
+    hot path.)
 
     Attributes:
         start: when the ports become taken (reconfiguration begins).
@@ -91,23 +118,38 @@ class PortReservationTable:
     reservation, so reservations only accumulate.  Lookups the scheduler
     needs — "is this port free at ``t``?", "when is the next reservation on
     this port after ``t``?", "when is the next circuit release anywhere?" —
-    are all O(log n) via per-port sorted lists plus a global sorted list of
-    release (end) times.
+    are all O(log n) bisects over per-port boundary arrays (see the module
+    docstring for the layout).
 
     The table additionally supports *checkpoint/rollback*: reservations are
     journalled in insertion order, so any suffix of the insertion history
     can be undone in O(k log n) for k undone reservations.  The incremental
     inter-Coflow replanner uses this to keep the reservations of
     higher-priority Coflows in place while re-planning only the dirty
-    suffix of the priority order.
+    suffix of the priority order.  The global release-time column is kept
+    in journal order (append on insert, slice-truncate on rollback) and
+    sorted lazily only when :meth:`next_release_after` needs it.
     """
 
+    __slots__ = (
+        "_in_bounds",
+        "_in_refs",
+        "_out_bounds",
+        "_out_refs",
+        "_ends",
+        "_ends_sorted",
+        "_reservations",
+    )
+
     def __init__(self) -> None:
-        self._in: Dict[int, List[Reservation]] = {}
-        self._out: Dict[int, List[Reservation]] = {}
-        self._in_starts: Dict[int, List[float]] = {}
-        self._out_starts: Dict[int, List[float]] = {}
-        self._ends: List[float] = []
+        self._in_bounds: Dict[int, array] = {}
+        self._in_refs: Dict[int, array] = {}
+        self._out_bounds: Dict[int, array] = {}
+        self._out_refs: Dict[int, array] = {}
+        #: Reservation end times in *journal* order (not sorted).
+        self._ends: array = array("d")
+        #: Lazily rebuilt sorted copy of ``_ends`` (None when stale).
+        self._ends_sorted: Optional[array] = None
         self._reservations: List[Reservation] = []
 
     def clear(self) -> None:
@@ -116,14 +158,15 @@ class PortReservationTable:
         The incremental replanner compacts with this when everything left
         in the table lies entirely in the past: such reservations cannot
         cover, block, or release anything from ``now`` on, so the table is
-        semantically empty — clearing keeps per-port lists from growing
+        semantically empty — clearing keeps per-port arrays from growing
         with the age of the simulation.
         """
-        self._in.clear()
-        self._out.clear()
-        self._in_starts.clear()
-        self._out_starts.clear()
-        self._ends.clear()
+        self._in_bounds.clear()
+        self._in_refs.clear()
+        self._out_bounds.clear()
+        self._out_refs.clear()
+        del self._ends[:]
+        self._ends_sorted = None
         self._reservations.clear()
 
     # ------------------------------------------------------------------
@@ -137,93 +180,186 @@ class PortReservationTable:
 
     _EMPTY: Tuple[Reservation, ...] = ()
 
+    def _port_view(self, refs: Optional[array]) -> Sequence[Reservation]:
+        if not refs:
+            return self._EMPTY
+        journal = self._reservations
+        return tuple(journal[i] for i in refs)
+
     def reservations_for_input(self, port: int) -> Sequence[Reservation]:
         """Reservations on input ``port``, sorted by start.
 
-        Returns a read-only view of internal state (no copy): callers must
-        not mutate it, and must not hold it across a ``reserve``/``rollback``.
+        Materialized from the journal on demand (a fresh tuple per call):
+        cheap enough for analysis/validation paths, but not for hot loops —
+        those use the scalar queries below.
         """
-        return self._in.get(port, self._EMPTY)
+        return self._port_view(self._in_refs.get(port))
 
     def reservations_for_output(self, port: int) -> Sequence[Reservation]:
-        """Reservations on output ``port``, sorted by start (read-only view)."""
-        return self._out.get(port, self._EMPTY)
+        """Reservations on output ``port``, sorted by start (materialized)."""
+        return self._port_view(self._out_refs.get(port))
 
     def _releases_after(
-        self, table: Dict[int, List[Reservation]], port: int, t: float
+        self, bounds: Optional[array], refs: Optional[array], t: float
     ) -> Iterator[Reservation]:
-        """Reservations on ``port`` whose end lies after ``t``, without
-        scanning (or copying) the already-released prefix of the timeline.
+        """Reservations on one port whose end lies after ``t``.
 
-        Per-port reservations are non-overlapping, so sorted-by-start is
-        also sorted-by-end: every reservation from the first candidate on
-        has ``end > t`` except possibly the candidate itself.
+        One bisect lands directly on the first candidate: per-port
+        reservations are non-overlapping, so sorted-by-start is also
+        sorted-by-end, and ``bisect_right`` over the interleaved boundary
+        array already skips the released prefix — no clamp, no linear scan.
         """
-        reservations = table.get(port)
-        if not reservations:
+        if not bounds:
             return
-        idx = bisect.bisect_right(reservations, t + TIME_EPS, key=_start_of) - 1
-        if idx < 0:
-            idx = 0
-        while idx < len(reservations) and reservations[idx].end <= t + TIME_EPS:
-            idx += 1
-        for i in range(idx, len(reservations)):
-            yield reservations[i]
+        journal = self._reservations
+        for i in refs[bisect_right(bounds, t + TIME_EPS) >> 1 :]:
+            yield journal[i]
 
     def input_releases_after(self, port: int, t: float) -> Iterator[Reservation]:
-        return self._releases_after(self._in, port, t)
+        return self._releases_after(
+            self._in_bounds.get(port), self._in_refs.get(port), t
+        )
 
     def output_releases_after(self, port: int, t: float) -> Iterator[Reservation]:
-        return self._releases_after(self._out, port, t)
+        return self._releases_after(
+            self._out_bounds.get(port), self._out_refs.get(port), t
+        )
+
+    def release_events_for_input(
+        self, port: int, t: float
+    ) -> List[Tuple[float, int, int]]:
+        """``(end, src, dst)`` for input-port reservations ending after ``t``.
+
+        The scalar twin of :meth:`input_releases_after`, shaped for the
+        scheduler's release-event heap: ends come straight from the
+        boundary array and only the peer port is read off the journal.
+        """
+        bounds = self._in_bounds.get(port)
+        if not bounds:
+            return []
+        k = bisect_right(bounds, t + TIME_EPS) >> 1
+        journal = self._reservations
+        refs = self._in_refs[port]
+        return [
+            (end, port, journal[i].dst)
+            for end, i in zip(bounds[2 * k + 1 :: 2], refs[k:])
+        ]
+
+    def release_events_for_output(
+        self, port: int, t: float
+    ) -> List[Tuple[float, int, int]]:
+        """``(end, src, dst)`` for output-port reservations ending after ``t``."""
+        bounds = self._out_bounds.get(port)
+        if not bounds:
+            return []
+        k = bisect_right(bounds, t + TIME_EPS) >> 1
+        journal = self._reservations
+        refs = self._out_refs[port]
+        return [
+            (end, journal[i].src, port)
+            for end, i in zip(bounds[2 * k + 1 :: 2], refs[k:])
+        ]
+
+    @staticmethod
+    def _release_in(bounds: Optional[array], t0: float, t1: float) -> bool:
+        """True when any reservation on the port ends in ``(t0, t1]``.
+
+        Parity over the interleaved boundary array: ends sit at odd
+        indices, so the window ``(t0 + eps, t1 + eps]`` contains one as
+        soon as it spans two boundaries or opens on an odd index.
+        """
+        if not bounds:
+            return False
+        i = bisect_right(bounds, t0 + TIME_EPS)
+        j = bisect_right(bounds, t1 + TIME_EPS)
+        if i == j:
+            return False
+        return (j - i) > 1 or (i & 1) == 1
+
+    def input_release_in(self, port: int, t0: float, t1: float) -> bool:
+        """Any reservation end on input ``port`` within ``(t0, t1]``?"""
+        return self._release_in(self._in_bounds.get(port), t0, t1)
+
+    def output_release_in(self, port: int, t0: float, t1: float) -> bool:
+        """Any reservation end on output ``port`` within ``(t0, t1]``?"""
+        return self._release_in(self._out_bounds.get(port), t0, t1)
+
+    def input_covering_end(self, port: int, t: float) -> Optional[float]:
+        """End of the reservation covering ``t`` on input ``port``, if any.
+
+        The single hottest query in ``schedule_demand``: one bisect over
+        the boundary array; odd parity means ``t`` lies inside an interval
+        and the boundary at the insertion point is its end.
+        """
+        bounds = self._in_bounds.get(port)
+        if not bounds:
+            return None
+        i = bisect_right(bounds, t + TIME_EPS)
+        if i & 1:
+            return bounds[i]
+        return None
+
+    def output_covering_end(self, port: int, t: float) -> Optional[float]:
+        """End of the reservation covering ``t`` on output ``port``, if any."""
+        bounds = self._out_bounds.get(port)
+        if not bounds:
+            return None
+        i = bisect_right(bounds, t + TIME_EPS)
+        if i & 1:
+            return bounds[i]
+        return None
+
+    def _covering(
+        self,
+        bounds: Optional[array],
+        refs: Optional[array],
+        t: float,
+    ) -> Optional[Reservation]:
+        if not bounds:
+            return None
+        i = bisect_right(bounds, t + TIME_EPS)
+        if i & 1:
+            return self._reservations[refs[i >> 1]]
+        return None
 
     def input_reservation_at(self, port: int, t: float) -> Optional[Reservation]:
-        """The reservation covering ``t`` on input port ``port``, if any.
-
-        Body is inlined (rather than sharing a ``_covering`` helper) because
-        this is the single hottest query in ``schedule_demand``.
-        """
-        starts = self._in_starts.get(port)
-        if not starts:
-            return None
-        idx = bisect.bisect_right(starts, t + TIME_EPS) - 1
-        if idx >= 0:
-            candidate = self._in[port][idx]
-            if candidate.start <= t + TIME_EPS and t < candidate.end - TIME_EPS:
-                return candidate
-        return None
+        """The reservation covering ``t`` on input port ``port``, if any."""
+        return self._covering(self._in_bounds.get(port), self._in_refs.get(port), t)
 
     def output_reservation_at(self, port: int, t: float) -> Optional[Reservation]:
         """The reservation covering ``t`` on output port ``port``, if any."""
-        starts = self._out_starts.get(port)
-        if not starts:
-            return None
-        idx = bisect.bisect_right(starts, t + TIME_EPS) - 1
-        if idx >= 0:
-            candidate = self._out[port][idx]
-            if candidate.start <= t + TIME_EPS and t < candidate.end - TIME_EPS:
-                return candidate
-        return None
+        return self._covering(self._out_bounds.get(port), self._out_refs.get(port), t)
 
     def input_free_at(self, port: int, t: float) -> bool:
-        return self.input_reservation_at(port, t) is None
+        return self.input_covering_end(port, t) is None
 
     def output_free_at(self, port: int, t: float) -> bool:
-        return self.output_reservation_at(port, t) is None
+        return self.output_covering_end(port, t) is None
 
     @staticmethod
-    def _next_start(starts: List[float], t: float) -> float:
-        """Earliest reservation start at or after ``t`` (inf if none)."""
-        # bisect_left already lands on the first start >= t - eps — a start
-        # within eps *before* t still counts as "next" so a zero-length gap
-        # is never mistaken for usable port time.
-        idx = bisect.bisect_left(starts, t - TIME_EPS)
-        return starts[idx] if idx < len(starts) else float("inf")
+    def _next_start(bounds: Optional[array], t: float) -> float:
+        """Earliest reservation start at or after ``t`` (inf if none).
+
+        ``bisect_left`` at ``t - eps``: a start within eps *before* ``t``
+        still counts as "next" so a zero-length gap is never mistaken for
+        usable port time.  Odd parity means the insertion point fell on an
+        interval *end*, in which case the next start is the boundary after
+        it.
+        """
+        if not bounds:
+            return float("inf")
+        i = bisect_left(bounds, t - TIME_EPS)
+        if i & 1:
+            i += 1
+        if i < len(bounds):
+            return bounds[i]
+        return float("inf")
 
     def next_reserved_time(self, src: int, dst: int, t: float) -> float:
         """``t_m`` of Algorithm 1 line 16: earliest upcoming reservation start
         on either ``in.src`` or ``out.dst``, at or after ``t`` (inf if none)."""
-        next_in = self._next_start(self._in_starts.get(src, []), t)
-        next_out = self._next_start(self._out_starts.get(dst, []), t)
+        next_in = self._next_start(self._in_bounds.get(src), t)
+        next_out = self._next_start(self._out_bounds.get(dst), t)
         return min(next_in, next_out)
 
     def release_of_block(
@@ -245,34 +381,82 @@ class PortReservationTable:
         """
         end = float("inf")
         on_input = True
-        for table, starts_table, port, is_input in (
-            (self._in, self._in_starts, src, True),
-            (self._out, self._out_starts, dst, False),
-        ):
-            starts = starts_table.get(port)
-            if not starts:
-                continue
-            idx = bisect.bisect_left(starts, t - TIME_EPS)
-            if idx < len(starts) and starts[idx] <= t_next + TIME_EPS:
-                candidate = table[port][idx].end
+        tol = t - TIME_EPS
+        start_tol = t_next + TIME_EPS
+        bounds = self._in_bounds.get(src)
+        if bounds:
+            i = bisect_left(bounds, tol)
+            if i & 1:
+                i += 1
+            if i < len(bounds) and bounds[i] <= start_tol:
+                end = bounds[i + 1]
+                on_input = True
+        bounds = self._out_bounds.get(dst)
+        if bounds:
+            i = bisect_left(bounds, tol)
+            if i & 1:
+                i += 1
+            if i < len(bounds) and bounds[i] <= start_tol:
+                candidate = bounds[i + 1]
                 if candidate < end:
                     end = candidate
-                    on_input = is_input
+                    on_input = False
         return end, on_input
 
     def next_release_after(self, t: float) -> Optional[float]:
         """Earliest reservation end strictly after ``t`` across all ports.
 
         Algorithm 1 line 10 advances the scheduling clock to this instant.
+        Sorts the journal-order end column lazily (the event-driven
+        scheduler never calls this; the literal Algorithm 1 transcription
+        and the analysis paths do).
         """
-        idx = bisect.bisect_right(self._ends, t + TIME_EPS)
-        if idx < len(self._ends):
-            return self._ends[idx]
+        ends_sorted = self._ends_sorted
+        if ends_sorted is None:
+            ends_sorted = self._ends_sorted = array("d", sorted(self._ends))
+        idx = bisect_right(ends_sorted, t + TIME_EPS)
+        if idx < len(ends_sorted):
+            return ends_sorted[idx]
         return None
 
     def makespan(self) -> float:
         """Latest reservation end in the table (0 when empty)."""
-        return self._ends[-1] if self._ends else 0.0
+        ends = self._ends
+        if not ends:
+            return 0.0
+        return max(ends)
+
+    # ------------------------------------------------------------------
+    # Occupancy profiles (gap signatures)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _profile(bounds: Optional[array], t: float) -> Tuple[float, ...]:
+        """Hashable occupancy profile of one port at/after ``t``.
+
+        ``(parity, b0, b1, ...)`` — the boundary suffix past the cut
+        ``bisect_right(bounds, t + TIME_EPS)`` plus the cut's parity
+        (1 ⇒ the port is covered at ``t`` and ``b0`` is the covering end).
+        The cut is the *same* index the covering probe and the
+        release-event seeding compute, so two contexts with equal profiles
+        are indistinguishable to every scheduler query at times ``>= t``:
+        a reservation running since before ``t`` and one clamped to start
+        exactly at ``t`` both canonicalize to ``(1, end, ...)``.  The plan
+        cache keys on these profiles.
+        """
+        if not bounds:
+            return _EMPTY_PROFILE
+        i = bisect_right(bounds, t + TIME_EPS)
+        if i == len(bounds):
+            return _EMPTY_PROFILE
+        return (i & 1, *bounds[i:])
+
+    def input_profile(self, port: int, t: float) -> Tuple[float, ...]:
+        """Gap-signature profile of input ``port`` at/after ``t``."""
+        return self._profile(self._in_bounds.get(port), t)
+
+    def output_profile(self, port: int, t: float) -> Tuple[float, ...]:
+        """Gap-signature profile of output ``port`` at/after ``t``."""
+        return self._profile(self._out_bounds.get(port), t)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -300,41 +484,77 @@ class PortReservationTable:
 
     def _insert(self, reservation: Reservation) -> None:
         """Insert with overlap checks; one bisect per port, reused for both
-        the check and the insertion point (this is the hottest PRT write)."""
-        in_list = self._in.setdefault(reservation.src, [])
-        in_starts = self._in_starts.setdefault(reservation.src, [])
-        out_list = self._out.setdefault(reservation.dst, [])
-        out_starts = self._out_starts.setdefault(reservation.dst, [])
-        idx_in = bisect.bisect_left(in_starts, reservation.start)
-        self._check_neighbors(in_list, idx_in, reservation)
-        idx_out = bisect.bisect_left(out_starts, reservation.start)
-        self._check_neighbors(out_list, idx_out, reservation)
-        in_list.insert(idx_in, reservation)
-        in_starts.insert(idx_in, reservation.start)
-        out_list.insert(idx_out, reservation)
-        out_starts.insert(idx_out, reservation.start)
-        bisect.insort(self._ends, reservation.end)
+        the check and the insertion point (this is the hottest PRT write).
+
+        The insertion point among the interleaved boundaries maps to a
+        reservation slot as ``j = (k + 1) >> 1``; the would-be neighbors'
+        end (``bounds[2j - 1]``) and start (``bounds[2j]``) are then raw
+        doubles, so the overlap check never materializes an object.
+        """
+        start = reservation.start
+        end = reservation.end
+        in_bounds = self._in_bounds.get(reservation.src)
+        if in_bounds is None:
+            in_bounds = self._in_bounds[reservation.src] = array("d")
+            in_refs = self._in_refs[reservation.src] = array("q")
+        else:
+            in_refs = self._in_refs[reservation.src]
+        out_bounds = self._out_bounds.get(reservation.dst)
+        if out_bounds is None:
+            out_bounds = self._out_bounds[reservation.dst] = array("d")
+            out_refs = self._out_refs[reservation.dst] = array("q")
+        else:
+            out_refs = self._out_refs[reservation.dst]
+
+        start_tol = start + TIME_EPS
+        end_tol = end - TIME_EPS
+        j_in = (bisect_left(in_bounds, start) + 1) >> 1
+        k_in = 2 * j_in
+        if (k_in and in_bounds[k_in - 1] > start_tol) or (
+            k_in < len(in_bounds) and in_bounds[k_in] < end_tol
+        ):
+            self._raise_conflict(reservation, in_refs, j_in, k_in, len(in_bounds))
+        j_out = (bisect_left(out_bounds, start) + 1) >> 1
+        k_out = 2 * j_out
+        if (k_out and out_bounds[k_out - 1] > start_tol) or (
+            k_out < len(out_bounds) and out_bounds[k_out] < end_tol
+        ):
+            self._raise_conflict(reservation, out_refs, j_out, k_out, len(out_bounds))
+
+        idx = len(self._reservations)
+        in_bounds.insert(k_in, end)
+        in_bounds.insert(k_in, start)
+        in_refs.insert(j_in, idx)
+        out_bounds.insert(k_out, end)
+        out_bounds.insert(k_out, start)
+        out_refs.insert(j_out, idx)
+        self._ends.append(end)
+        self._ends_sorted = None
         self._reservations.append(reservation)
 
-    @staticmethod
-    def _check_neighbors(
-        reservations: List[Reservation], idx: int, new: Reservation
+    def _raise_conflict(
+        self, new: Reservation, refs: array, j: int, k: int, n: int
     ) -> None:
-        """Overlap check against the would-be neighbors at insert point ``idx``."""
-        if idx > 0 and reservations[idx - 1].end > new.start + TIME_EPS:
-            raise PortConflictError(
-                f"{new} overlaps existing {reservations[idx - 1]}"
-            )
-        if idx < len(reservations) and reservations[idx].start < new.end - TIME_EPS:
-            raise PortConflictError(f"{new} overlaps existing {reservations[idx]}")
+        """Materialize the offending neighbor for the error message."""
+        journal = self._reservations
+        start_tol = new.start + TIME_EPS
+        bounds_len = n
+        if k and j - 1 < len(refs):
+            prev = journal[refs[j - 1]]
+            if prev.end > start_tol:
+                raise PortConflictError(f"{new} overlaps existing {prev}")
+        if k < bounds_len and j < len(refs):
+            raise PortConflictError(f"{new} overlaps existing {journal[refs[j]]}")
+        raise PortConflictError(f"{new} overlaps an existing reservation")
 
     def replay(self, reservations: Sequence[Reservation]) -> None:
         """Re-insert already-validated reservations (e.g. a cached Coflow
         plan after a :meth:`rollback`).  Overlap checks still apply, so a
         stale plan that no longer fits raises :class:`PortConflictError`
         instead of corrupting the table."""
+        insert = self._insert
         for reservation in reservations:
-            self._insert(reservation)
+            insert(reservation)
 
     # ------------------------------------------------------------------
     # Checkpoint / rollback
@@ -346,42 +566,57 @@ class PortReservationTable:
 
     def rollback(self, token: int) -> int:
         """Undo all reservations made after ``checkpoint()`` returned
-        ``token`` (most recent first).  Returns the number undone."""
-        if token < 0 or token > len(self._reservations):
+        ``token`` (most recent first).  Returns the number undone.
+
+        The end-time column is in journal order, so the whole undone
+        suffix is dropped with one slice deletion instead of a bisect +
+        ``del`` per reservation.
+        """
+        journal = self._reservations
+        if token < 0 or token > len(journal):
             raise ValueError(
-                f"invalid checkpoint token {token} for table of {len(self._reservations)}"
+                f"invalid checkpoint token {token} for table of {len(journal)}"
             )
-        undone = 0
-        while len(self._reservations) > token:
-            reservation = self._reservations.pop()
+        undone = len(journal) - token
+        if not undone:
+            return 0
+        for idx in range(len(journal) - 1, token - 1, -1):
+            reservation = journal[idx]
             self._remove_from_port(
-                self._in, self._in_starts, reservation.src, reservation
+                self._in_bounds[reservation.src],
+                self._in_refs[reservation.src],
+                reservation.start,
+                idx,
             )
             self._remove_from_port(
-                self._out, self._out_starts, reservation.dst, reservation
+                self._out_bounds[reservation.dst],
+                self._out_refs[reservation.dst],
+                reservation.start,
+                idx,
             )
-            idx = bisect.bisect_left(self._ends, reservation.end)
-            # Duplicate end values are interchangeable floats; drop any one.
-            del self._ends[idx]
-            undone += 1
+        del journal[token:]
+        del self._ends[token:]
+        self._ends_sorted = None
         return undone
 
     @staticmethod
     def _remove_from_port(
-        table: Dict[int, List[Reservation]],
-        starts_table: Dict[int, List[float]],
-        port: int,
-        reservation: Reservation,
+        bounds: array, refs: array, start: float, journal_idx: int
     ) -> None:
-        reservations = table[port]
-        starts = starts_table[port]
-        idx = bisect.bisect_left(starts, reservation.start)
+        k = bisect_left(bounds, start)
+        if k & 1:
+            # Landed on the previous interval's end (== start, adjacent
+            # reservations); the start itself is the next boundary.
+            k += 1
+        j = k >> 1
         # Starts are unique per port (reservations never overlap), so the
         # bisect lands exactly on the entry to remove.
-        if idx >= len(reservations) or reservations[idx] is not reservation:
-            raise ValueError(f"{reservation} not found on port {port}")
-        del reservations[idx]
-        del starts[idx]
+        if j >= len(refs) or refs[j] != journal_idx or bounds[k] != start:
+            raise ValueError(
+                f"journal entry {journal_idx} (start={start}) not found on port"
+            )
+        del bounds[k : k + 2]
+        del refs[j]
 
     # ------------------------------------------------------------------
     # Validation (used heavily by the test suite)
@@ -392,10 +627,30 @@ class PortReservationTable:
         Raises:
             PortConflictError: if any two reservations overlap on a port.
         """
-        for table in (self._in, self._out):
-            for port, reservations in table.items():
-                for earlier, later in zip(reservations, reservations[1:]):
-                    if earlier.end > later.start + TIME_EPS:
+        journal = self._reservations
+        for bounds_table, refs_table in (
+            (self._in_bounds, self._in_refs),
+            (self._out_bounds, self._out_refs),
+        ):
+            for port, bounds in bounds_table.items():
+                refs = refs_table[port]
+                for i in range(1, len(bounds) - 1, 2):
+                    if bounds[i] > bounds[i + 1] + TIME_EPS:
+                        earlier = journal[refs[(i - 1) >> 1]]
+                        later = journal[refs[(i + 1) >> 1]]
                         raise PortConflictError(
                             f"port {port}: {earlier} overlaps {later}"
                         )
+                for i in range(0, len(bounds), 2):
+                    if bounds[i + 1] <= bounds[i]:  # pragma: no cover - invariant
+                        raise PortConflictError(
+                            f"port {port}: corrupt boundary pair at {i}"
+                        )
+
+
+__all__ = [
+    "TIME_EPS",
+    "Reservation",
+    "PortConflictError",
+    "PortReservationTable",
+]

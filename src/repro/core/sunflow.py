@@ -36,6 +36,7 @@ from __future__ import annotations
 import bisect
 import enum
 import heapq
+from array import array
 import itertools
 import math
 import operator
@@ -44,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.coflow import Coflow
+from repro.core.plan_cache import PlanCache
 from repro.core.prt import PortReservationTable, Reservation, TIME_EPS
 from repro.units import DEFAULT_BANDWIDTH, DEFAULT_DELTA
 
@@ -152,10 +154,9 @@ class _Entry:
     Identity-hashed (entries live in pending sets); ``__slots__`` because
     the inter-Coflow replay creates one per circuit per replan.
 
-    ``blocked_until``/``blocked_key`` memoize a proven fact about the last
-    failed attempt: *which* port blocks this circuit and until *when* (the
-    end of the covering/blocking reservation).  No attempt strictly before
-    that instant can succeed, and the port cannot release earlier (per-port
+    ``blocked_key`` memoizes a proven fact about the last failed attempt:
+    *which* port blocks this circuit.  The port stays covered until the
+    blocking reservation ends and cannot release earlier (per-port
     reservations never overlap), so the entry waits in that one port's
     queue and is re-examined exactly when the port frees up.  Skipped
     attempts are exactly the ones that would have failed, so schedules are
@@ -164,14 +165,13 @@ class _Entry:
     ``p`` → ``2p + 1``).
     """
 
-    __slots__ = ("src", "dst", "remaining", "order_index", "blocked_until", "blocked_key")
+    __slots__ = ("src", "dst", "remaining", "order_index", "blocked_key")
 
     def __init__(self, src: int, dst: int, remaining: float, order_index: int = 0) -> None:
         self.src = src
         self.dst = dst
         self.remaining = remaining
         self.order_index = order_index
-        self.blocked_until = 0.0
         self.blocked_key = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -204,6 +204,8 @@ class SunflowScheduler:
         order: ReservationOrder = ReservationOrder.ORDERED_PORT,
         rng: Optional[random.Random] = None,
         quantum: Optional[float] = None,
+        plan_cache: Optional[PlanCache] = None,
+        cache_plans: bool = True,
     ) -> None:
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta!r}")
@@ -213,6 +215,15 @@ class SunflowScheduler:
         self.order = order
         self.quantum = quantum
         self._rng = rng if rng is not None else random.Random(0)
+        #: Gap-signature plan cache (see :mod:`repro.core.plan_cache`);
+        #: ``cache_plans=False`` disables it (results are identical either
+        #: way — the cache only ever returns what a fresh Algorithm 1 run
+        #: would produce bit-for-bit).  A shared instance may be passed in,
+        #: which is why the scheduler configuration rides in the key.
+        if plan_cache is None and cache_plans:
+            plan_cache = PlanCache()
+        self.plan_cache = plan_cache if cache_plans else None
+        self._cache_config = (delta, order.value, quantum)
 
     # ------------------------------------------------------------------
     # Intra-Coflow scheduling (Algorithm 1, IntraCoflow + MakeReservation)
@@ -247,6 +258,36 @@ class SunflowScheduler:
             The reservations planned for this Coflow.
         """
         established = _normalize_established(established)
+
+        # Gap-signature cache: replay a prior plan when the planning
+        # problem — demand, origin, and the touched ports' occupancy
+        # profiles — provably matches one already solved.  Plans with
+        # established circuits are exempt: their demand mutates every
+        # event (so they could never hit) and their continuations are the
+        # incremental replanner's transform-keep path; probing them would
+        # be pure signature-capture overhead.  RANDOM order must bypass (a
+        # hit would skip the shuffle and desynchronize the rng stream for
+        # every later plan).
+        cache = self.plan_cache
+        probe = None
+        if cache is not None and not established:
+            if self.order is ReservationOrder.RANDOM:
+                cache.note_bypass()
+            else:
+                cached, probe = cache.fetch(
+                    prt,
+                    self._cache_config,
+                    coflow_id,
+                    demand_times,
+                    start_time,
+                )
+                if cached is not None:
+                    return CoflowSchedule(
+                        coflow_id=coflow_id,
+                        start_time=start_time,
+                        reservations=cached,
+                    )
+
         entries = self._make_entries(demand_times)
         schedule = CoflowSchedule(coflow_id=coflow_id, start_time=start_time)
         if not entries:
@@ -262,14 +303,14 @@ class SunflowScheduler:
         # queues to wake.
         used_inputs = {entry.src for entry in entries}
         used_outputs = {entry.dst for entry in entries}
-        seeded: Set[Tuple[float, int, int]] = set()
+        seeded: List[Tuple[float, int, int]] = []
         for port in used_inputs:
-            for reservation in prt.input_releases_after(port, start_time):
-                seeded.add((reservation.end, reservation.src, reservation.dst))
+            seeded.extend(prt.release_events_for_input(port, start_time))
         for port in used_outputs:
-            for reservation in prt.output_releases_after(port, start_time):
-                seeded.add((reservation.end, reservation.src, reservation.dst))
-        events: List[Tuple[float, int, int]] = list(seeded)
+            seeded.extend(prt.release_events_for_output(port, start_time))
+        # A circuit touching both a used input and a used output is seeded
+        # twice; dedupe so the event heap stays minimal.
+        events: List[Tuple[float, int, int]] = list(set(seeded))
         heapq.heapify(events)
 
         # Blocked entries wait in per-port queues, sorted by consideration
@@ -284,6 +325,32 @@ class SunflowScheduler:
         # within tolerance of each other).
         waiting: Dict[int, List[_Entry]] = {}
 
+        # The loop below is the hottest code in the repository: every
+        # binding it touches per examination is a local.  ``examine`` is
+        # ``_make_reservation`` inlined — the covering probes, the
+        # ``_next_start`` pair behind ``next_reserved_time``, and the
+        # journal insert all run against the PRT's raw per-port boundary
+        # arrays (same package; the layout is the module contract of
+        # :mod:`repro.core.prt`).  Float expressions are kept verbatim
+        # from ``_make_reservation`` so the two produce bit-identical
+        # reservations — the dense-demand fuzz tests compare them.
+        in_bounds_map = prt._in_bounds
+        in_refs_map = prt._in_refs
+        out_bounds_map = prt._out_bounds
+        out_refs_map = prt._out_refs
+        journal = prt._reservations
+        ends = prt._ends
+        release_of_block = prt.release_of_block
+        reservations = schedule.reservations
+        eps = TIME_EPS
+        br = bisect.bisect_right
+        heappush = heapq.heappush
+        insort = bisect.insort
+        delta = self.delta
+        inf = float("inf")
+        make_array = array
+        wget = waiting.get
+
         def enqueue(entry: _Entry) -> None:
             """File an entry under the port recorded in ``blocked_key``."""
             bucket = waiting.get(entry.blocked_key)
@@ -292,7 +359,7 @@ class SunflowScheduler:
             elif bucket[-1].order_index < entry.order_index:
                 bucket.append(entry)
             else:
-                bisect.insort(bucket, entry, key=_ORDER_KEY)
+                insort(bucket, entry, key=_ORDER_KEY)
 
         def reattach(key: int, suffix: List[_Entry]) -> None:
             """Put an unexamined (still sorted) queue suffix back to wait."""
@@ -305,30 +372,133 @@ class SunflowScheduler:
                 waiting[key] = list(heapq.merge(suffix, bucket, key=_ORDER_KEY))
 
         def examine(entry: _Entry, t: float, taken: Set[int]) -> None:
-            """Attempt one entry whose ports are not yet taken this batch."""
+            """Attempt one entry whose ports are not yet taken this batch
+            (``_make_reservation`` plus ``PortReservationTable._insert``,
+            inlined).
+
+            Each covering probe's bisect index is reused twice over: with
+            the port free at ``t`` it already points at the port's next
+            reserved start (no boundary lies in ``(t - eps, t + eps]``
+            except possibly a prior end, which the probe skipped past — a
+            start there would have flipped the parity), and it equals the
+            boundary insertion point ``_insert`` would recompute.  A
+            placement therefore costs two bisects total.  The overlap
+            check is skipped outright: ``[t, end)`` is proven to sit
+            inside a free gap on both ports (``end <= t_next`` up to the
+            tolerated ``eps`` anchor snap), which is exactly the condition
+            ``_insert`` re-verifies."""
             nonlocal outstanding
-            before = entry.remaining
-            entry.remaining = self._make_reservation(
-                prt, schedule, entry, t, start_time, established
-            )
-            if entry.remaining != before:
-                reservation = schedule.reservations[-1]
-                taken.add(reservation.src * 2)
-                taken.add(reservation.dst * 2 + 1)
-                heapq.heappush(
-                    events, (reservation.end, reservation.src, reservation.dst)
-                )
-                if entry.remaining <= TIME_EPS:
-                    outstanding -= 1
-                else:
-                    # Truncated: the entry's own reservation covers its
-                    # ports until it ends — wait out its own input port.
-                    entry.blocked_key = reservation.src * 2
-                    enqueue(entry)
+            src = entry.src
+            dst = entry.dst
+            # Covering probes: one bisect over raw boundary doubles; odd
+            # parity means the port is taken and the entry waits it out.
+            ib = in_bounds_map.get(src)
+            if ib:
+                ki = br(ib, t + eps)
+                if ki & 1:
+                    entry.blocked_key = key = src * 2
+                    bucket = wget(key)
+                    if bucket is None:
+                        waiting[key] = [entry]
+                    elif bucket[-1].order_index < entry.order_index:
+                        bucket.append(entry)
+                    else:
+                        insort(bucket, entry, key=_ORDER_KEY)
+                    return
             else:
-                # Failed: ``_make_reservation`` recorded the blocking port
-                # in ``blocked_key``.
-                enqueue(entry)
+                ki = 0
+            ob = out_bounds_map.get(dst)
+            if ob:
+                ko = br(ob, t + eps)
+                if ko & 1:
+                    entry.blocked_key = key = dst * 2 + 1
+                    bucket = wget(key)
+                    if bucket is None:
+                        waiting[key] = [entry]
+                    elif bucket[-1].order_index < entry.order_index:
+                        bucket.append(entry)
+                    else:
+                        insort(bucket, entry, key=_ORDER_KEY)
+                    return
+            else:
+                ko = 0
+            # Both ports free: the usable gap runs to the next reserved
+            # start on either port (``next_reserved_time``, answered by
+            # the probe indices).
+            t_next = inf
+            if ib and ki < len(ib):
+                t_next = ib[ki]
+            if ob and ko < len(ob) and ob[ko] < t_next:
+                t_next = ob[ko]
+            anchor = None
+            if established and abs(t - start_time) <= eps and (src, dst) in established:
+                setup_left, anchor = established[(src, dst)]
+                setup = setup_left if setup_left < delta else delta
+            else:
+                setup = delta
+            max_length = t_next - t
+            if max_length <= setup + eps:
+                # Gap cannot fit even the reconfiguration (Algorithm 1
+                # line 19): infeasible until the blocker releases.
+                _, on_input = release_of_block(src, dst, t, t_next)
+                entry.blocked_key = key = src * 2 if on_input else dst * 2 + 1
+                bucket = wget(key)
+                if bucket is None:
+                    waiting[key] = [entry]
+                elif bucket[-1].order_index < entry.order_index:
+                    bucket.append(entry)
+                else:
+                    insort(bucket, entry, key=_ORDER_KEY)
+                return
+            desired_length = setup + entry.remaining
+            if desired_length < max_length:
+                length = desired_length
+                end = t + length
+                if anchor is not None and abs(end - anchor) <= eps:
+                    end = anchor
+            else:
+                length = max_length
+                end = t_next
+            reservation = Reservation(t, end, src, dst, coflow_id, setup)
+            idx = len(journal)
+            if ib is None:
+                ib = in_bounds_map[src] = make_array("d")
+                in_refs = in_refs_map[src] = make_array("q")
+            else:
+                in_refs = in_refs_map[src]
+            ib.insert(ki, end)
+            ib.insert(ki, t)
+            in_refs.insert(ki >> 1, idx)
+            if ob is None:
+                ob = out_bounds_map[dst] = make_array("d")
+                out_refs = out_refs_map[dst] = make_array("q")
+            else:
+                out_refs = out_refs_map[dst]
+            ob.insert(ko, end)
+            ob.insert(ko, t)
+            out_refs.insert(ko >> 1, idx)
+            ends.append(end)
+            prt._ends_sorted = None
+            journal.append(reservation)
+            reservations.append(reservation)
+            taken.add(src * 2)
+            taken.add(dst * 2 + 1)
+            heappush(events, (end, src, dst))
+            left = desired_length - length
+            entry.remaining = left
+            if left <= eps:
+                outstanding -= 1
+            else:
+                # Truncated: the entry's own reservation covers its
+                # ports until it ends — wait out its own input port.
+                entry.blocked_key = key = src * 2
+                bucket = wget(key)
+                if bucket is None:
+                    waiting[key] = [entry]
+                elif bucket[-1].order_index < entry.order_index:
+                    bucket.append(entry)
+                else:
+                    insort(bucket, entry, key=_ORDER_KEY)
 
         # First pass: every entry, in consideration order, at the origin.
         taken: Set[int] = set()
@@ -345,25 +515,45 @@ class SunflowScheduler:
                 continue
             examine(entry, start_time, taken)
 
+        heappop = heapq.heappop
+        wpop = waiting.pop
         while outstanding > 0:
             if not events:
                 raise RuntimeError(
                     f"coflow {coflow_id}: demand left but no future release"
                 )
-            t = events[0][0]
-            horizon = t + TIME_EPS
-            released: Set[int] = set()
-            while events and events[0][0] <= horizon:
-                _, src, dst = heapq.heappop(events)
-                released.add(src * 2)
-                released.add(dst * 2 + 1)
-            queues: List[Tuple[int, List[_Entry]]] = []
-            for key in released:
-                bucket = waiting.pop(key, None)
-                if bucket:
-                    queues.append((key, bucket))
-            if not queues:
-                continue
+            t, esrc, edst = heappop(events)
+            horizon = t + eps
+            if events and events[0][0] <= horizon:
+                # Several circuits release within tolerance: collect the
+                # whole batch of freed port keys.
+                released: Set[int] = {esrc * 2, edst * 2 + 1}
+                while events and events[0][0] <= horizon:
+                    _, src, dst = heappop(events)
+                    released.add(src * 2)
+                    released.add(dst * 2 + 1)
+                queues: List[Tuple[int, List[_Entry]]] = []
+                for key in released:
+                    bucket = wpop(key, None)
+                    if bucket:
+                        queues.append((key, bucket))
+                if not queues:
+                    continue
+            else:
+                # Fast path (the common case): exactly one circuit
+                # released, so at most its two port queues wake up — no
+                # batch set needed.  Buckets in ``waiting`` are never
+                # empty, so popping suffices.
+                q1 = wpop(esrc * 2, None)
+                q2 = wpop(edst * 2 + 1, None)
+                if q1 is None:
+                    if q2 is None:
+                        continue
+                    queues = [(edst * 2 + 1, q2)]
+                elif q2 is None:
+                    queues = [(esrc * 2, q1)]
+                else:
+                    queues = [(esrc * 2, q1), (edst * 2 + 1, q2)]
             taken = set()
             if len(queues) == 1:
                 # Fast path: one port queue woke up.  Examine entries in
@@ -395,7 +585,7 @@ class SunflowScheduler:
                 ]
                 heapq.heapify(heads)
                 while heads:
-                    _, j = heapq.heappop(heads)
+                    _, j = heappop(heads)
                     key, queue = queues[j]
                     i = ptrs[j]
                     if key in taken:
@@ -407,13 +597,15 @@ class SunflowScheduler:
                     i += 1
                     ptrs[j] = i
                     if i < len(queue):
-                        heapq.heappush(heads, (queue[i].order_index, j))
+                        heappush(heads, (queue[i].order_index, j))
                     other = entry.dst * 2 + 1 if key & 1 == 0 else entry.src * 2
                     if other in taken:
                         entry.blocked_key = other
                         enqueue(entry)
                     else:
                         examine(entry, t, taken)
+        if probe is not None:
+            cache.store(probe, schedule.reservations, schedule.first_start())
         return schedule
 
     def schedule_coflow(
@@ -535,11 +727,18 @@ class SunflowScheduler:
     def _make_entries(
         self, demand_times: Mapping[Tuple[int, int], float]
     ) -> List[_Entry]:
-        entries = [
-            _Entry(src, dst, self._quantize(p))
-            for (src, dst), p in demand_times.items()
-            if p > TIME_EPS
-        ]
+        if self.quantum is None:
+            entries = [
+                _Entry(src, dst, p)
+                for (src, dst), p in demand_times.items()
+                if p > TIME_EPS
+            ]
+        else:
+            entries = [
+                _Entry(src, dst, self._quantize(p))
+                for (src, dst), p in demand_times.items()
+                if p > TIME_EPS
+            ]
         if self.order is ReservationOrder.ORDERED_PORT:
             entries.sort(key=lambda e: (e.src, e.dst))
         elif self.order is ReservationOrder.RANDOM:
@@ -567,19 +766,15 @@ class SunflowScheduler:
         Returns the remaining processing time after the reservation (the
         unchanged remaining time if no reservation could be made).
         """
-        covering = prt.input_reservation_at(entry.src, t)
-        if covering is not None:
+        # Scalar covering probes: one bisect over raw boundary doubles, no
+        # Reservation materialized.  A covered port stays covered until the
+        # blocking reservation ends; any attempt strictly before that is
+        # guaranteed to land here again, so the entry waits out that port.
+        if prt.input_covering_end(entry.src, t) is not None:
             entry.blocked_key = entry.src * 2
-        else:
-            covering = prt.output_reservation_at(entry.dst, t)
-            if covering is not None:
-                entry.blocked_key = entry.dst * 2 + 1
-        if covering is not None:
-            # The port stays covered until the blocking reservation ends;
-            # any attempt strictly before that is guaranteed to land here
-            # again, so it can be skipped without probing.
-            if covering.end > entry.blocked_until:
-                entry.blocked_until = covering.end
+            return entry.remaining
+        if prt.output_covering_end(entry.dst, t) is not None:
+            entry.blocked_key = entry.dst * 2 + 1
             return entry.remaining
 
         # A circuit already configured (or mid-setup) for this flow at the
@@ -605,11 +800,7 @@ class SunflowScheduler:
             # The gap only shrinks as t advances toward ``t_next``, and the
             # blocking reservation then covers the port until it ends — so
             # no attempt before that end can succeed either.
-            block_end, on_input = prt.release_of_block(
-                entry.src, entry.dst, t, t_next
-            )
-            if block_end > entry.blocked_until:
-                entry.blocked_until = block_end
+            _, on_input = prt.release_of_block(entry.src, entry.dst, t, t_next)
             entry.blocked_key = entry.src * 2 if on_input else entry.dst * 2 + 1
             return entry.remaining
         if desired_length < max_length:

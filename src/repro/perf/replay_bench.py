@@ -64,6 +64,12 @@ def run_trace_replay(
 
     wall_inc, report_inc, perf_inc = replay(incremental=True)
 
+    def cache_hit_rate(perf: PerfCounters) -> Optional[float]:
+        hits = perf.count("plan_cache_hits")
+        lookups = hits + perf.count("plan_cache_misses")
+        return hits / lookups if lookups else None
+
+    computed = perf_inc.count("plans_computed")
     result: Dict[str, Any] = {
         "bench": "trace_replay",
         "wall_s": wall_inc,
@@ -75,11 +81,20 @@ def run_trace_replay(
             "max_width": max_width,
             "seed": seed,
         },
+        # Reuse summary for the two planner layers: the gap-signature
+        # plan cache (intra-Coflow) and the incremental replanner's
+        # kept/transformed/replayed layers (inter-Coflow).
+        "plan_cache_hit_rate": cache_hit_rate(perf_inc),
+        "plans_kept_per_computed": (
+            perf_inc.count("plans_kept") / computed if computed else None
+        ),
+        "plans_transformed": perf_inc.count("plans_transformed"),
+        "plans_reused": perf_inc.count("plans_reused"),
         "counters": perf_inc.snapshot(),
     }
 
     if compare_full:
-        wall_full, report_full, _ = replay(incremental=False)
+        wall_full, report_full, perf_full = replay(incremental=False)
         by_id = {record.coflow_id: record for record in report_full.records}
         mismatches = sum(
             1
@@ -89,6 +104,9 @@ def run_trace_replay(
         )
         result["full_replan_wall_s"] = wall_full
         result["speedup_vs_full"] = wall_full / wall_inc if wall_inc > 0 else None
+        # The full path replans every queued Coflow at every event, so it
+        # is where shifted plan-cache hits show up at scale.
+        result["full_replan_plan_cache_hit_rate"] = cache_hit_rate(perf_full)
         result["mismatches"] = mismatches
 
     return result

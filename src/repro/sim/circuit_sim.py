@@ -27,11 +27,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.coflow import Coflow, CoflowTrace
 from repro.core.policies import CoflowView, Policy, ShortestFirst
-from repro.core.prt import PortReservationTable, TIME_EPS
+from repro.core.prt import (
+    PortConflictError,
+    PortReservationTable,
+    Reservation,
+    TIME_EPS,
+)
 from repro.core.starvation import StarvationGuard
 from repro.core.sunflow import CoflowSchedule, ReservationOrder, SunflowScheduler
 from repro.compat import legacy_entry_point
@@ -116,6 +121,13 @@ class _ActiveCoflow:
     #: anchor is the absolute end its continuation was planned to reach
     #: (lets a replan reproduce the same reservation bit-for-bit).
     established: Dict[Circuit, Tuple[float, float]] = field(default_factory=dict)
+    #: Circuits whose ``remaining`` was re-banked since this Coflow's plan
+    #: was last truly computed.  A banked value is the planner's per-entry
+    #: subtraction chain re-associated, so any *future* reservation for
+    #: such a circuit could drift by an ulp on recompute — the continuation
+    #: transform refuses to keep those layers (see
+    #: ``InterCoflowSimulator._transform_continuation``).
+    banked_circuits: Set[Circuit] = field(default_factory=set)
     switching_count: int = 0
 
     @property
@@ -211,6 +223,9 @@ class InterCoflowSimulator:
         # stack it currently holds, in planning (priority) order.
         self._prt = PortReservationTable()
         self._layers: List[_PlanLayer] = []
+        #: Journal size past which the layered PRT is compacted by a full
+        #: recompute (kept layers never shrink it on their own).
+        self._compact_reservations = 60_000
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationReport:
@@ -223,6 +238,8 @@ class InterCoflowSimulator:
         perf = self.perf
         self._prt = PortReservationTable()
         self._layers = []
+        cache = self.scheduler.plan_cache
+        cache_baseline = dict(cache.counters) if cache is not None else {}
 
         while active or next_arrival_index < len(arrivals):
             if not active:
@@ -262,6 +279,11 @@ class InterCoflowSimulator:
             with perf.timer("record"):
                 self._record_completions(active, report, event_time)
             now = event_time
+        if cache is not None:
+            # Fold this run's share of the (scheduler-lifetime) cache
+            # counters into the simulation's perf counters.
+            for name, value in cache.counters.items():
+                perf.inc(name, value - cache_baseline.get(name, 0))
         return report
 
     # ------------------------------------------------------------------
@@ -284,11 +306,18 @@ class InterCoflowSimulator:
         """(Re)plan every active Coflow's remaining demand at ``now``.
 
         Dispatches to the incremental prefix-reuse path unless it is
-        disabled or a starvation guard is active (the guard's reservation
+        disabled, a starvation guard is active (the guard's reservation
         horizon moves with every event, so no plan prefix survives and the
-        full path is just as fast).
+        full path is just as fast), or the consideration order is RANDOM
+        (every plan the incremental path skips would also skip that plan's
+        ``rng.shuffle``, desynchronizing the shared random stream and with
+        it every later plan).
         """
-        if self.incremental and self.guard is None:
+        if (
+            self.incremental
+            and self.guard is None
+            and self.scheduler.order is not ReservationOrder.RANDOM
+        ):
             return self._replan_incremental(active, now)
         return self._replan_full(active, now)
 
@@ -351,10 +380,18 @@ class InterCoflowSimulator:
         perf.inc("incremental_replans")
         order_ids = self._ordered_ids(active)
         prt, layers = self._prt, self._layers
+        if len(prt) > self._compact_reservations:
+            # The journal only grows while layers are kept in place; once
+            # it passes the threshold, pay one full recompute (identical
+            # results by construction) to reset every per-port array.
+            perf.inc("prt_compactions")
+            prt.clear()
+            layers.clear()
 
         # 1. Reusable prefix.
         keep = 0
         ptr = 0
+        above_ids: Set[int] = set()
         while keep < len(layers):
             layer = layers[keep]
             if layer.coflow_id not in active:
@@ -362,12 +399,26 @@ class InterCoflowSimulator:
                 # the layer constrains nothing ahead and may stay in place.
                 if layer.plan.completion_time > now + TIME_EPS:
                     break
+                above_ids.add(layer.coflow_id)
                 keep += 1
                 continue
             if ptr >= len(order_ids) or order_ids[ptr] != layer.coflow_id:
                 break
             if layer.plan.first_start() < now - TIME_EPS:
-                break  # received service or setup: its inputs changed
+                # Received service or setup.  A fresh recompute would
+                # usually reproduce this plan's future bit-for-bit; when
+                # that is provable, swap in the continuation plan and keep
+                # the layer's reservations in place (no rollback, no
+                # replanning).
+                transformed = self._transform_continuation(
+                    layer.plan, active[layer.coflow_id], now, above_ids
+                )
+                if transformed is None:
+                    perf.inc("transform_fallbacks")
+                    break
+                layer.plan = transformed
+                perf.inc("plans_transformed")
+            above_ids.add(layer.coflow_id)
             keep += 1
             ptr += 1
 
@@ -398,40 +449,75 @@ class InterCoflowSimulator:
             if layer.coflow_id in active
         }
 
-        # 3. Rebuild the suffix.  ``equivalent`` (the constraint set above
-        # the walk is bit-identical to what the cached plans were computed
-        # against) only matters while an untouched cached plan remains
-        # ahead — past the last one, stop paying for the bookkeeping.
-        last_reusable = -1
-        for index, layer in enumerate(cached):
-            if layer.plan.first_start() >= now - TIME_EPS:
-                last_reusable = index
-        equivalent = True
+        # 3. Rebuild the suffix.  Reuse here rests on a *superset*
+        # argument rather than bit-identical context: while every layer
+        # placed so far holds at least the port time it held when a
+        # cached plan below was computed (verbatim replays and
+        # continuation transforms hold exactly it; a new arrival only
+        # adds), added occupancy can only remove feasible instants — the
+        # cached plan's own blocking chain already proves nothing could
+        # have been placed earlier, so if its reservations still *fit*
+        # the table, Algorithm 1 would reproduce them bit-for-bit.  The
+        # fit test is `PortReservationTable.replay` itself: a conflict
+        # rolls back and falls through to a true recompute.  A fresh
+        # recompute whose future occupancy differs from the dropped plan
+        # (checked exactly) breaks the superset for everything below.
+        superset = True
         cptr = 0
         for cid in order_ids[ptr:]:
             state = active[cid]
             token = prt.checkpoint()
-            if cptr > last_reusable:
-                equivalent = False
             old_plan = None
             if cptr < len(cached) and cached[cptr].coflow_id == cid:
                 old_plan = cached[cptr].plan
                 cptr += 1
             elif cid in cached_ids:
-                # Priority reordering: the constraint context every cached
-                # plan below was computed against no longer matches.
-                equivalent = False
-            if (
-                equivalent
-                and old_plan is not None
-                and old_plan.first_start() >= now - TIME_EPS
-            ):
-                prt.replay(old_plan.reservations)
-                plan = old_plan
-                perf.inc("plans_reused")
-                perf.inc("replans_avoided")
-                perf.inc("reservations_replayed", len(plan.reservations))
-            else:
+                # Priority reordering within the suffix: a layer above
+                # this Coflow may have dropped port time it held when the
+                # cached plans below were computed.
+                superset = False
+            plan = None
+            if superset and old_plan is not None:
+                if (
+                    old_plan.first_start() >= now - TIME_EPS
+                    and not state.established
+                ):
+                    try:
+                        prt.replay(old_plan.reservations)
+                        plan = old_plan
+                        perf.inc("plans_reused")
+                        perf.inc("replans_avoided")
+                        perf.inc(
+                            "reservations_replayed", len(plan.reservations)
+                        )
+                    except PortConflictError:
+                        perf.inc(
+                            "reservations_rolled_back", prt.rollback(token)
+                        )
+                elif old_plan.first_start() < now - TIME_EPS:
+                    # A served Coflow displaced by the reorder: its
+                    # continuation plan is still provable the same way as
+                    # in the prefix walk; replaying it performs the fit
+                    # test against the layers now above it.
+                    transformed = self._transform_continuation(
+                        old_plan, state, now, None
+                    )
+                    if transformed is not None:
+                        try:
+                            prt.replay(transformed.reservations)
+                            plan = transformed
+                            perf.inc("plans_transformed")
+                            perf.inc("replans_avoided")
+                            perf.inc(
+                                "reservations_replayed",
+                                len(plan.reservations),
+                            )
+                        except PortConflictError:
+                            perf.inc(
+                                "reservations_rolled_back",
+                                prt.rollback(token),
+                            )
+            if plan is None:
                 plan = self.scheduler.schedule_demand(
                     prt,
                     cid,
@@ -439,18 +525,171 @@ class InterCoflowSimulator:
                     start_time=now,
                     established=state.established,
                 )
+                # ``remaining`` is this plan's baseline again; future
+                # banking re-dirties circuits from here.
+                state.banked_circuits.clear()
                 perf.inc("plans_computed")
                 perf.inc("reservations_made", len(plan.reservations))
-                if equivalent:
-                    if old_plan is not None:
-                        equivalent = _same_future_occupancy(old_plan, plan, now)
-                    else:
-                        # A new arrival: its reservations constrain every
-                        # Coflow below unless it reserved nothing.
-                        equivalent = not plan.reservations
+                if superset and old_plan is not None:
+                    superset = _same_future_occupancy(old_plan, plan, now)
             layers.append(_PlanLayer(coflow_id=cid, plan=plan, token=token))
             schedules[cid] = plan
         return schedules
+
+    def _transform_continuation(
+        self,
+        plan: CoflowSchedule,
+        state: _ActiveCoflow,
+        now: float,
+        above_ids: Optional[Set[int]],
+    ) -> Optional[CoflowSchedule]:
+        """The continuation plan a fresh recompute would produce — or None.
+
+        A served Coflow's replan at ``now`` is, in the common case, just
+        its previous plan with every running reservation clamped to start
+        at ``now``: established circuits continue to their anchored ends
+        and untouched future reservations are re-placed identically.  This
+        method proves that outcome *bit-for-bit* and builds the plan
+        without running Algorithm 1 — the layer's reservations then stay
+        in the PRT (old head intervals ``[s, end)`` and recomputed heads
+        ``[now, end)`` occupy identical port time from ``now`` on).
+
+        The proof obligations, each checked exactly (any failure returns
+        None and the caller falls back to a true recompute):
+
+        * the scheduler is deterministic for this layer — ``ORDERED_PORT``
+          consideration order (``RANDOM`` consumes rng state, and
+          ``SORTED_DEMAND`` re-orders entries as banked demand changes)
+          and no quantization (re-quantizing banked demand re-rounds);
+        * every reservation covering ``now`` is an established circuit
+          whose recomputed continuation ``now + (setup + remaining)``
+          lands on its anchor within ``TIME_EPS`` (the planner's anchor
+          snap then reproduces the end exactly);
+        * every strictly-future reservation belongs to a circuit that was
+          never re-banked since the plan was computed (its remaining is
+          bitwise the planner's own value) and is not an established
+          circuit's overflow;
+        * every future circuit is provably *blocked at ``now``* in the
+          recompute's start batch: one of its ports belongs to one of
+          this Coflow's own established heads that precedes the circuit
+          in ``ORDERED_PORT`` consideration order (and so is re-placed —
+          marking its ports taken — before the circuit is examined), or
+          is covered at ``now`` by a reservation of a layer above this
+          one.  A circuit free on both ports at ``now`` could be placed
+          there and then, and only then, diverge from the old plan; once
+          every circuit is blocked at the origin, its
+          wait-release-reattempt chain sees the exact port occupancy the
+          original run saw and converges to the same placement;
+        * the demand the plan serves covers exactly the circuits with
+          remaining demand.
+
+        Two call sites share this proof.  The prefix walk transforms a
+        layer *in place* — the old reservations stay in the PRT (which
+        then also holds lower layers' reservations, so coverage only
+        counts when the covering Coflow is in ``above_ids``).  The suffix
+        rebuild transforms a *dropped* plan — the PRT holds exactly the
+        layers above (pass ``above_ids=None``: any coverage counts), and
+        the caller must `replay` the returned reservations, which doubles
+        as the fit test against layers that changed above.
+        """
+        scheduler = self.scheduler
+        if (
+            scheduler.order is not ReservationOrder.ORDERED_PORT
+            or scheduler.quantum is not None
+        ):
+            return None
+        reservations = plan.reservations
+        prt = self._prt
+        established = state.established
+        remaining = state.remaining
+        delta = scheduler.delta
+        cutoff = plan.index_at_or_after(now)
+        cid = plan.coflow_id
+
+        heads: List[Reservation] = []
+        #: Established heads are pairwise port-disjoint (their reservations
+        #: all cover ``now``), so one dict per side resolves "is there a
+        #: preceding head on this port" in O(1).
+        head_by_src: Dict[int, int] = {}
+        head_by_dst: Dict[int, int] = {}
+        for i in range(cutoff):
+            old = reservations[i]
+            if now >= old.end - TIME_EPS:
+                continue  # fully in the past: constrains nothing ahead
+            circuit = (old.src, old.dst)
+            est = established.get(circuit)
+            if est is None or est[1] != old.end or old.src in head_by_src:
+                return None
+            rem = remaining.get(circuit, 0.0)
+            if rem <= TIME_EPS:
+                # The recompute would drop this circuit entirely while the
+                # old reservation still holds port time: not a continuation.
+                return None
+            setup = min(delta, est[0])
+            # Exact mirror of ``_make_reservation``: ``desired_length =
+            # setup + remaining``, ``end = t + desired_length``, snapped to
+            # the anchor when within tolerance.
+            if abs(now + (setup + rem) - old.end) > TIME_EPS:
+                return None
+            heads.append(
+                Reservation(
+                    start=now,
+                    end=old.end,
+                    src=old.src,
+                    dst=old.dst,
+                    coflow_id=cid,
+                    setup=setup,
+                )
+            )
+            head_by_src[old.src] = old.dst
+            head_by_dst[old.dst] = old.src
+        if len(heads) != len(established):
+            return None
+
+        banked = state.banked_circuits
+        pending_circuits: Set[Circuit] = set()
+        for i in range(cutoff, len(reservations)):
+            future = reservations[i]
+            src = future.src
+            dst = future.dst
+            circuit = (src, dst)
+            if circuit in pending_circuits:
+                continue
+            if head_by_src.get(src) == dst or circuit in banked:
+                return None
+            # Blocked-at-now proof (see docstring).
+            head_dst = head_by_src.get(src)
+            if head_dst is not None and head_dst < dst:
+                pending_circuits.add(circuit)
+                continue
+            head_src = head_by_dst.get(dst)
+            if head_src is not None and head_src < src:
+                pending_circuits.add(circuit)
+                continue
+            res = prt.input_reservation_at(src, now)
+            if res is None or (
+                above_ids is not None and res.coflow_id not in above_ids
+            ):
+                res = prt.output_reservation_at(dst, now)
+                if res is None or (
+                    above_ids is not None and res.coflow_id not in above_ids
+                ):
+                    return None
+            pending_circuits.add(circuit)
+
+        for circuit, rem in remaining.items():
+            if (
+                rem > TIME_EPS
+                and circuit not in pending_circuits
+                and head_by_src.get(circuit[0]) != circuit[1]
+            ):
+                return None
+
+        return CoflowSchedule(
+            coflow_id=cid,
+            start_time=now,
+            reservations=heads + reservations[cutoff:],
+        )
 
     def _guard_horizon(self, active: Dict[int, _ActiveCoflow], now: float) -> float:
         if self.guard is None:
@@ -489,6 +728,7 @@ class InterCoflowSimulator:
                 if served > 0:
                     left = state.remaining.get(circuit, 0.0) - served
                     state.remaining[circuit] = max(0.0, left)
+                    state.banked_circuits.add(circuit)
                 # A reconfiguration that began before the event counts as a
                 # switching event even if the plan is later discarded.
                 if reservation.setup > 0:

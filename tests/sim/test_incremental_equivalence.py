@@ -104,7 +104,10 @@ class TestIncrementalEquivalence:
         assert record_keys(fast) == record_keys(full)
         assert perf.count("replans_avoided") > 0
         assert perf.count("plans_kept") > 0
-        assert perf.count("plans_reused") > 0
+        # Served Coflows are carried forward by the continuation transform
+        # instead of being recomputed every event.
+        assert perf.count("plans_transformed") > 0
+        assert perf.count("plans_computed") < full_perf.count("plans_computed")
         assert full_perf.count("replans_avoided") == 0
         assert full_perf.count("full_replans") == perf.count("incremental_replans")
 
