@@ -51,7 +51,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    from repro.perf.replay_bench import run_trace_replay
+    from repro.perf.replay_bench import run_plan_cache_scenario, run_trace_replay
 
     result = run_trace_replay(
         num_coflows=args.coflows,
@@ -60,6 +60,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         compare_full=not args.no_compare,
     )
+    result["plan_cache_scenario"] = scenario = run_plan_cache_scenario()
 
     if args.baseline_s:
         result["baseline_wall_s"] = args.baseline_s
@@ -89,6 +90,19 @@ def main(argv=None) -> int:
         if result["mismatches"]:
             print("ERROR: incremental and full replanning disagree", file=sys.stderr)
             return 1
+    cache_rate = scenario["full_replan"]["plan_cache_hit_rate"]
+    print(
+        "plan-cache scenario (recurring convoy): "
+        f"full-replan hit rate {cache_rate:.1%}, "
+        f"incremental shadowed by {scenario['incremental']['plans_reused']} "
+        "verbatim replays"
+    )
+    if not cache_rate or cache_rate <= 0:
+        print(
+            "ERROR: recurring-Coflow scenario produced no plan-cache hits",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -2,11 +2,12 @@
 # Entry point for the repository's performance benchmarks.
 #
 # Runs the end-to-end trace-replay benchmark (incremental vs full
-# inter-Coflow replanning) at paper scale and the sweep-engine benchmark
-# (serial vs parallel vs cache-warm over a δ × seed grid), leaving the
-# summaries in BENCH_trace_replay.json and BENCH_sweep_engine.json at the
-# repository root.  Extra arguments are forwarded to the trace-replay
-# bench, e.g.:
+# inter-Coflow replanning) at paper scale, the sweep-engine benchmark
+# (serial vs parallel vs cache-warm over a δ × seed grid), and the
+# scheduler-kernel benchmark (numpy kernels vs pure-Python references),
+# leaving the summaries in BENCH_trace_replay.json,
+# BENCH_sweep_engine.json, and BENCH_schedulers.json at the repository
+# root.  Extra arguments are forwarded to the trace-replay bench, e.g.:
 #
 #   benchmarks/run_benchmarks.sh --coflows 120 --max-width 30
 #
@@ -58,3 +59,31 @@ fi
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
     python benchmarks/bench_sweep_engine.py
+
+# Scheduler kernels: same perf-smoke pattern as the replay bench —
+# remember the committed kernel walls, rerun, warn (non-fatally) past 25%.
+sched_baseline=""
+if [ -f BENCH_schedulers.json ]; then
+    sched_baseline=$(python -c "import json; d = json.load(open('BENCH_schedulers.json')); print(sum(s['kernel_wall_s'] for s in d['schedulers'].values()))")
+fi
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_schedulers.py
+
+if [ -n "$sched_baseline" ]; then
+    python - "$sched_baseline" <<'EOF'
+import json, sys
+baseline = float(sys.argv[1])
+data = json.load(open("BENCH_schedulers.json"))
+wall = sum(s["kernel_wall_s"] for s in data["schedulers"].values())
+ratio = wall / baseline if baseline > 0 else 0.0
+if ratio > 1.25:
+    print(
+        f"WARNING: scheduler kernels took {wall:.2f}s vs committed baseline "
+        f"{baseline:.2f}s ({ratio:.2f}x) — possible performance regression",
+        file=sys.stderr,
+    )
+else:
+    print(f"perf smoke: scheduler kernel wall {wall:.2f}s vs baseline {baseline:.2f}s ({ratio:.2f}x)")
+EOF
+fi

@@ -1,0 +1,142 @@
+"""Vectorized demand-matrix kernels for the baseline schedulers.
+
+The assignment-based baselines the paper sweeps Sunflow against (Solstice,
+TMS, Edmond — see :mod:`repro.schedulers`) all reduce to dense linear
+algebra over an ``n × n`` demand matrix: line sums and stuffing, repeated
+bipartite matchings, Hungarian assignments, and Birkhoff–von-Neumann
+decompositions.  This package is the numpy-backed implementation of that
+substrate; demand matrices flow through it as contiguous ``float64``
+ndarrays, canonicalized once at the boundary by :func:`as_demand_matrix`.
+
+**Backend contract.**  Every kernel has a pure-Python twin retained in the
+``repro.matching.*_reference`` modules (the implementations that shipped
+before this layer, kept verbatim as behavioural oracles — the
+``ReferencePortReservationTable`` pattern).  The kernels follow the
+reference algorithms step for step, including iteration order and
+tie-breaking, so both sides emit *identical* assignments; differential
+tests in ``tests/kernels/`` enforce this on random sparse, skewed, and
+doubly-stochastic matrices.  The only tolerated divergence is last-ulp
+float drift where numpy's pairwise summation replaces Python's sequential
+``sum`` (Sinkhorn line sums), which the schedulers absorb well inside
+their ``1e-9`` duration tolerance.
+
+**Runtime selection.**  ``REPRO_KERNEL=python`` in the environment routes
+the scheduler pipeline through the pure-Python references instead —
+useful for differential debugging and as a numpy-free escape hatch.  The
+default (``REPRO_KERNEL`` unset or ``numpy``) uses the kernels.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+#: Environment variable selecting the kernel backend at runtime.
+BACKEND_ENV = "REPRO_KERNEL"
+
+#: Recognized backend names.
+BACKENDS = ("numpy", "python")
+
+
+def active_backend() -> str:
+    """The backend the scheduler pipeline dispatches to right now.
+
+    Reads ``REPRO_KERNEL`` on every call (it is consulted once per
+    ``schedule()`` call, not in inner loops), so tests and sweeps can flip
+    the backend without reimporting anything — worker processes inherit
+    the variable through the environment.
+
+    Raises:
+        ValueError: if ``REPRO_KERNEL`` names an unknown backend.
+    """
+    value = os.environ.get(BACKEND_ENV, "").strip().lower()
+    if not value:
+        return "numpy"
+    if value not in BACKENDS:
+        raise ValueError(
+            f"{BACKEND_ENV}={value!r} is not a known kernel backend; "
+            f"expected one of {BACKENDS}"
+        )
+    return value
+
+
+def numpy_enabled() -> bool:
+    """True when the numpy kernel layer is active."""
+    return active_backend() == "numpy"
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Temporarily pin the kernel backend (tests and benchmarks)."""
+    if name not in BACKENDS:
+        raise ValueError(f"unknown kernel backend {name!r}; expected one of {BACKENDS}")
+    previous = os.environ.get(BACKEND_ENV)
+    os.environ[BACKEND_ENV] = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(BACKEND_ENV, None)
+        else:
+            os.environ[BACKEND_ENV] = previous
+
+
+def as_demand_matrix(matrix) -> np.ndarray:
+    """Canonicalize a demand matrix to a square, contiguous ``float64`` array.
+
+    The single dtype boundary of the kernel layer: nested lists, tuples,
+    and ndarrays of any float/int dtype all land on the same canonical
+    form, and an already-canonical array passes through *without copying*
+    (callers that mutate must copy explicitly, exactly as with the
+    reference helpers that return fresh lists).
+
+    Raises:
+        ValueError: if the matrix is not square or has negative entries
+            (matching the reference helpers' messages).
+    """
+    a = np.asarray(matrix, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        if a.ndim == 1 and a.size == 0:
+            # [] densifies to shape (0,) — treat as the empty 0×0 matrix.
+            return np.zeros((0, 0), dtype=np.float64)
+        raise ValueError("demand matrix must be square")
+    if a.size and float(a.min()) < 0:
+        raise ValueError("demand must be non-negative")
+    return np.ascontiguousarray(a)
+
+
+from repro.kernels.assignment import (  # noqa: E402
+    max_weight_assignment,
+    max_weight_matching,
+    min_cost_assignment,
+)
+from repro.kernels.decomposition import birkhoff_von_neumann  # noqa: E402
+from repro.kernels.matching import SupportMatcher, matching_from_matrix  # noqa: E402
+from repro.kernels.matrix import (  # noqa: E402
+    has_equal_line_sums,
+    line_sums,
+    quick_stuff,
+    sinkhorn_scale,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "active_backend",
+    "numpy_enabled",
+    "use_backend",
+    "as_demand_matrix",
+    "line_sums",
+    "has_equal_line_sums",
+    "quick_stuff",
+    "sinkhorn_scale",
+    "matching_from_matrix",
+    "SupportMatcher",
+    "min_cost_assignment",
+    "max_weight_assignment",
+    "max_weight_matching",
+    "birkhoff_von_neumann",
+]

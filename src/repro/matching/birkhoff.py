@@ -1,104 +1,31 @@
-"""Birkhoff–von-Neumann decomposition.
+"""Birkhoff–von-Neumann decomposition — backend dispatcher.
 
-The Birkhoff theorem: every doubly stochastic matrix is a convex
-combination of permutation matrices.  The constructive decomposition —
-repeatedly extract a perfect matching over the positive support, weight it
-by the minimum matched entry, subtract, repeat — terminates in at most
-``(n-1)² + 1`` terms because each step zeroes at least one entry.
+The decomposition lives twice in the tree:
 
-This is the engine of the TMS baseline scheduler and, with weights
-interpreted as slot durations, of the classic Time Slot Assignment
-literature the paper contrasts Sunflow against.  It also solves the
-``δ = 0`` intra-Coflow problem optimally (§2.3).
+* :mod:`repro.matching.birkhoff_reference` — the original pure-Python
+  implementation (and home of :class:`BvnTerm`/:func:`reconstruct`),
+  kept verbatim as the behavioural contract;
+* :mod:`repro.kernels.decomposition` — the vectorized twin that threads
+  one incremental support matcher through the whole drain, returning
+  the same terms (see its docstring for the equivalence argument).
+
+Dispatch follows the ``REPRO_KERNEL`` environment variable per call.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List
 
-from repro.matching.hopcroft_karp import matching_from_matrix
-from repro.matching.stuffing import has_equal_line_sums, line_sums
+from repro.kernels import decomposition as _kernel
+from repro.kernels import numpy_enabled
+from repro.matching import birkhoff_reference as _reference
+from repro.matching.birkhoff_reference import BvnTerm, reconstruct
 
-#: Entries below this fraction of the matrix scale are treated as zero.
-_ZERO_TOLERANCE = 1e-12
-
-
-@dataclass(frozen=True)
-class BvnTerm:
-    """One term of the decomposition: ``weight × permutation``.
-
-    ``permutation`` maps row (input port) to column (output port).
-    """
-
-    weight: float
-    permutation: Dict[int, int]
+__all__ = ["BvnTerm", "birkhoff_von_neumann", "reconstruct"]
 
 
-def birkhoff_von_neumann(
-    matrix: Sequence[Sequence[float]],
-    max_terms: int = 0,
-) -> List[BvnTerm]:
-    """Decompose a matrix with equal line sums into weighted permutations.
-
-    Args:
-        matrix: square non-negative matrix whose row sums all equal its
-            column sums (doubly stochastic after normalization).  Callers
-            with arbitrary demand should stuff first
-            (:func:`repro.matching.stuffing.quick_stuff` or Sinkhorn).
-        max_terms: optional cap on the number of terms (0 = no cap); used
-            by schedulers that truncate long decompositions.
-
-    Returns:
-        Terms whose weighted permutations sum back to ``matrix`` (exactly,
-        up to floating-point error) when not truncated.
-
-    Raises:
-        ValueError: if line sums are unequal, or no perfect matching exists
-            over the positive entries (cannot happen for equal line sums by
-            the Birkhoff–König argument, but guards numerical corner cases).
-    """
-    n = len(matrix)
-    if n == 0:
-        return []
-    if not has_equal_line_sums(matrix, tolerance=1e-5):
-        raise ValueError(
-            "BvN requires equal row/column sums; stuff the matrix first"
-        )
-    work = [list(map(float, row)) for row in matrix]
-    rows, _ = line_sums(work)
-    scale = max(max(rows), 1e-30)
-    zero = scale * _ZERO_TOLERANCE
-
-    terms: List[BvnTerm] = []
-    remaining = rows[0]
-    while remaining > zero:
-        matching = matching_from_matrix(work, threshold=zero)
-        if matching is None:
-            if remaining <= scale * 1e-6:
-                # Floating-point crumbs left by the caller's subtractions;
-                # the matrix is drained for all practical purposes.
-                break
-            raise ValueError(
-                "no perfect matching over positive entries; "
-                "matrix is not decomposable (check stuffing/tolerances)"
-            )
-        weight = min(work[i][j] for i, j in matching.items())
-        terms.append(BvnTerm(weight=weight, permutation=dict(matching)))
-        for i, j in matching.items():
-            work[i][j] -= weight
-            if work[i][j] < zero:
-                work[i][j] = 0.0
-        remaining -= weight
-        if max_terms and len(terms) >= max_terms:
-            break
-    return terms
-
-
-def reconstruct(terms: Sequence[BvnTerm], n: int) -> List[List[float]]:
-    """Sum ``weight × permutation`` back into an ``n × n`` matrix."""
-    matrix = [[0.0] * n for _ in range(n)]
-    for term in terms:
-        for i, j in term.permutation.items():
-            matrix[i][j] += term.weight
-    return matrix
+def birkhoff_von_neumann(matrix, max_terms: int = 0) -> List[BvnTerm]:
+    """Decompose a matrix with equal line sums into weighted permutations."""
+    if numpy_enabled():
+        return _kernel.birkhoff_von_neumann(matrix, max_terms=max_terms)
+    return _reference.birkhoff_von_neumann(matrix, max_terms=max_terms)

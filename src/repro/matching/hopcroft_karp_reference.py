@@ -1,0 +1,107 @@
+"""Hopcroft–Karp maximum bipartite matching.
+
+Substrate for the circuit-scheduling baselines: Solstice's BigSlice step
+needs perfect matchings over thresholded demand matrices, and the BvN
+decomposition (TMS) needs perfect matchings over the positive support of a
+doubly stochastic matrix.
+
+The implementation is the classic O(E·√V) algorithm: repeated BFS layering
+from free left vertices followed by DFS augmentation along shortest
+alternating paths.  Vertices are arbitrary hashables on the left and right;
+the graph is an adjacency mapping ``{left: iterable(right)}``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional
+
+_INF = float("inf")
+
+
+def maximum_bipartite_matching(
+    adjacency: Mapping[Hashable, Iterable[Hashable]],
+) -> Dict[Hashable, Hashable]:
+    """Return a maximum matching as a ``{left: right}`` mapping.
+
+    Args:
+        adjacency: for each left vertex, the right vertices it may match.
+            Left vertices with empty adjacency are allowed (never matched).
+
+    Returns:
+        A maximum-cardinality matching; each left vertex appears at most
+        once as a key and each right vertex at most once as a value.
+    """
+    # Freeze adjacency to lists for repeated traversal.
+    adj: Dict[Hashable, List[Hashable]] = {u: list(vs) for u, vs in adjacency.items()}
+    match_left: Dict[Hashable, Hashable] = {}
+    match_right: Dict[Hashable, Hashable] = {}
+    distance: Dict[Hashable, float] = {}
+
+    def bfs() -> bool:
+        """Layer the graph from free left vertices; True if an augmenting
+        path exists."""
+        queue: deque = deque()
+        for u in adj:
+            if u not in match_left:
+                distance[u] = 0.0
+                queue.append(u)
+            else:
+                distance[u] = _INF
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                partner = match_right.get(v)
+                if partner is None:
+                    found = True
+                elif distance[partner] == _INF:
+                    distance[partner] = distance[u] + 1
+                    queue.append(partner)
+        return found
+
+    def dfs(u: Hashable) -> bool:
+        """Try to augment from left vertex ``u`` along the BFS layering."""
+        for v in adj[u]:
+            partner = match_right.get(v)
+            if partner is None or (
+                distance.get(partner) == distance[u] + 1 and dfs(partner)
+            ):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        distance[u] = _INF
+        return False
+
+    while bfs():
+        for u in list(adj):
+            if u not in match_left:
+                dfs(u)
+    return match_left
+
+
+def perfect_matching(
+    adjacency: Mapping[Hashable, Iterable[Hashable]],
+) -> Optional[Dict[Hashable, Hashable]]:
+    """A matching covering *every* left vertex, or None if none exists."""
+    matching = maximum_bipartite_matching(adjacency)
+    if len(matching) == len(adjacency):
+        return matching
+    return None
+
+
+def matching_from_matrix(
+    matrix, threshold: float = 0.0
+) -> Optional[Dict[int, int]]:
+    """Perfect matching of rows to columns where ``matrix[i][j] > threshold``.
+
+    Convenience wrapper used by the schedulers: rows/columns are switch
+    ports, an edge exists where the (possibly thresholded) demand is
+    positive.  ``matrix`` is any 2-D indexable (nested lists or a numpy
+    array).  Returns None when no perfect matching exists.
+    """
+    n = len(matrix)
+    adjacency = {
+        i: [j for j in range(n) if matrix[i][j] > threshold] for i in range(n)
+    }
+    return perfect_matching(adjacency)

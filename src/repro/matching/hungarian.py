@@ -1,102 +1,44 @@
-"""Hungarian algorithm for the assignment problem (O(n³), JV potentials).
+"""Hungarian algorithm (Jonker–Volgenant style) — backend dispatcher.
 
-Substrate for the Edmond baseline scheduler: prior OCS designs (Helios,
-c-Through) compute a *maximum-weight matching* of input ports to output
-ports over the demand matrix and hold it for a fixed slot.  On a bipartite
-demand matrix the maximum-weight matching is the classic assignment
-problem, solved here with the shortest-augmenting-path Hungarian method.
+The algorithm lives twice in the tree:
+
+* :mod:`repro.matching.hungarian_reference` — the original pure-Python
+  implementation, kept verbatim as the behavioural contract;
+* :mod:`repro.kernels.assignment` — the vectorized numpy twin, built to
+  return identical assignments (see its docstring for the equivalence
+  argument).
+
+This module picks one per call based on the ``REPRO_KERNEL`` environment
+variable (``numpy`` by default, ``python`` for the fallback) so every
+consumer — the Edmond baseline scheduler most importantly — honours the
+runtime backend selection.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
-_INF = float("inf")
+from repro.kernels import assignment as _kernel
+from repro.kernels import numpy_enabled
+from repro.matching import hungarian_reference as _reference
 
 
 def min_cost_assignment(cost: Sequence[Sequence[float]]) -> Dict[int, int]:
-    """Minimum-cost perfect assignment of rows to columns.
-
-    Args:
-        cost: square matrix; ``cost[i][j]`` is the cost of pairing row ``i``
-            with column ``j``.
-
-    Returns:
-        ``{row: column}`` achieving minimum total cost.
-
-    Raises:
-        ValueError: if the matrix is empty or not square.
-    """
-    n = len(cost)
-    if n == 0:
-        return {}
-    for row in cost:
-        if len(row) != n:
-            raise ValueError("cost matrix must be square")
-
-    # 1-indexed potentials/bookkeeping per the classic formulation.
-    u: List[float] = [0.0] * (n + 1)
-    v: List[float] = [0.0] * (n + 1)
-    assignment: List[int] = [0] * (n + 1)  # column -> row
-    way: List[int] = [0] * (n + 1)
-
-    for i in range(1, n + 1):
-        assignment[0] = i
-        j0 = 0
-        min_value = [_INF] * (n + 1)
-        used = [False] * (n + 1)
-        while True:
-            used[j0] = True
-            i0 = assignment[j0]
-            delta = _INF
-            j1 = -1
-            for j in range(1, n + 1):
-                if used[j]:
-                    continue
-                current = cost[i0 - 1][j - 1] - u[i0] - v[j]
-                if current < min_value[j]:
-                    min_value[j] = current
-                    way[j] = j0
-                if min_value[j] < delta:
-                    delta = min_value[j]
-                    j1 = j
-            for j in range(n + 1):
-                if used[j]:
-                    u[assignment[j]] += delta
-                    v[j] -= delta
-                else:
-                    min_value[j] -= delta
-            j0 = j1
-            if assignment[j0] == 0:
-                break
-        while j0:
-            j1 = way[j0]
-            assignment[j0] = assignment[j1]
-            j0 = j1
-    return {assignment[j] - 1: j - 1 for j in range(1, n + 1)}
+    """Minimum-cost perfect assignment ``{row: column}`` of a square matrix."""
+    if numpy_enabled():
+        return _kernel.min_cost_assignment(cost)
+    return _reference.min_cost_assignment(cost)
 
 
 def max_weight_assignment(weight: Sequence[Sequence[float]]) -> Dict[int, int]:
-    """Maximum-weight perfect assignment (negated costs).
-
-    The returned assignment is perfect (covers every row); pairs with zero
-    weight carry no demand and can be filtered by the caller.
-    """
-    negated = [[-value for value in row] for row in weight]
-    return min_cost_assignment(negated)
+    """Maximum-weight perfect assignment (costs negated)."""
+    if numpy_enabled():
+        return _kernel.max_weight_assignment(weight)
+    return _reference.max_weight_assignment(weight)
 
 
 def max_weight_matching(weight: Sequence[Sequence[float]]) -> Dict[int, int]:
-    """Maximum-weight matching: perfect assignment minus zero-weight pairs.
-
-    Because weights are non-negative, completing any matching to a perfect
-    assignment with zero-weight edges never reduces total weight — so the
-    optimal matching is the optimal assignment restricted to positive
-    entries.
-    """
-    for row in weight:
-        for value in row:
-            if value < 0:
-                raise ValueError("demand weights must be non-negative")
-    perfect = max_weight_assignment(weight)
-    return {i: j for i, j in perfect.items() if weight[i][j] > 0}
+    """Maximum-weight matching: the perfect assignment minus zero-weight pairs."""
+    if numpy_enabled():
+        return _kernel.max_weight_matching(weight)
+    return _reference.max_weight_matching(weight)

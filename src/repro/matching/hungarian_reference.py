@@ -1,0 +1,102 @@
+"""Hungarian algorithm for the assignment problem (O(n³), JV potentials).
+
+Substrate for the Edmond baseline scheduler: prior OCS designs (Helios,
+c-Through) compute a *maximum-weight matching* of input ports to output
+ports over the demand matrix and hold it for a fixed slot.  On a bipartite
+demand matrix the maximum-weight matching is the classic assignment
+problem, solved here with the shortest-augmenting-path Hungarian method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+_INF = float("inf")
+
+
+def min_cost_assignment(cost: Sequence[Sequence[float]]) -> Dict[int, int]:
+    """Minimum-cost perfect assignment of rows to columns.
+
+    Args:
+        cost: square matrix; ``cost[i][j]`` is the cost of pairing row ``i``
+            with column ``j``.
+
+    Returns:
+        ``{row: column}`` achieving minimum total cost.
+
+    Raises:
+        ValueError: if the matrix is empty or not square.
+    """
+    n = len(cost)
+    if n == 0:
+        return {}
+    for row in cost:
+        if len(row) != n:
+            raise ValueError("cost matrix must be square")
+
+    # 1-indexed potentials/bookkeeping per the classic formulation.
+    u: List[float] = [0.0] * (n + 1)
+    v: List[float] = [0.0] * (n + 1)
+    assignment: List[int] = [0] * (n + 1)  # column -> row
+    way: List[int] = [0] * (n + 1)
+
+    for i in range(1, n + 1):
+        assignment[0] = i
+        j0 = 0
+        min_value = [_INF] * (n + 1)
+        used = [False] * (n + 1)
+        while True:
+            used[j0] = True
+            i0 = assignment[j0]
+            delta = _INF
+            j1 = -1
+            for j in range(1, n + 1):
+                if used[j]:
+                    continue
+                current = cost[i0 - 1][j - 1] - u[i0] - v[j]
+                if current < min_value[j]:
+                    min_value[j] = current
+                    way[j] = j0
+                if min_value[j] < delta:
+                    delta = min_value[j]
+                    j1 = j
+            for j in range(n + 1):
+                if used[j]:
+                    u[assignment[j]] += delta
+                    v[j] -= delta
+                else:
+                    min_value[j] -= delta
+            j0 = j1
+            if assignment[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            assignment[j0] = assignment[j1]
+            j0 = j1
+    return {assignment[j] - 1: j - 1 for j in range(1, n + 1)}
+
+
+def max_weight_assignment(weight: Sequence[Sequence[float]]) -> Dict[int, int]:
+    """Maximum-weight perfect assignment (negated costs).
+
+    The returned assignment is perfect (covers every row); pairs with zero
+    weight carry no demand and can be filtered by the caller.
+    """
+    negated = [[-value for value in row] for row in weight]
+    return min_cost_assignment(negated)
+
+
+def max_weight_matching(weight: Sequence[Sequence[float]]) -> Dict[int, int]:
+    """Maximum-weight matching: perfect assignment minus zero-weight pairs.
+
+    Because weights are non-negative, completing any matching to a perfect
+    assignment with zero-weight edges never reduces total weight — so the
+    optimal matching is the optimal assignment restricted to positive
+    entries.
+    """
+    for row in weight:
+        for value in row:
+            if value < 0:
+                raise ValueError("demand weights must be non-negative")
+    perfect = max_weight_assignment(weight)
+    return {i: j for i, j in perfect.items() if weight[i][j] > 0}

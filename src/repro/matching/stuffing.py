@@ -1,45 +1,62 @@
-"""Demand-matrix stuffing: making a matrix decomposable (paper §3.1.1).
+"""Demand-matrix stuffing (Sinkhorn, QuickStuff) — backend dispatcher.
 
-Both TMS and Solstice pre-process the requested demand matrix before
-decomposing it into circuit assignments:
+Two implementations back this module:
 
-* **Sinkhorn scaling** (TMS): iteratively normalize rows and columns so the
-  matrix becomes (approximately) doubly stochastic — the input the
-  Birkhoff–von-Neumann theorem requires.  Entries may be *scaled*, which is
-  why TMS can serve the original demand poorly.
-* **QuickStuff** (Solstice): *add dummy demand* so that every row and
-  column sums to the same total.  The original entries are preserved;
-  only the dummy bytes are wasted.  A doubly-“stochastic” (equal line sums)
-  non-negative matrix always admits a perfect matching on its positive
-  entries, which BigSlice exploits.
+* :mod:`repro.matching.stuffing_reference` — the original pure-Python
+  implementation, kept verbatim as the behavioural contract;
+* :mod:`repro.kernels.matrix` — the vectorized twin (``quick_stuff`` is
+  bit-for-bit identical; ``sinkhorn_scale`` may differ from the
+  reference by an ulp through numpy's pairwise summation, which the TMS
+  duration tolerance absorbs — see the kernel docstring).
 
-Matrices here are dense ``n × n`` nested lists or numpy arrays; helpers
-return plain nested lists so callers can mutate freely.
+Dispatch follows the ``REPRO_KERNEL`` environment variable per call.
+For API stability the public functions keep the reference's plain
+nested-list return types regardless of backend; the scheduler pipeline
+talks to :mod:`repro.kernels` directly and stays in ndarray land.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+from repro.kernels import matrix as _kernel
+from repro.kernels import numpy_enabled
+from repro.matching import stuffing_reference as _reference
+from repro.matching.stuffing_reference import is_doubly_stochastic
 
-def _as_matrix(matrix: Sequence[Sequence[float]]) -> List[List[float]]:
-    n = len(matrix)
-    out = [list(map(float, row)) for row in matrix]
-    for row in out:
-        if len(row) != n:
-            raise ValueError("demand matrix must be square")
-        for value in row:
-            if value < 0:
-                raise ValueError("demand must be non-negative")
-    return out
+__all__ = [
+    "has_equal_line_sums",
+    "is_doubly_stochastic",
+    "line_sums",
+    "quick_stuff",
+    "sinkhorn_scale",
+]
 
 
 def line_sums(matrix: Sequence[Sequence[float]]) -> Tuple[List[float], List[float]]:
     """Row sums and column sums of a square matrix."""
-    n = len(matrix)
-    rows = [sum(matrix[i][j] for j in range(n)) for i in range(n)]
-    cols = [sum(matrix[i][j] for i in range(n)) for j in range(n)]
-    return rows, cols
+    if numpy_enabled():
+        return _kernel.line_sums(matrix)
+    return _reference.line_sums(matrix)
+
+
+def has_equal_line_sums(
+    matrix: Sequence[Sequence[float]], tolerance: float = 1e-6
+) -> bool:
+    """True if all row and column sums agree within relative ``tolerance``."""
+    if numpy_enabled():
+        return _kernel.has_equal_line_sums(matrix, tolerance=tolerance)
+    return _reference.has_equal_line_sums(matrix, tolerance=tolerance)
+
+
+def quick_stuff(
+    matrix: Sequence[Sequence[float]],
+) -> Tuple[List[List[float]], List[List[float]]]:
+    """Solstice's QuickStuff; returns ``(stuffed, dummy)`` nested lists."""
+    if numpy_enabled():
+        stuffed, dummy = _kernel.quick_stuff(matrix)
+        return stuffed.tolist(), dummy.tolist()
+    return _reference.quick_stuff(matrix)
 
 
 def sinkhorn_scale(
@@ -47,100 +64,9 @@ def sinkhorn_scale(
     iterations: int = 100,
     tolerance: float = 1e-9,
 ) -> List[List[float]]:
-    """Sinkhorn–Knopp scaling toward a doubly stochastic matrix.
-
-    Rows and columns are alternately normalized to sum to 1.  Zeros are
-    preserved; a row or column that is entirely zero keeps summing to zero
-    (the matrix then cannot become doubly stochastic — BvN callers guard by
-    stuffing first).
-
-    Returns the scaled matrix after convergence or ``iterations`` passes.
-    """
-    work = _as_matrix(matrix)
-    n = len(work)
-    # Pre-normalize by the largest entry so typical inputs are O(1)
-    # (pure scaling — the doubly stochastic limit is unchanged), and skip
-    # normalizing lines whose sums are too small to invert safely:
-    # inverting a denormal sum overflows to inf and poisons the matrix
-    # with NaNs.
-    peak = max((value for row in work for value in row), default=0.0)
-    if peak > 0:
-        work = [[value / peak for value in row] for row in work]
-    safe = 1e-300
-    for _ in range(iterations):
-        rows, _ = line_sums(work)
-        for i in range(n):
-            if rows[i] > safe:
-                scale = 1.0 / rows[i]
-                work[i] = [value * scale for value in work[i]]
-        _, cols = line_sums(work)
-        for j in range(n):
-            if cols[j] > safe:
-                scale = 1.0 / cols[j]
-                for i in range(n):
-                    work[i][j] *= scale
-        rows, cols = line_sums(work)
-        drift = max(
-            [abs(r - 1.0) for r in rows if r > 0]
-            + [abs(c - 1.0) for c in cols if c > 0]
-            + [0.0]
-        )
-        if drift <= tolerance:
-            break
-    return work
-
-
-def quick_stuff(matrix: Sequence[Sequence[float]]) -> Tuple[List[List[float]], List[List[float]]]:
-    """Solstice's QuickStuff: pad with dummy demand to equal line sums.
-
-    Every row and column of the result sums to ``max(line sums)`` of the
-    input.  Padding is greedy: walk the cells and pour the smaller of the
-    row/column deficits into each, which terminates because total row
-    deficit equals total column deficit.
-
-    Returns:
-        ``(stuffed, dummy)`` — the padded matrix and the dummy-only part
-        (``stuffed - original``), so executors can avoid counting dummy
-        bytes as real service.
-    """
-    work = _as_matrix(matrix)
-    n = len(work)
-    rows, cols = line_sums(work)
-    target = max(rows + cols) if n else 0.0
-    row_deficit = [target - r for r in rows]
-    col_deficit = [target - c for c in cols]
-    dummy = [[0.0] * n for _ in range(n)]
-    for i in range(n):
-        for j in range(n):
-            if row_deficit[i] <= 0:
-                break
-            pour = min(row_deficit[i], col_deficit[j])
-            if pour > 0:
-                work[i][j] += pour
-                dummy[i][j] += pour
-                row_deficit[i] -= pour
-                col_deficit[j] -= pour
-    return work, dummy
-
-
-def is_doubly_stochastic(
-    matrix: Sequence[Sequence[float]], tolerance: float = 1e-6
-) -> bool:
-    """True if every row and column sums to 1 within ``tolerance``."""
-    rows, cols = line_sums(matrix)
-    return all(abs(r - 1.0) <= tolerance for r in rows) and all(
-        abs(c - 1.0) <= tolerance for c in cols
-    )
-
-
-def has_equal_line_sums(
-    matrix: Sequence[Sequence[float]], tolerance: float = 1e-6
-) -> bool:
-    """True if all row sums and column sums are equal within ``tolerance``."""
-    rows, cols = line_sums(matrix)
-    sums = rows + cols
-    if not sums:
-        return True
-    reference = sums[0]
-    scale = max(abs(reference), 1.0)
-    return all(abs(s - reference) <= tolerance * scale for s in sums)
+    """Sinkhorn–Knopp scaling toward a doubly stochastic matrix."""
+    if numpy_enabled():
+        return _kernel.sinkhorn_scale(
+            matrix, iterations=iterations, tolerance=tolerance
+        ).tolist()
+    return _reference.sinkhorn_scale(matrix, iterations=iterations, tolerance=tolerance)

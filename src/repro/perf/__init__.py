@@ -5,8 +5,18 @@
   made/replayed, and where time went.
 * :mod:`repro.perf.replay_bench` — the end-to-end trace-replay benchmark
   comparing the incremental replanner against the full-replan path.
+* :data:`scheduler_counters` — process-wide counters for the baseline
+  scheduler layer (``matchings_extracted``, ``stuffing_iterations``,
+  ``slices_emitted``, ``bvn_permutations``, ``hungarian_solves``),
+  incremented by the kernel layer and the scheduler pipeline and surfaced
+  in ``BENCH_schedulers.json``.
 """
 
 from repro.perf.counters import PerfCounters
 
-__all__ = ["PerfCounters"]
+#: Process-wide counters for the baseline scheduler / kernel layer.
+#: Benchmarks ``reset()`` this before a run and ``snapshot()`` it after;
+#: leaving it always-on costs one dict update per decomposition step.
+scheduler_counters = PerfCounters()
+
+__all__ = ["PerfCounters", "scheduler_counters"]

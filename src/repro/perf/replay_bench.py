@@ -110,3 +110,80 @@ def run_trace_replay(
         result["mismatches"] = mismatches
 
     return result
+
+
+#: Why the headline replay shows a 0% plan-cache hit rate.  Recorded in
+#: the bench JSON so the number is never misread as a keying bug.
+PLAN_CACHE_DIAGNOSIS = (
+    "In incremental mode the plan cache is structurally shadowed: a queued "
+    "Coflow whose port occupancy is unchanged is caught by the replanner's "
+    "verbatim-replay (plans_reused) or continuation-transform "
+    "(plans_transformed) paths before schedule_demand is ever called, so "
+    "the cache is only consulted for plans whose gap signatures necessarily "
+    "changed - every lookup is a guaranteed miss. The keying is correct: the "
+    "same trace replayed through the full-replan path (which rebuilds every "
+    "queued plan at every event) produces shifted hits from the identical "
+    "cache, as does the starvation guard's grow-horizon retry loop."
+)
+
+
+def run_plan_cache_scenario() -> Dict[str, Any]:
+    """Recurring-Coflow scenario that exercises the gap-signature cache.
+
+    A convoy of queued Coflows contends for one hot port pair behind a
+    long-running head while small transfers on disjoint ports arrive
+    periodically, forcing a replan event that does not touch the hot
+    ports.  Every event the full-replan path rebuilds each queued plan at
+    a later origin against bitwise-identical port profiles — the shifted
+    hit the cache was built for.  The same trace through the incremental
+    replanner shows the shadowing effect: recurrences are absorbed by
+    verbatim replay before the cache is consulted, so its hit rate is 0
+    by construction, not by defect.
+
+    Returns a JSON-ready dict with per-mode cache counters; callers
+    assert ``full_replan.plan_cache_hit_rate > 0``.
+    """
+    from repro.core.coflow import Coflow, CoflowTrace
+    from repro.sim.circuit_sim import InterCoflowSimulator
+
+    gb = 1e9
+
+    def transfer(coflow_id: int, arrival: float, src: int, dst: int, gbytes: float):
+        return Coflow.from_demand(
+            coflow_id, {(src, dst): gbytes * gb}, arrival_time=arrival
+        )
+
+    coflows = [transfer(0, 0.0, 0, 1, 8.0)]
+    # Convoy on the hot pair; increasing sizes keep ShortestFirst stable.
+    coflows += [transfer(1 + k, 0.05, 0, 1, 9.0 + k) for k in range(12)]
+    # Churn on disjoint ports: each arrival is a replan event that leaves
+    # the hot ports' occupancy untouched.
+    coflows += [
+        transfer(13 + k, 0.2 + 0.25 * k, 2 + (k % 4) * 2, 3 + (k % 4) * 2, 0.05)
+        for k in range(30)
+    ]
+    trace = CoflowTrace(num_ports=12, coflows=coflows)
+
+    def replay(incremental: bool) -> Dict[str, Any]:
+        perf = PerfCounters()
+        simulator = InterCoflowSimulator(trace, incremental=incremental, perf=perf)
+        simulator.run()
+        hits = perf.count("plan_cache_hits")
+        lookups = hits + perf.count("plan_cache_misses")
+        return {
+            "plan_cache_hit_rate": hits / lookups if lookups else None,
+            "plan_cache_hits": hits,
+            "plan_cache_shifted_hits": perf.count("plan_cache_shifted_hits"),
+            "plan_cache_misses": perf.count("plan_cache_misses"),
+            "plans_reused": perf.count("plans_reused"),
+            "plans_transformed": perf.count("plans_transformed"),
+            "plans_computed": perf.count("plans_computed"),
+        }
+
+    return {
+        "scenario": "recurring_coflow_convoy",
+        "coflows": len(coflows),
+        "incremental": replay(incremental=True),
+        "full_replan": replay(incremental=False),
+        "diagnosis": PLAN_CACHE_DIAGNOSIS,
+    }

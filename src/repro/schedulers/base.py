@@ -17,7 +17,10 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
+import numpy as np
+
 from repro.core.prt import TIME_EPS
+from repro.kernels import as_demand_matrix
 
 Circuit = Tuple[int, int]
 
@@ -102,16 +105,21 @@ class AssignmentScheduler(abc.ABC):
     @staticmethod
     def demand_matrix(
         demand_times: Mapping[Circuit, float], num_ports: int
-    ) -> List[List[float]]:
-        """Densify sparse demand into an ``N × N`` matrix of seconds."""
-        matrix = [[0.0] * num_ports for _ in range(num_ports)]
+    ) -> np.ndarray:
+        """Densify sparse demand into an ``N × N`` float64 ndarray of seconds.
+
+        This is the canonicalization boundary of the scheduler pipeline:
+        demand becomes a contiguous ``float64`` ndarray here and flows to
+        the kernels without further dtype conversions.
+        """
+        matrix = np.zeros((num_ports, num_ports), dtype=np.float64)
         for (src, dst), seconds in demand_times.items():
             if src >= num_ports or dst >= num_ports:
                 raise ValueError(
                     f"circuit ({src}, {dst}) outside a {num_ports}-port fabric"
                 )
             if seconds > 0:
-                matrix[src][dst] += seconds
+                matrix[src, dst] += seconds
         return matrix
 
     @staticmethod
@@ -124,13 +132,15 @@ class AssignmentScheduler(abc.ABC):
 
 def compact_demand(
     demand_times: Mapping[Circuit, float]
-) -> Tuple[List[List[float]], List[int], List[int]]:
+) -> Tuple[np.ndarray, List[int], List[int]]:
     """Project sparse demand onto the square sub-matrix of used ports.
 
     The baselines' running time depends on the matrix dimension, so they
     operate on the ``k × k`` matrix over the ``k = max(#sources, #dests)``
-    used ports rather than the full fabric.  Returns the compact matrix and
-    the source/destination port labels for mapping matchings back.
+    used ports rather than the full fabric.  Returns the compact matrix as
+    a contiguous ``float64`` ndarray — the canonical demand representation
+    of the scheduler pipeline — plus the source/destination port labels
+    for mapping matchings back.
     """
     sources = sorted({src for (src, _), p in demand_times.items() if p > 0})
     destinations = sorted({dst for (_, dst), p in demand_times.items() if p > 0})
@@ -141,8 +151,19 @@ def compact_demand(
     dst_labels = list(destinations) + [-1 - k for k in range(size - len(destinations))]
     index_of_src = {port: i for i, port in enumerate(src_labels)}
     index_of_dst = {port: j for j, port in enumerate(dst_labels)}
-    matrix = [[0.0] * size for _ in range(size)]
+    matrix = np.zeros((size, size), dtype=np.float64)
     for (src, dst), seconds in demand_times.items():
         if seconds > 0:
-            matrix[index_of_src[src]][index_of_dst[dst]] += seconds
+            matrix[index_of_src[src], index_of_dst[dst]] += seconds
     return matrix, src_labels, dst_labels
+
+
+def canonical_demand(matrix) -> np.ndarray:
+    """Canonicalize matrix-shaped demand to a contiguous float64 ndarray.
+
+    Accepts nested lists or any ndarray dtype/layout and converts exactly
+    once (no copy when the input is already contiguous float64) — the
+    entry point for callers holding a densified matrix rather than sparse
+    ``{(src, dst): seconds}`` demand.
+    """
+    return as_demand_matrix(matrix)

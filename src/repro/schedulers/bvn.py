@@ -19,8 +19,9 @@ from __future__ import annotations
 
 from typing import List, Mapping
 
-from repro.matching.birkhoff import birkhoff_von_neumann
-from repro.matching.stuffing import quick_stuff
+from repro.kernels import numpy_enabled
+from repro.kernels.decomposition import birkhoff_von_neumann as _bvn_kernel
+from repro.kernels.matrix import quick_stuff as _quick_stuff_kernel
 from repro.schedulers.base import (
     Assignment,
     AssignmentSchedule,
@@ -33,7 +34,12 @@ _ZERO = 1e-12
 
 
 class BvnScheduler(AssignmentScheduler):
-    """QuickStuff + exact Birkhoff–von-Neumann decomposition."""
+    """QuickStuff + exact Birkhoff–von-Neumann decomposition.
+
+    Runs on the numpy kernel layer by default (both backends emit
+    identical schedules — QuickStuff and BvN are bit-for-bit twins);
+    ``REPRO_KERNEL=python`` selects the retained references.
+    """
 
     name = "bvn"
 
@@ -41,14 +47,25 @@ class BvnScheduler(AssignmentScheduler):
         self, demand_times: Mapping[Circuit, float], num_ports: int
     ) -> AssignmentSchedule:
         matrix, src_labels, dst_labels = compact_demand(demand_times)
-        if not matrix:
+        if matrix.size == 0:
             return AssignmentSchedule(assignments=[])
-        stuffed, _dummy = quick_stuff(matrix)
-        if sum(sum(row) for row in stuffed) <= _ZERO:
-            return AssignmentSchedule(assignments=[])
+        if numpy_enabled():
+            stuffed, _dummy = _quick_stuff_kernel(matrix)
+            # Sequential sum: same gate decision as the reference path.
+            if sum(sum(row) for row in stuffed.tolist()) <= _ZERO:
+                return AssignmentSchedule(assignments=[])
+            terms = _bvn_kernel(stuffed)
+        else:
+            from repro.matching.birkhoff_reference import birkhoff_von_neumann
+            from repro.matching.stuffing_reference import quick_stuff
+
+            stuffed_list, _dummy = quick_stuff(matrix.tolist())
+            if sum(sum(row) for row in stuffed_list) <= _ZERO:
+                return AssignmentSchedule(assignments=[])
+            terms = birkhoff_von_neumann(stuffed_list)
 
         assignments: List[Assignment] = []
-        for term in birkhoff_von_neumann(stuffed):
+        for term in terms:
             if term.weight <= _ZERO:
                 continue
             circuits = []

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 from typing import List, Mapping
 
-from repro.matching.hungarian import max_weight_matching
+import numpy as np
+
+from repro.kernels import numpy_enabled
+from repro.kernels.assignment import max_weight_matching as _matching_kernel
 from repro.schedulers.base import (
     Assignment,
     AssignmentSchedule,
@@ -51,10 +54,56 @@ class EdmondScheduler(AssignmentScheduler):
         self, demand_times: Mapping[Circuit, float], num_ports: int
     ) -> AssignmentSchedule:
         matrix, src_labels, dst_labels = compact_demand(demand_times)
-        if not matrix:
+        if matrix.size == 0:
             return AssignmentSchedule(assignments=[])
-        work = [row[:] for row in matrix]
+        if numpy_enabled():
+            return AssignmentSchedule(
+                assignments=self._slots_kernel(matrix, src_labels, dst_labels)
+            )
+        return AssignmentSchedule(
+            assignments=self._slots_reference(
+                matrix.tolist(), src_labels, dst_labels
+            )
+        )
 
+    def _slots_kernel(
+        self, matrix: np.ndarray, src_labels: List[int], dst_labels: List[int]
+    ) -> List[Assignment]:
+        """Slot loop over an ndarray (kernel backend).
+
+        Twin of :meth:`_slots_reference`: the per-slot O(n²) Python scan
+        for remaining demand becomes one vectorized comparison and the
+        drain update touches only the matched cells.
+        """
+        work = matrix.copy()
+        assignments: List[Assignment] = []
+        while bool((work > _ZERO).any()):
+            matching = _matching_kernel(work)
+            if not matching:
+                break
+            circuits = tuple(
+                (src_labels[i], dst_labels[j]) for i, j in sorted(matching.items())
+            )
+            assignments.append(
+                Assignment(circuits=circuits, duration=self.slot_duration)
+            )
+            rows = np.fromiter(matching.keys(), dtype=np.intp, count=len(matching))
+            cols = np.fromiter(matching.values(), dtype=np.intp, count=len(matching))
+            values = work[rows, cols] - self.slot_duration
+            np.maximum(values, 0.0, out=values)
+            work[rows, cols] = values
+        return assignments
+
+    def _slots_reference(
+        self,
+        matrix: List[List[float]],
+        src_labels: List[int],
+        dst_labels: List[int],
+    ) -> List[Assignment]:
+        """Slot loop on the retained pure-Python path."""
+        from repro.matching.hungarian_reference import max_weight_matching
+
+        work = [row[:] for row in matrix]
         assignments: List[Assignment] = []
         while True:
             remaining_entries = [v for row in work for v in row if v > _ZERO]
@@ -69,7 +118,9 @@ class EdmondScheduler(AssignmentScheduler):
             circuits = tuple(
                 (src_labels[i], dst_labels[j]) for i, j in sorted(matching.items())
             )
-            assignments.append(Assignment(circuits=circuits, duration=self.slot_duration))
+            assignments.append(
+                Assignment(circuits=circuits, duration=self.slot_duration)
+            )
             for i, j in matching.items():
                 work[i][j] = max(0.0, work[i][j] - self.slot_duration)
-        return AssignmentSchedule(assignments=assignments)
+        return assignments

@@ -15,14 +15,25 @@ with an exact Birkhoff–von-Neumann decomposition once ``r`` falls below the
 smallest positive entry, so the emitted schedule covers the demand exactly.
 This mirrors Solstice's long tail of short slots (and is what produces the
 many switching events Figure 5 counts).
+
+The pipeline runs on the numpy kernel layer (:mod:`repro.kernels`) by
+default — demand stays a ``float64`` ndarray from :func:`compact_demand`
+through stuffing, matching, and the BvN tail — and falls back to the
+retained pure-Python references when ``REPRO_KERNEL=python``.  Both paths
+emit identical schedules (the differential tests assert it).
 """
 
 from __future__ import annotations
 
-from typing import List, Mapping, Tuple
+from typing import List, Mapping
 
-from repro.matching.birkhoff import birkhoff_von_neumann
-from repro.matching.hopcroft_karp import matching_from_matrix
+import numpy as np
+
+from repro.kernels import numpy_enabled
+from repro.kernels.decomposition import birkhoff_von_neumann as _bvn_kernel
+from repro.kernels.matching import matching_from_matrix as _matching_kernel
+from repro.kernels.matrix import quick_stuff as _quick_stuff_kernel
+from repro.perf import scheduler_counters
 from repro.schedulers.base import (
     Assignment,
     AssignmentSchedule,
@@ -58,10 +69,17 @@ class SolsticeScheduler(AssignmentScheduler):
         self, demand_times: Mapping[Circuit, float], num_ports: int
     ) -> AssignmentSchedule:
         matrix, src_labels, dst_labels = compact_demand(demand_times)
-        if not matrix:
+        if matrix.size == 0:
             return AssignmentSchedule(assignments=[])
-        stuffed, _dummy = _quick_stuff(matrix)
-        assignments = _big_slice(stuffed, self.tail_fraction)
+        if numpy_enabled():
+            stuffed, _dummy = _quick_stuff_kernel(matrix)
+            assignments = _big_slice_kernel(stuffed, self.tail_fraction)
+        else:
+            from repro.matching.stuffing_reference import quick_stuff
+
+            stuffed_list, _dummy = quick_stuff(matrix.tolist())
+            assignments = _big_slice_reference(stuffed_list, self.tail_fraction)
+        scheduler_counters.inc("slices_emitted", len(assignments))
         return AssignmentSchedule(
             assignments=[
                 _relabel(assignment, src_labels, dst_labels)
@@ -70,27 +88,85 @@ class SolsticeScheduler(AssignmentScheduler):
         )
 
 
-def _quick_stuff(matrix: List[List[float]]) -> Tuple[List[List[float]], List[List[float]]]:
-    from repro.matching.stuffing import quick_stuff
+def _initial_threshold(peak: float) -> float:
+    """Largest power of two <= peak (works for sub-second values too)."""
+    threshold = 1.0
+    while threshold > peak:
+        threshold /= 2.0
+    while threshold * 2.0 <= peak:
+        threshold *= 2.0
+    return threshold
 
-    return quick_stuff(matrix)
+
+def _big_slice_kernel(stuffed: np.ndarray, tail_fraction: float) -> List[Assignment]:
+    """Threshold-halving decomposition over an ndarray (kernel backend).
+
+    Step-for-step twin of :func:`_big_slice_reference`: same thresholds,
+    same matchings (the kernel matcher reproduces the reference
+    Hopcroft–Karp), same subtractions — only the per-iteration O(n²)
+    Python scans become vectorized reductions.
+    """
+    work = stuffed.copy()
+    peak = float(work.max()) if work.size else 0.0
+    if peak <= 0:
+        return []
+    zero = peak * _ZERO_FRACTION
+    tail_threshold = peak * tail_fraction
+    threshold = _initial_threshold(peak)
+
+    assignments: List[Assignment] = []
+    while True:
+        positive = work[work > zero]
+        if positive.size == 0:
+            break
+        smallest = float(positive.min())
+        if threshold <= smallest or threshold <= tail_threshold:
+            assignments.extend(_bvn_tail_kernel(work, zero))
+            break
+        matching = _matching_kernel(work, threshold=threshold - zero)
+        if matching is None:
+            threshold /= 2.0
+            continue
+        circuits = tuple(sorted(matching.items()))
+        assignments.append(Assignment(circuits=circuits, duration=threshold))
+        rows = np.fromiter(matching.keys(), dtype=np.intp, count=len(matching))
+        cols = np.fromiter(matching.values(), dtype=np.intp, count=len(matching))
+        values = work[rows, cols] - threshold
+        values[values < zero] = 0.0
+        work[rows, cols] = values
+    return assignments
 
 
-def _big_slice(stuffed: List[List[float]], tail_fraction: float) -> List[Assignment]:
-    """Threshold-halving decomposition of an equal-line-sum matrix."""
+def _bvn_tail_kernel(work: np.ndarray, zero: float) -> List[Assignment]:
+    """Drain the residual equal-line-sum ndarray exactly via BvN."""
+    # Sequential sum to match the reference's drain gate bit for bit.
+    residual_total = sum(sum(row) for row in work.tolist())
+    if residual_total <= zero:
+        return []
+    terms = _bvn_kernel(work)
+    tail = []
+    for term in terms:
+        if term.weight > zero:
+            circuits = tuple(sorted(term.permutation.items()))
+            tail.append(Assignment(circuits=circuits, duration=term.weight))
+    work[:] = 0.0
+    return tail
+
+
+def _big_slice_reference(
+    stuffed: List[List[float]], tail_fraction: float
+) -> List[Assignment]:
+    """Threshold-halving decomposition (retained pure-Python path)."""
+    from repro.matching.birkhoff_reference import birkhoff_von_neumann
+    from repro.matching.hopcroft_karp_reference import matching_from_matrix
+
     work = [row[:] for row in stuffed]
     peak = max((value for row in work for value in row), default=0.0)
     if peak <= 0:
         return []
     zero = peak * _ZERO_FRACTION
     tail_threshold = peak * tail_fraction
-
-    # Largest power of two <= peak (works for sub-second values too).
-    threshold = 1.0
-    while threshold > peak:
-        threshold /= 2.0
-    while threshold * 2.0 <= peak:
-        threshold *= 2.0
+    threshold = _initial_threshold(peak)
 
     assignments: List[Assignment] = []
     while True:
@@ -101,7 +177,17 @@ def _big_slice(stuffed: List[List[float]], tail_fraction: float) -> List[Assignm
         if threshold <= smallest or threshold <= tail_threshold:
             # Exact tail drain: BvN pulls out perfect matchings weighted by
             # the minimum matched entry, terminating with full coverage.
-            assignments.extend(_bvn_tail(work, zero))
+            residual_total = sum(sum(row) for row in work)
+            if residual_total > zero:
+                for term in birkhoff_von_neumann(work):
+                    if term.weight > zero:
+                        circuits = tuple(sorted(term.permutation.items()))
+                        assignments.append(
+                            Assignment(circuits=circuits, duration=term.weight)
+                        )
+            for row in work:
+                for j in range(len(row)):
+                    row[j] = 0.0
             break
         matching = matching_from_matrix(work, threshold=threshold - zero)
         if matching is None:
@@ -114,23 +200,6 @@ def _big_slice(stuffed: List[List[float]], tail_fraction: float) -> List[Assignm
             if work[i][j] < zero:
                 work[i][j] = 0.0
     return assignments
-
-
-def _bvn_tail(work: List[List[float]], zero: float) -> List[Assignment]:
-    """Drain the residual equal-line-sum matrix exactly via BvN."""
-    residual_total = sum(sum(row) for row in work)
-    if residual_total <= zero:
-        return []
-    terms = birkhoff_von_neumann(work)
-    tail = []
-    for term in terms:
-        if term.weight > zero:
-            circuits = tuple(sorted(term.permutation.items()))
-            tail.append(Assignment(circuits=circuits, duration=term.weight))
-    for row in work:
-        for j in range(len(row)):
-            row[j] = 0.0
-    return tail
 
 
 def _relabel(

@@ -15,14 +15,25 @@ stretch until the *worst-served* circuit gets its bytes —
 else.  For sparse Coflows the waste is dramatic (a single flow receives a
 ``1/n`` share, so TMS spends ``n×`` the needed time), which is exactly why
 the paper finds TMS ≈ 2× slower than Solstice.
+
+The pipeline runs on the numpy kernel layer by default (ndarray demand
+from :func:`compact_demand` through Sinkhorn, BvN, and the week stretch)
+and falls back to the retained pure-Python references when
+``REPRO_KERNEL=python``.  The kernel Sinkhorn may differ from the
+reference by an ulp (numpy pairwise summation), so TMS durations carry a
+1e-9 relative tolerance in the differential tests; assignments are
+identical.
 """
 
 from __future__ import annotations
 
-from typing import List, Mapping
+from typing import List, Mapping, Tuple
 
-from repro.matching.birkhoff import birkhoff_von_neumann
-from repro.matching.stuffing import sinkhorn_scale
+import numpy as np
+
+from repro.kernels import numpy_enabled
+from repro.kernels.decomposition import birkhoff_von_neumann as _bvn_kernel
+from repro.kernels.matrix import sinkhorn_scale as _sinkhorn_kernel
 from repro.schedulers.base import (
     Assignment,
     AssignmentSchedule,
@@ -59,29 +70,12 @@ class TmsScheduler(AssignmentScheduler):
         self, demand_times: Mapping[Circuit, float], num_ports: int
     ) -> AssignmentSchedule:
         matrix, src_labels, dst_labels = compact_demand(demand_times)
-        if not matrix:
+        if matrix.size == 0:
             return AssignmentSchedule(assignments=[])
-        n = len(matrix)
-        peak = max(max(row) for row in matrix)
-        if peak <= _ZERO:
-            return AssignmentSchedule(assignments=[])
-
-        # Mordia's pre-processing: make the matrix strictly positive so the
-        # Sinkhorn scaling converges to a doubly stochastic matrix.
-        fill = peak * self.fill_fraction
-        filled = [
-            [value if value > _ZERO else fill for value in row] for row in matrix
-        ]
-        stochastic = sinkhorn_scale(filled, iterations=self.sinkhorn_iterations)
-
-        # Stretch the schedule until the worst-served *real* demand drains.
-        week = 0.0
-        for i, row in enumerate(matrix):
-            for j, seconds in enumerate(row):
-                if seconds > _ZERO:
-                    week = max(week, seconds / stochastic[i][j])
-
-        terms = birkhoff_von_neumann(stochastic)
+        if numpy_enabled():
+            terms, week = self._decompose_kernel(matrix)
+        else:
+            terms, week = self._decompose_reference(matrix.tolist())
         assignments: List[Assignment] = []
         for term in terms:
             duration = term.weight * week
@@ -107,3 +101,40 @@ class TmsScheduler(AssignmentScheduler):
                     Assignment(circuits=((src, dst),), duration=shortfall * (1 + 1e-9))
                 )
         return AssignmentSchedule(assignments=assignments)
+
+    def _decompose_kernel(self, matrix: np.ndarray) -> Tuple[list, float]:
+        """Sinkhorn + BvN + week stretch over ndarrays (kernel backend)."""
+        peak = float(matrix.max())
+        if peak <= _ZERO:
+            return [], 0.0
+        # Mordia's pre-processing: make the matrix strictly positive so the
+        # Sinkhorn scaling converges to a doubly stochastic matrix.
+        fill = peak * self.fill_fraction
+        filled = np.where(matrix > _ZERO, matrix, fill)
+        stochastic = _sinkhorn_kernel(filled, iterations=self.sinkhorn_iterations)
+
+        # Stretch the schedule until the worst-served *real* demand drains.
+        mask = matrix > _ZERO
+        week = float((matrix[mask] / stochastic[mask]).max()) if mask.any() else 0.0
+        return _bvn_kernel(stochastic), week
+
+    def _decompose_reference(self, matrix: List[List[float]]) -> Tuple[list, float]:
+        """Sinkhorn + BvN + week stretch on the retained pure-Python path."""
+        from repro.matching.birkhoff_reference import birkhoff_von_neumann
+        from repro.matching.stuffing_reference import sinkhorn_scale
+
+        peak = max(max(row) for row in matrix)
+        if peak <= _ZERO:
+            return [], 0.0
+        fill = peak * self.fill_fraction
+        filled = [
+            [value if value > _ZERO else fill for value in row] for row in matrix
+        ]
+        stochastic = sinkhorn_scale(filled, iterations=self.sinkhorn_iterations)
+
+        week = 0.0
+        for i, row in enumerate(matrix):
+            for j, seconds in enumerate(row):
+                if seconds > _ZERO:
+                    week = max(week, seconds / stochastic[i][j])
+        return birkhoff_von_neumann(stochastic), week

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Set
+from typing import Dict, Mapping, Set, Union
+
+import numpy as np
 
 from repro.core.prt import TIME_EPS
 from repro.schedulers.base import AssignmentSchedule, Circuit
@@ -55,7 +57,7 @@ class ExecutionResult:
 
 def execute_assignments(
     schedule: AssignmentSchedule,
-    demand_times: Mapping[Circuit, float],
+    demand_times: Union[Mapping[Circuit, float], np.ndarray],
     delta: float,
     model: SwitchModel = SwitchModel.NOT_ALL_STOP,
 ) -> ExecutionResult:
@@ -63,7 +65,10 @@ def execute_assignments(
 
     Args:
         schedule: the planned assignments, in order.
-        demand_times: real demand in processing seconds per circuit.
+        demand_times: real demand in processing seconds per circuit —
+            either a sparse ``{(src, dst): seconds}`` mapping or a dense
+            ``N × N`` ndarray (the scheduler pipeline's canonical demand
+            representation), where ``demand[src, dst]`` is seconds.
             Entries absent from the schedule's service are never served.
         delta: reconfiguration delay ``δ`` in seconds.
         model: all-stop or not-all-stop accounting.
@@ -75,6 +80,14 @@ def execute_assignments(
     """
     if delta < 0:
         raise ValueError(f"delta must be non-negative, got {delta!r}")
+    if isinstance(demand_times, np.ndarray):
+        if demand_times.ndim != 2:
+            raise ValueError("ndarray demand must be two-dimensional")
+        demand_times = {
+            (int(i), int(j)): float(seconds)
+            for (i, j), seconds in np.ndenumerate(demand_times)
+            if seconds > 0
+        }
     remaining: Dict[Circuit, float] = {
         circuit: seconds for circuit, seconds in demand_times.items() if seconds > TIME_EPS
     }
