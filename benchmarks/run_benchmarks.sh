@@ -3,11 +3,13 @@
 #
 # Runs the end-to-end trace-replay benchmark (incremental vs full
 # inter-Coflow replanning) at paper scale, the sweep-engine benchmark
-# (serial vs parallel vs cache-warm over a δ × seed grid), and the
+# (serial vs parallel vs cache-warm over a δ × seed grid), the
 # scheduler-kernel benchmark (numpy kernels vs pure-Python references),
+# and the packet-simulator benchmark (vectorized engine vs reference),
 # leaving the summaries in BENCH_trace_replay.json,
-# BENCH_sweep_engine.json, and BENCH_schedulers.json at the repository
-# root.  Extra arguments are forwarded to the trace-replay bench, e.g.:
+# BENCH_sweep_engine.json, BENCH_schedulers.json, and
+# BENCH_packet_sim.json at the repository root.  Extra arguments are
+# forwarded to the trace-replay bench, e.g.:
 #
 #   benchmarks/run_benchmarks.sh --coflows 120 --max-width 30
 #
@@ -85,5 +87,33 @@ if ratio > 1.25:
     )
 else:
     print(f"perf smoke: scheduler kernel wall {wall:.2f}s vs baseline {baseline:.2f}s ({ratio:.2f}x)")
+EOF
+fi
+
+# Packet simulator: same perf-smoke pattern — remember the committed
+# vectorized walls, rerun, warn (non-fatally) past 25%.
+packet_baseline=""
+if [ -f BENCH_packet_sim.json ]; then
+    packet_baseline=$(python -c "import json; d = json.load(open('BENCH_packet_sim.json')); print(sum(s['vector_wall_s'] for s in d['scenarios'].values()))")
+fi
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_packet_sim.py
+
+if [ -n "$packet_baseline" ]; then
+    python - "$packet_baseline" <<'EOF'
+import json, sys
+baseline = float(sys.argv[1])
+data = json.load(open("BENCH_packet_sim.json"))
+wall = sum(s["vector_wall_s"] for s in data["scenarios"].values())
+ratio = wall / baseline if baseline > 0 else 0.0
+if ratio > 1.25:
+    print(
+        f"WARNING: packet simulator took {wall:.2f}s vs committed baseline "
+        f"{baseline:.2f}s ({ratio:.2f}x) — possible performance regression",
+        file=sys.stderr,
+    )
+else:
+    print(f"perf smoke: packet simulator wall {wall:.2f}s vs baseline {baseline:.2f}s ({ratio:.2f}x)")
 EOF
 fi

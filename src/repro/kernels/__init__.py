@@ -24,6 +24,15 @@ their ``1e-9`` duration tolerance.
 the scheduler pipeline through the pure-Python references instead —
 useful for differential debugging and as a numpy-free escape hatch.  The
 default (``REPRO_KERNEL`` unset or ``numpy``) uses the kernels.
+
+**Packet-simulator kernels.**  :mod:`repro.kernels.allocation` extends
+the layer to the fluid packet simulator: struct-of-arrays flow state
+(``FlowArrays``) with vectorized Varys MADD, Aalo D-CLAS, completion
+search, and drain passes, dispatched by
+:func:`repro.sim.packet_sim.simulate_packet` on the same backend switch.
+Unlike the scheduler kernels these promise *strictly* bitwise-identical
+event sequences and CCT records against the dict-based reference engine
+— no tolerated drift.
 """
 
 from __future__ import annotations

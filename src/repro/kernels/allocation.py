@@ -1,0 +1,663 @@
+"""Vectorized rate-allocation kernels for the fluid packet simulator.
+
+The packet-switched baselines (Varys' SEBF + MADD, Aalo's D-CLAS) spend
+their time in per-event passes over every flow of every active Coflow:
+per-port load sums, water-filling, next-completion scans, and linear
+drains.  This module is the numpy substrate for those passes, operating
+on :class:`FlowArrays` — the struct-of-arrays flow state maintained by
+:class:`~repro.sim.packet_vector.VectorPacketSimulator` — instead of the
+per-Coflow ``remaining`` dicts the reference
+:class:`~repro.sim.packet_sim.PacketSimulator` walks.
+
+**Bitwise-identity discipline** (same contract as the scheduler kernels):
+every reduction that feeds control flow — MADD's gamma, SEBF/D-CLAS sort
+keys, queue thresholds, completion and crossing times, capacity checks —
+replays the reference implementation's sequential operation order, so
+both engines emit *identical* event sequences and CCT records:
+
+* per-port load sums use ``np.bincount`` with weights, which accumulates
+  sequentially in array (= flow) order, matching the references' dict
+  accumulation (``load[p] = load.get(p, 0.0) + x``);
+* per-Coflow attained-service updates use ``np.add.at`` (unbuffered,
+  index-order application) so the float addition chain matches the
+  reference's per-flow ``sent_seconds += served``;
+* pairwise-summing primitives (``np.sum``, ``np.add.reduce``/``reduceat``)
+  are **never** used on sums that feed control flow;
+* the irreducibly sequential cores — Varys' backfill chain and Aalo's
+  per-Coflow water-fill, where each take changes the capacities the next
+  flow sees — run as plain-Python loops over listified port capacities,
+  preceded by an *exact* vectorized screen: capacities only decrease
+  within a pass, and a flow (Varys) or whole Coflow (Aalo) whose ports
+  are already exhausted is skipped by the reference without any state
+  change, so screening it out beforehand cannot alter the result.
+
+Rates are written back into ``FlowArrays.rate``; allocators return the
+flow indices in first-assignment order (the reference rates-dict's key
+insertion order) so :func:`check_capacity` can replay the reference's
+per-port accumulation order exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.prt import TIME_EPS
+
+#: Minimum alive-flow count before an Aalo serve pays for the vectorized
+#: port screen; below this the plain loop is cheaper than the screen.
+SCREEN_MIN_FLOWS = 24
+
+#: Minimum alive-flow count before an Aalo serve precomputes contender
+#: counts as vectorized suffix ranks (radix argsort) instead of dict
+#: bookkeeping inside the scalar loop.  The counts are position-dependent
+#: only — capacity never influences them — so they are exact either way.
+RANK_MIN_FLOWS = 96
+
+_EMPTY_ORDER = np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class FlowArrays:
+    """Struct-of-arrays state for every flow of every active Coflow.
+
+    Flows are stored contiguously per Coflow: Coflow ``c`` owns the slice
+    ``starts[c]:starts[c + 1]``, in the same order the reference engine's
+    ``remaining`` dict iterates (``Coflow.processing_times`` order).  The
+    engine maintains the arrays incrementally — ``advance`` mutates
+    ``remaining``/``alive``/``unfinished``/``sent_seconds`` in place, and
+    the arrays are only rebuilt when membership changes (arrivals, and
+    lazily-compacted completions).
+
+    Output ports are addressed in a combined ``2 * num_ports`` capacity
+    space (``dst_off = dst + num_ports``), so one gather/scatter covers
+    both sides of the fabric.
+    """
+
+    num_ports: int
+    #: Remaining processing seconds per flow (float64, shape ``(F,)``).
+    remaining: np.ndarray
+    #: Allocated fraction of line rate per flow (float64, ``(F,)``).
+    rate: np.ndarray
+    #: Source port per flow (int32).
+    src: np.ndarray
+    #: Destination port per flow (int32).
+    dst: np.ndarray
+    #: ``dst + num_ports`` — destination in the combined capacity space.
+    dst_off: np.ndarray
+    #: Owning Coflow slot per flow (int32).
+    coflow_idx: np.ndarray
+    #: Slice bounds per Coflow slot (int64, ``(C + 1,)``).
+    starts: np.ndarray
+    #: ``remaining > TIME_EPS`` per flow (bool) — kept in sync by advance.
+    alive: np.ndarray
+    #: Count of alive flows per Coflow slot (int64, ``(C,)``).
+    unfinished: np.ndarray
+    #: Attained service per Coflow slot (float64, ``(C,)``).
+    sent_seconds: np.ndarray
+    #: Arrival time per slot (plain list — used only in Python sort keys).
+    arrival: List[float] = field(default_factory=list)
+    #: Coflow id per slot (plain list — sort keys and error messages).
+    coflow_ids: List[int] = field(default_factory=list)
+    #: Lazily-cached static lookup tables (Varys): flat (Coflow, port)
+    #: bincount keys for the input/output sides, and the per-Coflow block
+    #: bounds into the flat load table.  Membership changes rebuild the
+    #: whole FlowArrays, which resets these to None.
+    key_in: np.ndarray = None
+    key_out: np.ndarray = None
+    block_bounds: np.ndarray = None
+    #: Lazily-cached per-Coflow contender suffix ranks (Aalo), keyed by
+    #: slot -> (alive_count, in_ranks, out_ranks).  Alive counts only
+    #: ever decrease within a table's lifetime, so the count uniquely
+    #: identifies the alive subset the ranks were computed for.
+    rank_cache: dict = field(default_factory=dict)
+    #: Per-event gather reuse between the allocate -> next_completion ->
+    #: advance chain (the engine calls them in exactly that order with no
+    #: mutation in between).  ``scratch_alloc`` is ``(aidx, seg, rem_a)``
+    #: set by the allocators (``rem_a`` may be None); ``scratch_rated``
+    #: is ``(pidx, rem_pos, rate_pos)`` set by :func:`next_completion`.
+    #: :func:`advance` consumes and clears both before mutating.  Callers
+    #: that mutate ``remaining``/``alive`` by hand between these calls
+    #: must clear the scratch fields themselves.
+    scratch_alloc: tuple = None
+    scratch_rated: tuple = None
+
+    @property
+    def num_coflows(self) -> int:
+        return len(self.starts) - 1
+
+    @property
+    def num_flows(self) -> int:
+        return int(self.starts[-1])
+
+
+def _alive_segments(flows: FlowArrays):
+    """Alive flow indices plus per-Coflow segment bounds into them.
+
+    Returns ``(aidx, seg_list, seg_arr)`` — the bounds both as a Python
+    list (cheap scalar indexing in the per-Coflow loops) and as the
+    underlying int64 array (``reduceat`` bounds in completion scans).
+    """
+    aidx = np.flatnonzero(flows.alive)
+    seg_arr = np.searchsorted(aidx, flows.starts)
+    return aidx, seg_arr.tolist(), seg_arr
+
+
+# ----------------------------------------------------------------------
+# Varys: SEBF + MADD + ordered backfill
+# ----------------------------------------------------------------------
+def varys_allocate(
+    flows: FlowArrays, num_ports: int, backfill: bool = True
+) -> np.ndarray:
+    """Vectorized twin of :meth:`VarysAllocator.allocate`.
+
+    Writes rates into ``flows.rate`` and returns the flow indices in
+    assignment order.  MADD's per-Coflow gamma is computed from bincount
+    port loads (flow-order sums, bitwise equal to the reference's dict
+    accumulation); the sequential backfill runs as a screened scalar loop
+    because each take changes the capacities every later flow sees.
+    """
+    P2 = 2 * num_ports
+    C = flows.num_coflows
+    rate = flows.rate
+    rate.fill(0.0)
+    flows.scratch_alloc = None
+    flows.scratch_rated = None
+    aidx, seg, seg_arr = _alive_segments(flows)
+    if aidx.size == 0:
+        return _EMPTY_ORDER
+
+    if flows.key_in is None:
+        # Static per-table lookup tables: flat (Coflow, side-tagged port)
+        # bincount keys and the per-Coflow bounds into the load table.
+        cof64 = flows.coflow_idx.astype(np.int64) * P2
+        flows.key_in = cof64 + flows.src
+        flows.key_out = cof64 + flows.dst_off
+        flows.block_bounds = np.arange(C + 1, dtype=np.int64) * P2
+    # Pre-gather the alive-flow columns once; the per-Coflow loop below
+    # then works on free slice views instead of per-Coflow fancy gathers.
+    rem_a = flows.remaining[aidx]
+    a_src = flows.src[aidx]
+    a_dst = flows.dst_off[aidx]
+    flows.scratch_alloc = (aidx, seg_arr, rem_a)
+    # One flat (Coflow, side-tagged port) load table covering inputs and
+    # outputs; bincount accumulates in flow order, so every per-port sum
+    # carries the reference's exact float addition sequence.
+    keys = np.concatenate((flows.key_in[aidx], flows.key_out[aidx]))
+    loads = np.bincount(keys, weights=np.concatenate((rem_a, rem_a)), minlength=C * P2)
+    # SEBF key: the max port load (order-independent, so the row max is
+    # exact) — identical to PacketCoflowState.bottleneck().
+    bottleneck = loads.reshape(C, P2).max(axis=1).tolist()
+    arrival = flows.arrival
+    ids = flows.coflow_ids
+    order_c = sorted(range(C), key=lambda c: (bottleneck[c], arrival[c], ids[c]))
+
+    # Loaded (Coflow, port) pairs in Coflow-major order: per Coflow, the
+    # slice nz[lo:hi] lists exactly the ports the reference's _gamma
+    # inspects (ports whose alive load is positive).
+    nzf = np.flatnonzero(loads)
+    nz_vals = loads[nzf]
+    nz_port = nzf % P2
+    nz_seg = np.searchsorted(nzf, flows.block_bounds).tolist()
+
+    cap = np.ones(P2)
+    order_parts: List[np.ndarray] = []
+    src_parts: List[np.ndarray] = []
+    dst_parts: List[np.ndarray] = []
+    rate_parts: List[np.ndarray] = []
+    for c in order_c:
+        lo, hi = nz_seg[c], nz_seg[c + 1]
+        if lo == hi:
+            continue  # no unfinished flows (reference gamma == 0)
+        cap_c = cap[nz_port[lo:hi]]
+        if cap_c.min() <= TIME_EPS:
+            continue  # blocked: some needed port has no capacity left
+        gamma = (nz_vals[lo:hi] / cap_c).max()
+        s0, s1 = seg[c], seg[c + 1]
+        r = rem_a[s0:s1] / gamma
+        gs = a_src[s0:s1]
+        gd = a_dst[s0:s1]
+        # Unbuffered index-order application == the reference's per-flow
+        # sequential ``capacity[port] -= rate`` chain.
+        np.subtract.at(cap, gs, r)
+        np.subtract.at(cap, gd, r)
+        order_parts.append(aidx[s0:s1])
+        src_parts.append(gs)
+        dst_parts.append(gd)
+        rate_parts.append(r)
+
+    if not order_parts:
+        return _EMPTY_ORDER
+    order = np.concatenate(order_parts)
+    # Nothing inside the MADD loop reads rates (gamma depends on caps
+    # only), so the per-Coflow writes batch into one scatter.
+    rate[order] = np.concatenate(rate_parts)
+
+    if backfill:
+        bs = np.concatenate(src_parts)
+        bd = np.concatenate(dst_parts)
+        # Exact screen: capacities only decrease during backfill and a
+        # skipped flow mutates nothing, so flows already blocked *now*
+        # are exactly the flows the reference would skip later.
+        cand = np.flatnonzero(np.minimum(cap[bs], cap[bd]) > TIME_EPS)
+        if cand.size:
+            cap_l = cap.tolist()
+            taken_idx: List[int] = []
+            taken_val: List[float] = []
+            for s, d, g in zip(
+                bs[cand].tolist(), bd[cand].tolist(), order[cand].tolist()
+            ):
+                ci = cap_l[s]
+                co = cap_l[d]
+                extra = ci if ci < co else co
+                if extra <= TIME_EPS:
+                    continue
+                taken_idx.append(g)
+                taken_val.append(extra)
+                cap_l[s] = ci - extra
+                cap_l[d] = co - extra
+            if taken_idx:
+                idx = np.array(taken_idx, dtype=np.int64)
+                rate[idx] += np.array(taken_val)  # backfill keys are unique
+    return order
+
+
+# ----------------------------------------------------------------------
+# Aalo: D-CLAS queues + fair per-flow water-fill
+# ----------------------------------------------------------------------
+def aalo_allocate(
+    flows: FlowArrays,
+    num_ports: int,
+    thresholds: np.ndarray,
+    num_queues: int,
+    weighted: bool,
+) -> np.ndarray:
+    """Vectorized twin of :meth:`AaloAllocator.allocate`.
+
+    Queue assignment is one ``searchsorted`` over the attained-service
+    thresholds (exactly ``queue_of``'s first-crossing loop).  The
+    per-Coflow equal-split water-fill is inherently sequential (each
+    take lowers the capacities later flows see), so it runs as a scalar
+    loop over listified capacities — but a whole Coflow whose alive
+    flows all sit on exhausted ports takes nothing and changes nothing
+    in the reference, so such Coflows are screened out vectorized.
+
+    Two exact simplifications of the reference loop make the scalar core
+    cheap.  First, the trailing ``fair = min(fair, cap_in, cap_out)`` is
+    dropped: with positive capacities ``fair <= cap / contenders <= cap``
+    already, and with a non-positive capacity both variants land at
+    ``fair <= TIME_EPS`` and skip the flow without touching state.
+    Second, contender counts depend only on each flow's *position* (the
+    reference decrements them for skipped flows too), so for wide
+    Coflows they are precomputed as vectorized suffix ranks instead of
+    dict bookkeeping inside the loop.
+    """
+    flows.rate.fill(0.0)
+    flows.scratch_alloc = None
+    flows.scratch_rated = None
+    aidx, seg, seg_arr = _alive_segments(flows)
+    if aidx.size == 0:
+        return _EMPTY_ORDER
+    flows.scratch_alloc = (aidx, seg_arr, None)
+
+    C = flows.num_coflows
+    # queue_of: first queue whose boundary exceeds sent_seconds — i.e.
+    # the count of thresholds <= sent, clamped to the terminal queue.
+    queue = np.searchsorted(thresholds, flows.sent_seconds, side="right").tolist()
+    arrival = flows.arrival
+    ids = flows.coflow_ids
+    order_c = sorted(range(C), key=lambda c: (queue[c], arrival[c], ids[c]))
+
+    a_src = flows.src[aidx]
+    a_dst = flows.dst_off[aidx]
+    rank_cache = flows.rank_cache
+    caps = [1.0] * (2 * num_ports)
+    screen = _PortScreen(caps)
+    eps = TIME_EPS
+
+    if not weighted:
+        # Strict priority serves every Coflow exactly once, so first-
+        # assignment order is simply append order — no dict needed.
+        t_idx: List[int] = []
+        t_val: List[float] = []
+        push_idx = t_idx.append
+        push_val = t_val.append
+        for c in order_c:
+            lo, hi = seg[c], seg[c + 1]
+            if lo == hi:
+                continue
+            gs = a_src[lo:hi]
+            gd = a_dst[lo:hi]
+            if hi - lo >= SCREEN_MIN_FLOWS and screen.blocked(gs, gd):
+                continue
+            g_l = aidx[lo:hi].tolist()
+            s_l = gs.tolist()
+            d_l = gd.tolist()
+            before = len(t_idx)
+            if hi - lo >= RANK_MIN_FLOWS:
+                w = hi - lo
+                cached = rank_cache.get(c)
+                if cached is not None and cached[0] == w:
+                    ki_l, ko_l = cached[1], cached[2]
+                else:
+                    ki_l = _suffix_ranks(gs).tolist()
+                    ko_l = _suffix_ranks(gd).tolist()
+                    rank_cache[c] = (w, ki_l, ko_l)
+                for g_i, s, d, ki, ko in zip(g_l, s_l, d_l, ki_l, ko_l):
+                    ci = caps[s]
+                    co = caps[d]
+                    share_in = ci / ki
+                    share_out = co / ko
+                    fair = share_in if share_in < share_out else share_out
+                    if fair <= eps:
+                        continue
+                    push_idx(g_i)
+                    push_val(fair)
+                    caps[s] = ci - fair
+                    caps[d] = co - fair
+            else:
+                contend_in: dict = {}
+                contend_out: dict = {}
+                for s in s_l:
+                    contend_in[s] = contend_in.get(s, 0) + 1
+                for d in d_l:
+                    contend_out[d] = contend_out.get(d, 0) + 1
+                for g_i, s, d in zip(g_l, s_l, d_l):
+                    ci = caps[s]
+                    co = caps[d]
+                    ki = contend_in[s]
+                    ko = contend_out[d]
+                    contend_in[s] = ki - 1
+                    contend_out[d] = ko - 1
+                    share_in = ci / ki
+                    share_out = co / ko
+                    fair = share_in if share_in < share_out else share_out
+                    if fair <= eps:
+                        continue
+                    push_idx(g_i)
+                    push_val(fair)
+                    caps[s] = ci - fair
+                    caps[d] = co - fair
+            if len(t_idx) > before:
+                screen.invalidate()
+        if not t_idx:
+            return _EMPTY_ORDER
+        order = np.array(t_idx, dtype=np.int64)
+        flows.rate[order] = np.array(t_val)
+        return order
+
+    # Weighted discipline: two passes revisit the same flows, so rates
+    # accumulate in a dict keyed by flow index (insertion order == the
+    # reference rates-dict's first-assignment order).
+    acc: dict = {}
+
+    def serve(c: int, budget) -> None:
+        lo, hi = seg[c], seg[c + 1]
+        if lo == hi:
+            return
+        gs = a_src[lo:hi]
+        gd = a_dst[lo:hi]
+        if hi - lo >= SCREEN_MIN_FLOWS and screen.blocked(gs, gd):
+            return
+        g_l = aidx[lo:hi].tolist()
+        s_l = gs.tolist()
+        d_l = gd.tolist()
+        contend_in: dict = {}
+        contend_out: dict = {}
+        for s in s_l:
+            contend_in[s] = contend_in.get(s, 0) + 1
+        for d in d_l:
+            contend_out[d] = contend_out.get(d, 0) + 1
+        took = False
+        for g_i, s, d in zip(g_l, s_l, d_l):
+            ci = caps[s]
+            co = caps[d]
+            ki = contend_in[s]
+            ko = contend_out[d]
+            contend_in[s] = ki - 1
+            contend_out[d] = ko - 1
+            share_in = ci / ki
+            share_out = co / ko
+            fair = share_in if share_in < share_out else share_out
+            if budget is not None and budget < fair:
+                fair = budget
+            if fair <= eps:
+                continue
+            acc[g_i] = acc.get(g_i, 0.0) + fair
+            caps[s] = ci - fair
+            caps[d] = co - fair
+            took = True
+        if took:
+            screen.invalidate()
+
+    weights = [float(num_queues - k) for k in range(num_queues)]
+    total_weight = sum(weights)
+    for c in order_c:
+        serve(c, weights[queue[c]] / total_weight)
+    for c in order_c:
+        serve(c, None)
+
+    if not acc:
+        return _EMPTY_ORDER
+    order = np.fromiter(acc.keys(), dtype=np.int64, count=len(acc))
+    flows.rate[order] = np.fromiter(acc.values(), dtype=np.float64, count=len(acc))
+    return order
+
+
+def _suffix_ranks(keys: np.ndarray) -> np.ndarray:
+    """Per-position count of equal keys at this index or later.
+
+    This is exactly the water-fill's contender count at the moment each
+    flow is processed: the reference decrements a port's count for every
+    flow on it — taken or skipped — so the count a flow sees is purely
+    positional and never depends on capacities.
+    """
+    w = keys.shape[0]
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    newgrp = np.empty(w, dtype=bool)
+    newgrp[0] = True
+    np.not_equal(sk[1:], sk[:-1], out=newgrp[1:])
+    gidx = np.cumsum(newgrp) - 1
+    counts = np.bincount(gidx)
+    first = np.flatnonzero(newgrp)
+    suffix = counts[gidx] - (np.arange(w, dtype=np.int64) - first[gidx])
+    out = np.empty(w, dtype=np.int64)
+    out[order] = suffix
+    return out
+
+
+class _PortScreen:
+    """Cached ndarray view of the scalar capacity list for Aalo screens.
+
+    Rebuilding the array costs one pass over ``2P`` floats; serves that
+    take nothing leave the capacities untouched, so once the fabric
+    saturates the same array screens every remaining (blocked) Coflow.
+    """
+
+    __slots__ = ("_caps", "_array")
+
+    def __init__(self, caps: List[float]) -> None:
+        self._caps = caps
+        self._array = None
+
+    def invalidate(self) -> None:
+        self._array = None
+
+    def blocked(self, gs: np.ndarray, gd: np.ndarray) -> bool:
+        """True when every flow's port pair is already exhausted.
+
+        Exact: ``fair <= min(cap_in, cap_out)`` for every flow, so if
+        that bound is ``<= TIME_EPS`` for all of them the reference's
+        serve loop skips each one without touching shared state (its
+        contender counts are local to the call).
+        """
+        if self._array is None:
+            # array('d', list) unboxes at C speed; frombuffer is a view.
+            self._array = np.frombuffer(array("d", self._caps))
+        a = self._array
+        return float(np.minimum(a[gs], a[gd]).max()) <= TIME_EPS
+
+
+def aalo_extra_event_time(
+    flows: FlowArrays,
+    now: float,
+    thresholds: np.ndarray,
+    num_queues: int,
+) -> float:
+    """Earliest queue-threshold crossing (twin of ``extra_event_time``).
+
+    Per-Coflow total rates come from a weighted bincount over alive
+    flows, which replays the reference's flow-order ``sum`` exactly (the
+    reference also adds the 0.0 rates of unallocated flows, a bitwise
+    no-op).
+    """
+    rated = flows.scratch_rated
+    if rated is not None:
+        aidx, _, r_a = rated
+    else:
+        aidx = np.flatnonzero(flows.alive)
+        r_a = None
+    if aidx.size == 0:
+        return math.inf
+    if r_a is None:
+        r_a = flows.rate[aidx]
+    C = flows.num_coflows
+    total_rate = np.bincount(flows.coflow_idx[aidx], weights=r_a, minlength=C)
+    queue = np.searchsorted(thresholds, flows.sent_seconds, side="right")
+    eligible = (total_rate > TIME_EPS) & (queue < num_queues - 1)
+    if not eligible.any():
+        return math.inf
+    boundary = thresholds[queue[eligible]]
+    crossing = now + (boundary - flows.sent_seconds[eligible]) / total_rate[eligible]
+    crossing = crossing[crossing > now + TIME_EPS]
+    if crossing.size == 0:
+        return math.inf
+    return float(crossing.min())
+
+
+# ----------------------------------------------------------------------
+# Engine passes shared by every allocator
+# ----------------------------------------------------------------------
+def next_completion(
+    flows: FlowArrays, now: float, reallocate_on_flow_completion: bool
+) -> float:
+    """Vectorized twin of ``PacketSimulator._next_completion``.
+
+    With flow-level reallocation (Aalo) the earliest event is simply the
+    min finish time over alive flows with positive rate (the reference's
+    per-Coflow maxima are maxima of already-included finishes and can
+    never lower the min).  Without it (Varys), only whole-Coflow
+    completions count, and a Coflow with any starved alive flow is
+    excluded — exactly the reference's ``coflow_finish in (0, inf)``
+    filter.
+
+    Starved flows divide to ``+inf`` (suppressed warning) instead of
+    being masked out: ``min`` over finishes ignores the infinities
+    unless *everything* is starved, in which case the reference returns
+    ``inf`` too, and a starved Coflow's ``max`` finish becomes ``inf``,
+    which drops out of the candidate ``min`` exactly like the
+    reference's exclusion.  Per-Coflow maxima use ``maximum.reduceat``
+    over the contiguous alive segments (max is order-independent, so
+    this is exact).
+    """
+    scratch = flows.scratch_alloc
+    if scratch is not None:
+        aidx, seg_arr, rem_a = scratch
+    else:
+        aidx = np.flatnonzero(flows.alive)
+        seg_arr = None
+        rem_a = None
+    if aidx.size == 0:
+        return math.inf
+    if rem_a is None:
+        rem_a = flows.remaining[aidx]
+    r = flows.rate[aidx]
+    flows.scratch_rated = (aidx, rem_a, r)
+    with np.errstate(divide="ignore"):
+        finish = now + rem_a / r
+    if reallocate_on_flow_completion:
+        return float(finish.min())
+
+    if seg_arr is None:
+        seg_arr = np.searchsorted(aidx, flows.starts)
+    # Reduce only over Coflows with alive flows: their segment starts
+    # are strictly increasing, and empty segments between two of them
+    # share a boundary, so consecutive starts delimit exactly each
+    # Coflow's alive run (the last start reduces through to the end).
+    nonempty = np.flatnonzero(flows.unfinished)
+    if nonempty.size == 0:
+        return math.inf
+    coflow_finish = np.maximum.reduceat(finish, seg_arr[nonempty])
+    return float(coflow_finish.min())
+
+
+def advance(flows: FlowArrays, duration: float) -> None:
+    """Vectorized twin of ``PacketSimulator._advance``.
+
+    One fused ``remaining -= min(remaining, rate * duration)`` over the
+    alive flows, with attained service scattered back per Coflow via
+    ``np.add.at`` (index-order accumulation == the reference's per-flow
+    ``sent_seconds += served`` chain).  Unrated flows are bitwise no-ops
+    in every step (``served = 0.0``, ``p - 0.0 == p``, ``x + 0.0 == x``
+    for the non-negative quantities involved), so they ride along
+    instead of being filtered out — which lets the whole event chain
+    share one gather set via the scratch fields.  Newly drained flows
+    drop out of ``alive``/``unfinished`` here, which is what makes
+    ``done`` checks O(1) for the engine.
+    """
+    if duration <= 0:
+        return
+    scratch = flows.scratch_rated
+    flows.scratch_alloc = None
+    flows.scratch_rated = None
+    if scratch is not None:
+        idx, p, r = scratch
+    else:
+        idx = np.flatnonzero(flows.alive)
+        p = flows.remaining[idx]
+        r = flows.rate[idx]
+    if idx.size == 0:
+        return
+    served = np.minimum(p, r * duration)
+    left = p - served
+    flows.remaining[idx] = left
+    cof = flows.coflow_idx[idx]
+    np.add.at(flows.sent_seconds, cof, served)
+    drained = left <= TIME_EPS
+    if drained.any():
+        flows.alive[idx[drained]] = False
+        np.subtract.at(flows.unfinished, cof[drained], 1)
+
+
+def check_capacity(flows: FlowArrays, order: np.ndarray, num_ports: int) -> None:
+    """Vectorized twin of ``PacketSimulator._check_capacity``.
+
+    ``order`` is the assignment-order index array the allocators return,
+    so the bincount per-port sums replay the reference's rates-dict
+    iteration order bit for bit.
+    """
+    if order.size == 0:
+        return
+    r = flows.rate[order]
+    negative = r < -TIME_EPS
+    if negative.any():
+        i = int(order[int(np.argmax(negative))])
+        raise ValueError(
+            f"negative rate for flow ({int(flows.src[i])}, {int(flows.dst[i])})"
+        )
+    tolerance = 1e-6
+    input_rate = np.bincount(flows.src[order], weights=r, minlength=num_ports)
+    over = input_rate > 1.0 + tolerance
+    if over.any():
+        port = int(np.argmax(over))
+        raise ValueError(f"input port {port} over capacity: {input_rate[port]}")
+    output_rate = np.bincount(flows.dst[order], weights=r, minlength=num_ports)
+    over = output_rate > 1.0 + tolerance
+    if over.any():
+        port = int(np.argmax(over))
+        raise ValueError(f"output port {port} over capacity: {output_rate[port]}")

@@ -10,6 +10,11 @@
   ``slices_emitted``, ``bvn_permutations``, ``hungarian_solves``),
   incremented by the kernel layer and the scheduler pipeline and surfaced
   in ``BENCH_schedulers.json``.
+* :data:`packet_counters` — process-wide counters for the fluid packet
+  simulators (``rate_reallocations``, ``allocator_passes``,
+  ``flows_active_peak``, ``events_processed``), incremented identically
+  by the reference and array-backed engines and surfaced in
+  ``BENCH_packet_sim.json``.
 """
 
 from repro.perf.counters import PerfCounters
@@ -19,4 +24,10 @@ from repro.perf.counters import PerfCounters
 #: leaving it always-on costs one dict update per decomposition step.
 scheduler_counters = PerfCounters()
 
-__all__ = ["PerfCounters", "scheduler_counters"]
+#: Process-wide counters for the packet-switched simulators (both the
+#: reference and the vectorized engine increment the same names, so a
+#: mismatch in ``events_processed`` between backends is itself a bug
+#: signal).  ``flows_active_peak`` is an ``observe_max`` high-water mark.
+packet_counters = PerfCounters()
+
+__all__ = ["PerfCounters", "scheduler_counters", "packet_counters"]

@@ -41,6 +41,18 @@ class PerfCounters:
     def count(self, name: str) -> int:
         return self.counts.get(name, 0)
 
+    def observe_max(self, name: str, value: int) -> None:
+        """Track a high-water mark (e.g. peak concurrent flows).
+
+        Stored in ``counts`` alongside the monotonic counters; note that
+        :meth:`merge` *sums* counts, so fleet aggregation treats merged
+        peaks as totals — snapshot per-run peaks before merging if the
+        distinction matters.
+        """
+        current = self.counts.get(name)
+        if current is None or value > current:
+            self.counts[name] = value
+
     def add_time(self, name: str, seconds: float) -> None:
         self.timers_s[name] = self.timers_s.get(name, 0.0) + seconds
 

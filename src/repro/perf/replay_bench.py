@@ -83,8 +83,11 @@ def run_trace_replay(
         },
         # Reuse summary for the two planner layers: the gap-signature
         # plan cache (intra-Coflow) and the incremental replanner's
-        # kept/transformed/replayed layers (inter-Coflow).
-        "plan_cache_hit_rate": cache_hit_rate(perf_inc),
+        # kept/transformed/replayed layers (inter-Coflow).  The key is
+        # explicitly "incremental_" because the incremental path shadows
+        # the cache structurally (see PLAN_CACHE_DIAGNOSIS) — its 0.0 is
+        # expected, not a defect.
+        "incremental_plan_cache_hit_rate": cache_hit_rate(perf_inc),
         "plans_kept_per_computed": (
             perf_inc.count("plans_kept") / computed if computed else None
         ),

@@ -20,8 +20,10 @@ from repro.sim.packet_sim import (
     PacketCoflowState,
     PacketSimulator,
     RateAllocator,
+    ReferencePacketSimulator,
     simulate_packet,
 )
+from repro.sim.packet_vector import VectorPacketSimulator, vector_capable
 from repro.sim.results import (
     CoflowRecord,
     SimulationReport,
@@ -51,6 +53,9 @@ __all__ = [
     "PacketCoflowState",
     "PacketSimulator",
     "RateAllocator",
+    "ReferencePacketSimulator",
+    "VectorPacketSimulator",
+    "vector_capable",
     "simulate_packet",
     "CoflowRecord",
     "SimulationReport",

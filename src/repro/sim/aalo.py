@@ -63,6 +63,11 @@ class AaloAllocator(RateAllocator):
         self.multiplier = multiplier
         self.num_queues = num_queues
         self.discipline = discipline
+        self._threshold_cache = (None, None)
+
+    @property
+    def allocation_passes(self) -> int:
+        return 2 if self.discipline == "weighted" else 1
 
     # ------------------------------------------------------------------
     # Queue machinery
@@ -78,6 +83,42 @@ class AaloAllocator(RateAllocator):
             if state.sent_seconds < self.threshold_seconds(queue, bandwidth_bps):
                 return queue
         return self.num_queues - 1
+
+    def _thresholds_array(self, bandwidth_bps: float):
+        """Queue boundaries as an ndarray (same scalar math as above)."""
+        import numpy as np
+
+        cached_bw, cached = self._threshold_cache
+        if cached_bw == bandwidth_bps:
+            return cached
+        thresholds = np.array(
+            [
+                self.threshold_seconds(queue, bandwidth_bps)
+                for queue in range(self.num_queues - 1)
+            ]
+        )
+        self._threshold_cache = (bandwidth_bps, thresholds)
+        return thresholds
+
+    # -- vectorized twin (used by VectorPacketSimulator) ----------------
+    def vector_allocate(self, flows, num_ports: int, bandwidth_bps: float):
+        """Array-backed D-CLAS water-fill over a ``FlowArrays`` table."""
+        from repro.kernels.allocation import aalo_allocate
+
+        return aalo_allocate(
+            flows,
+            num_ports,
+            thresholds=self._thresholds_array(bandwidth_bps),
+            num_queues=self.num_queues,
+            weighted=self.discipline == "weighted",
+        )
+
+    def vector_extra_event_time(self, flows, now: float, bandwidth_bps: float):
+        from repro.kernels.allocation import aalo_extra_event_time
+
+        return aalo_extra_event_time(
+            flows, now, self._thresholds_array(bandwidth_bps), self.num_queues
+        )
 
     # ------------------------------------------------------------------
     # Allocation

@@ -147,6 +147,7 @@ def simulate_inter_hybrid(
     config: HybridConfig,
     bandwidth_bps: float = DEFAULT_BANDWIDTH,
     delta: float = DEFAULT_DELTA,
+    allocator=None,
 ) -> SimulationReport:
     """Trace replay on the hybrid fabric: OCS + parallel packet overlay.
 
@@ -161,6 +162,11 @@ def simulate_inter_hybrid(
     Each substrate's scheduler sees only its own half of every Coflow, so
     shortest-first priorities are computed per substrate (the overlay
     cannot know the optical half's backlog and vice versa).
+
+    ``allocator`` selects the overlay's rate allocator (default: a fresh
+    :class:`~repro.sim.varys.VarysAllocator`); the replay goes through
+    :func:`~repro.sim.packet_sim.simulate_packet`, so the overlay rides
+    the ``REPRO_KERNEL``-selected engine (vectorized by default).
     """
     from repro.sim.circuit_sim import simulate_inter_sunflow
     from repro.sim.packet_sim import simulate_packet
@@ -176,7 +182,7 @@ def simulate_inter_hybrid(
     if len(packet_trace):
         packet_rate = config.packet_bandwidth_fraction * bandwidth_bps
         packet_by_id = simulate_packet(
-            packet_trace, VarysAllocator(), packet_rate
+            packet_trace, allocator or VarysAllocator(), packet_rate
         ).by_id()
 
     report = SimulationReport("sunflow-hybrid", bandwidth_bps, delta)

@@ -33,13 +33,24 @@ FlowKey = Tuple[int, int, int]  # (coflow_id, src, dst)
 
 @dataclass
 class PacketCoflowState:
-    """Mutable per-Coflow state visible to rate allocators."""
+    """Mutable per-Coflow state visible to rate allocators.
+
+    The simulator drains flows exclusively through :meth:`drain`, which
+    keeps an unfinished-flow counter in sync so :attr:`done` is O(1)
+    instead of re-scanning every flow on every event.  Code that writes
+    ``remaining`` directly (tests building scenarios by hand) must
+    construct a fresh state afterwards — the counter is only maintained
+    across :meth:`drain` calls.
+    """
 
     coflow: Coflow
     #: Remaining processing seconds per flow.
     remaining: Dict[Circuit, float]
     #: Total processing seconds already served (Aalo's attained service).
     sent_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._unfinished = sum(1 for p in self.remaining.values() if p > TIME_EPS)
 
     @property
     def coflow_id(self) -> int:
@@ -50,8 +61,26 @@ class PacketCoflowState:
         return self.coflow.arrival_time
 
     @property
+    def unfinished_count(self) -> int:
+        """Number of flows still above ``TIME_EPS`` (maintained on drain)."""
+        return self._unfinished
+
+    @property
     def done(self) -> bool:
-        return all(p <= TIME_EPS for p in self.remaining.values())
+        return self._unfinished == 0
+
+    def drain(self, circuit: Circuit, served: float) -> None:
+        """Serve ``served`` processing seconds of one flow.
+
+        Decrements the unfinished counter exactly once, on the drain
+        that takes the flow's remaining demand below ``TIME_EPS``.
+        """
+        p = self.remaining[circuit]
+        left = p - served
+        self.remaining[circuit] = left
+        self.sent_seconds += served
+        if p > TIME_EPS and left <= TIME_EPS:
+            self._unfinished -= 1
 
     def unfinished_flows(self) -> List[Circuit]:
         return [circuit for circuit, p in self.remaining.items() if p > TIME_EPS]
@@ -73,6 +102,9 @@ class RateAllocator(abc.ABC):
 
     #: Name used in reports.
     name: str = "allocator"
+    #: Internal passes per allocate() call (perf accounting only — e.g.
+    #: Varys' MADD + backfill counts 2, Aalo's weighted discipline 2).
+    allocation_passes: int = 1
     #: Whether the simulator should also recompute rates when an individual
     #: flow (not a whole Coflow) finishes.  Varys does not (freed bandwidth
     #: idles until the next Coflow arrival/completion); Aalo effectively
@@ -104,7 +136,15 @@ class RateAllocator(abc.ABC):
 
 
 class PacketSimulator:
-    """Trace replay on the fluid packet switch with a pluggable allocator."""
+    """Trace replay on the fluid packet switch with a pluggable allocator.
+
+    This is the pure-Python reference engine, retained verbatim as the
+    behavioural oracle for the array-backed
+    :class:`~repro.sim.packet_vector.VectorPacketSimulator` (the
+    ``ReferencePortReservationTable`` pattern); the differential suite
+    holds the two to bitwise-identical event sequences and CCT records.
+    ``event_times`` logs the processed events for that comparison.
+    """
 
     def __init__(
         self,
@@ -115,10 +155,14 @@ class PacketSimulator:
         self.trace = trace.sorted_by_arrival()
         self.allocator = allocator
         self.bandwidth_bps = bandwidth_bps
+        self.event_times: List[float] = []
 
     def run(self) -> SimulationReport:
+        from repro.perf import packet_counters
+
         report = SimulationReport(self.allocator.name, self.bandwidth_bps, delta=0.0)
         arrivals = list(self.trace)
+        passes = getattr(self.allocator, "allocation_passes", 1)
         next_arrival_index = 0
         active: Dict[int, PacketCoflowState] = {}
         now = 0.0
@@ -139,6 +183,12 @@ class PacketSimulator:
 
             states = list(active.values())
             rates = self.allocator.allocate(states, self.trace.num_ports, self.bandwidth_bps)
+            packet_counters.inc("rate_reallocations")
+            packet_counters.inc("allocator_passes", passes)
+            packet_counters.observe_max(
+                "flows_active_peak",
+                sum(state.unfinished_count for state in states),
+            )
             self._check_capacity(rates)
 
             next_arrival = (
@@ -158,6 +208,7 @@ class PacketSimulator:
                 )
 
             self._advance(states, rates, event_time - now)
+            packet_counters.inc("events_processed")
             finished = [cid for cid, state in active.items() if state.done]
             for cid in finished:
                 state = active.pop(cid)
@@ -171,6 +222,7 @@ class PacketSimulator:
                     )
                 )
             now = event_time
+            self.event_times.append(event_time)
         return report
 
     # ------------------------------------------------------------------
@@ -234,8 +286,11 @@ class PacketSimulator:
                 if rate <= 0:
                     continue
                 served = min(p, rate * duration)
-                state.remaining[circuit] = p - served
-                state.sent_seconds += served
+                state.drain(circuit, served)
+
+
+#: Explicit alias for the oracle role (mirrors the PRT naming).
+ReferencePacketSimulator = PacketSimulator
 
 
 @legacy_entry_point
@@ -244,5 +299,21 @@ def simulate_packet(
     allocator: RateAllocator,
     bandwidth_bps: float = DEFAULT_BANDWIDTH,
 ) -> SimulationReport:
-    """One-call packet-switched trace replay under the given allocator."""
+    """One-call packet-switched trace replay under the given allocator.
+
+    Dispatches on the kernel backend (``REPRO_KERNEL``, same switch as
+    the scheduler kernels): with numpy active and a stock Varys/Aalo
+    allocator the array-backed
+    :class:`~repro.sim.packet_vector.VectorPacketSimulator` runs;
+    otherwise — ``REPRO_KERNEL=python``, or a custom/subclassed
+    allocator whose overrides the vector twin can't honour — the
+    pure-Python reference engine does.  Both produce identical reports.
+    """
+    from repro.kernels import numpy_enabled
+
+    if numpy_enabled():
+        from repro.sim.packet_vector import VectorPacketSimulator, vector_capable
+
+        if vector_capable(allocator):
+            return VectorPacketSimulator(trace, allocator, bandwidth_bps).run()
     return PacketSimulator(trace, allocator, bandwidth_bps).run()

@@ -42,6 +42,20 @@ class VarysAllocator(RateAllocator):
     def __init__(self, backfill: bool = True) -> None:
         self.backfill = backfill
 
+    @property
+    def allocation_passes(self) -> int:
+        return 2 if self.backfill else 1
+
+    # -- vectorized twin (used by VectorPacketSimulator) ----------------
+    def vector_allocate(self, flows, num_ports: int, bandwidth_bps: float):
+        """Array-backed MADD + backfill over a ``FlowArrays`` table."""
+        from repro.kernels.allocation import varys_allocate
+
+        return varys_allocate(flows, num_ports, backfill=self.backfill)
+
+    def vector_extra_event_time(self, flows, now: float, bandwidth_bps: float):
+        return math.inf  # Varys reallocates only at Coflow arrivals/completions
+
     def allocate(
         self, states: Sequence[PacketCoflowState], num_ports: int, bandwidth_bps: float
     ) -> Dict[FlowKey, float]:

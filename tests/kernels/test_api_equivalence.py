@@ -25,10 +25,10 @@ def tiny_trace():
     return FacebookLikeTraceGenerator(config).generate()
 
 
-def run_cell(trace, scheduler, backend):
+def run_cell(trace, scheduler, backend, mode="intra"):
     spec = SimulationSpec(
         trace=trace,
-        mode="intra",
+        mode=mode,
         scheduler=scheduler,
         network=NetworkSpec(bandwidth_bps=BANDWIDTH, delta=DELTA),
     )
@@ -48,4 +48,25 @@ def test_sweep_cell_backend_invariant(tiny_trace, scheduler):
         assert ours.coflow_id == theirs.coflow_id
         assert ours.cct == pytest.approx(theirs.cct, rel=1e-9)
         assert ours.completion_time == pytest.approx(theirs.completion_time, rel=1e-9)
+        assert ours.switching_count == theirs.switching_count
+
+
+@pytest.mark.parametrize("scheduler", ["varys", "aalo"])
+def test_packet_cell_backend_invariant(tiny_trace, scheduler):
+    """Fig 6's inter-mode Varys/Aalo cells under both packet engines.
+
+    The packet-simulator kernels promise *bitwise* identity (not just
+    1e-9-relative like the decomposition kernels), so the comparison is
+    plain equality.
+    """
+    kernel = run_cell(tiny_trace, scheduler, "numpy", mode="inter")
+    reference = run_cell(tiny_trace, scheduler, "python", mode="inter")
+    assert len(kernel.records) == len(reference.records)
+    key = lambda record: record.coflow_id  # noqa: E731
+    for ours, theirs in zip(
+        sorted(kernel.records, key=key), sorted(reference.records, key=key)
+    ):
+        assert ours.coflow_id == theirs.coflow_id
+        assert ours.cct == theirs.cct
+        assert ours.completion_time == theirs.completion_time
         assert ours.switching_count == theirs.switching_count

@@ -169,3 +169,7 @@ def test_replay_smoke_benchmark():
     assert result["events"] > 0
     assert result["wall_s"] > 0
     assert result["mismatches"] == 0
+    # The top-level hit rate is named for the incremental path whose
+    # structural shadowing it reports; the old unqualified key is gone.
+    assert "incremental_plan_cache_hit_rate" in result
+    assert "plan_cache_hit_rate" not in result

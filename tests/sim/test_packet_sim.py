@@ -76,6 +76,27 @@ class TestPacketCoflowState:
         assert state.done
         assert state.unfinished_flows() == []
 
+    def test_unfinished_counter_maintained_on_drain(self):
+        """``done`` is O(1): the counter moves only on the drain that takes
+        a flow below ``TIME_EPS``, exactly once per flow."""
+        coflow = Coflow.from_demand(1, {(0, 1): 10 * MB, (2, 3): 10 * MB})
+        state = PacketCoflowState(
+            coflow=coflow, remaining=dict(coflow.processing_times(B))
+        )
+        first = state.remaining[(0, 1)]
+        assert state.unfinished_count == 2
+        state.drain((0, 1), first / 2)
+        assert state.unfinished_count == 2  # partial service: no decrement
+        state.drain((0, 1), first / 2)
+        assert state.unfinished_count == 1  # crossed the threshold: one decrement
+        state.drain((0, 1), 0.0)
+        assert state.unfinished_count == 1  # already-finished flow: no double count
+        assert not state.done
+        state.drain((2, 3), state.remaining[(2, 3)])
+        assert state.unfinished_count == 0
+        assert state.done
+        assert state.sent_seconds == pytest.approx(2 * first)
+
 
 class TestSimulatorBasics:
     def test_single_flow_at_line_rate(self):
