@@ -74,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
         "by cumulative time to stderr (goes before the subcommand, e.g. "
         "`repro-sunflow --profile inter trace.txt`)",
     )
+    parser.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="with --profile, also dump the raw cProfile stats to PATH "
+        "(loadable with pstats or snakeviz) and trim the stderr report "
+        "to the top 20 functions",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     generate = commands.add_parser("generate", help="synthesize a Facebook-like trace")
@@ -180,6 +188,8 @@ def _print_cct_summary(label: str, values: List[float]) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.profile_out and not args.profile:
+        build_parser().error("--profile-out requires --profile")
     if args.profile:
         import cProfile
         import pstats
@@ -188,8 +198,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             return profiler.runcall(_dispatch, args)
         finally:
+            if args.profile_out:
+                # Raw stats for offline tooling; keep the inline report
+                # short since the full data is on disk.
+                profiler.dump_stats(args.profile_out)
+                print(f"profile stats written to {args.profile_out}", file=sys.stderr)
+                limit = 20
+            else:
+                limit = 25
             stats = pstats.Stats(profiler, stream=sys.stderr)
-            stats.sort_stats("cumulative").print_stats(25)
+            stats.sort_stats("cumulative").print_stats(limit)
     return _dispatch(args)
 
 

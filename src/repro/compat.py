@@ -9,16 +9,23 @@ module keeps the old spellings alive on the legacy functions behind a
 :class:`DeprecationWarning` so existing call sites keep working while new
 code migrates.
 
-Deliberately dependency-free (only :mod:`functools`/:mod:`warnings`) so
-any simulator module can import it without creating a cycle with
-``repro.api``.
+Each warning fires **once per call site** (caller file and line), not
+once per call: a legacy invocation inside a sweep loop flags itself on
+the first iteration and then stays quiet instead of flooding stderr,
+while distinct call sites each still get their own notice.  The keyword
+rewrite itself runs on every call regardless.
+
+Deliberately dependency-free (only the :mod:`functools`, :mod:`sys` and
+:mod:`warnings` stdlib modules) so any simulator module can import it
+without creating a cycle with ``repro.api``.
 """
 
 from __future__ import annotations
 
 import functools
+import sys
 import warnings
-from typing import Callable, TypeVar
+from typing import Callable, Set, Tuple, TypeVar
 
 F = TypeVar("F", bound=Callable)
 
@@ -31,6 +38,11 @@ LEGACY_KEYWORD_ALIASES = {
     "rate_bps": "bandwidth_bps",
 }
 
+#: Call sites already warned, as ``(caller file, caller line, function,
+#: alias)``.  Module-level on purpose: the once-per-site memory spans
+#: every shimmed entry point for the life of the process.
+_warned_sites: Set[Tuple[str, int, str, str]] = set()
+
 
 def canonical_kwargs(**aliases: str) -> Callable[[F], F]:
     """Decorator mapping deprecated keyword spellings onto canonical ones.
@@ -40,6 +52,12 @@ def canonical_kwargs(**aliases: str) -> Callable[[F], F]:
     and a :class:`DeprecationWarning` names the replacement.  Passing both
     the alias and its canonical spelling is a :class:`TypeError` (the call
     is ambiguous).
+
+    The warning is emitted once per call site — identified by the
+    caller's file and line — so a deprecated spelling inside a loop or a
+    sweep harness produces one notice, not thousands.  Only the warning
+    is deduplicated; the alias-to-canonical rewrite (and the ambiguity
+    check) runs on every call.
     """
 
     def decorate(fn: F) -> F:
@@ -53,12 +71,21 @@ def canonical_kwargs(**aliases: str) -> Callable[[F], F]:
                         f"{fn.__name__}() got deprecated keyword {alias!r} "
                         f"alongside its canonical spelling {canonical!r}"
                     )
-                warnings.warn(
-                    f"keyword {alias!r} of {fn.__name__}() is deprecated; "
-                    f"use {canonical!r}",
-                    DeprecationWarning,
-                    stacklevel=2,
+                caller = sys._getframe(1)
+                site = (
+                    caller.f_code.co_filename,
+                    caller.f_lineno,
+                    fn.__name__,
+                    alias,
                 )
+                if site not in _warned_sites:
+                    _warned_sites.add(site)
+                    warnings.warn(
+                        f"keyword {alias!r} of {fn.__name__}() is deprecated; "
+                        f"use {canonical!r}",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
                 kwargs[canonical] = kwargs.pop(alias)
             return fn(*args, **kwargs)
 

@@ -55,10 +55,13 @@ plan.  (``SORTED_DEMAND`` and quantization are pure functions of the
 demand already in the key, so they cache fine.)
 
 Counters (``plan_cache_hits``, ``plan_cache_shifted_hits``,
-``plan_cache_misses``, ``plan_cache_invalidations``,
-``plan_cache_evictions``, ``plan_cache_bypasses``) are kept on the cache
-and folded into the simulator's :class:`~repro.perf.PerfCounters` after a
-run.
+``plan_cache_misses``, ``plan_cache_skips``,
+``plan_cache_invalidations``, ``plan_cache_evictions``,
+``plan_cache_bypasses``) are kept on the cache and folded into the
+simulator's :class:`~repro.perf.PerfCounters` after a run.  A *skip* is
+a lookup whose key pre-check proved the key was never stored — a
+first-sight planning problem that cannot hit and is therefore excluded
+from the hit/miss rate.
 """
 
 from __future__ import annotations
@@ -155,6 +158,7 @@ class PlanCache:
             "plan_cache_hits": 0,
             "plan_cache_shifted_hits": 0,
             "plan_cache_misses": 0,
+            "plan_cache_skips": 0,
             "plan_cache_invalidations": 0,
             "plan_cache_evictions": 0,
             "plan_cache_bypasses": 0,
@@ -170,7 +174,14 @@ class PlanCache:
 
     @property
     def hit_rate(self) -> Optional[float]:
-        """Hits over lookups so far (None before the first lookup)."""
+        """Hits over lookups so far (None before the first lookup).
+
+        Skipped lookups (``plan_cache_skips`` — the key pre-check proved
+        the key has never been stored) are *not* lookups: they are
+        first-sight plans that could not possibly hit, and counting them
+        as misses would deflate the rate the cache is actually achieving
+        on recurring problems.
+        """
         c = self.counters
         lookups = c["plan_cache_hits"] + c["plan_cache_misses"]
         if lookups == 0:
@@ -209,6 +220,16 @@ class PlanCache:
         demand_key = tuple(demand_times.items())
         key = (config_key, coflow_id, demand_key)
 
+        counters = self.counters
+        bucket = self._entries.get(key)
+        if bucket is None:
+            # Key pre-check: nothing was ever stored under this planning
+            # problem, so the signature scan cannot hit.  Count it as a
+            # skip (not a miss) and hand back a probe so the computed
+            # plan still seeds the cache.
+            counters["plan_cache_skips"] += 1
+            return None, self._probe(prt, key, demand_times, start_time)
+
         in_ports = {src for src, _ in demand_times}
         out_ports = {dst for _, dst in demand_times}
         in_profiles = tuple(
@@ -218,48 +239,80 @@ class PlanCache:
             prt.output_profile(p, start_time) for p in sorted(out_ports)
         )
 
-        counters = self.counters
-        bucket = self._entries.get(key)
-        if bucket is not None:
-            for entry in bucket:
-                if entry.start == start_time:
-                    matched = (
-                        entry.in_profiles == in_profiles
-                        and entry.out_profiles == out_profiles
-                    )
-                elif (
-                    entry.start < start_time
-                    and entry.first_start >= start_time - TIME_EPS
-                ):
-                    matched = all(
-                        _advance_profile(stored, start_time) == current
-                        for stored, current in zip(entry.in_profiles, in_profiles)
-                    ) and all(
-                        _advance_profile(stored, start_time) == current
-                        for stored, current in zip(entry.out_profiles, out_profiles)
-                    )
-                else:
-                    matched = False
-                if not matched:
-                    continue
-                try:
-                    prt.replay(entry.reservations)
-                except PortConflictError:
-                    # A matching signature proves the plan fits; this is
-                    # pure defense against future query/profile drift.
-                    bucket.remove(entry)
-                    if not bucket:
-                        del self._entries[key]
-                    counters["plan_cache_invalidations"] += 1
-                    break
-                counters["plan_cache_hits"] += 1
-                if entry.start != start_time:
-                    counters["plan_cache_shifted_hits"] += 1
-                self._entries.move_to_end(key)
-                return list(entry.reservations), None
+        for entry in bucket:
+            if entry.start == start_time:
+                matched = (
+                    entry.in_profiles == in_profiles
+                    and entry.out_profiles == out_profiles
+                )
+            elif (
+                entry.start < start_time
+                and entry.first_start >= start_time - TIME_EPS
+            ):
+                matched = all(
+                    _advance_profile(stored, start_time) == current
+                    for stored, current in zip(entry.in_profiles, in_profiles)
+                ) and all(
+                    _advance_profile(stored, start_time) == current
+                    for stored, current in zip(entry.out_profiles, out_profiles)
+                )
+            else:
+                matched = False
+            if not matched:
+                continue
+            try:
+                prt.replay(entry.reservations)
+            except PortConflictError:
+                # A matching signature proves the plan fits; this is
+                # pure defense against future query/profile drift.
+                bucket.remove(entry)
+                if not bucket:
+                    del self._entries[key]
+                counters["plan_cache_invalidations"] += 1
+                break
+            counters["plan_cache_hits"] += 1
+            if entry.start != start_time:
+                counters["plan_cache_shifted_hits"] += 1
+            self._entries.move_to_end(key)
+            return list(entry.reservations), None
 
         counters["plan_cache_misses"] += 1
         return None, PlanProbe(key, start_time, in_profiles, out_profiles)
+
+    def probe_only(
+        self,
+        prt: PortReservationTable,
+        config_key: Tuple,
+        coflow_id: int,
+        demand_times: Mapping[Circuit, float],
+        start_time: float,
+    ) -> Optional[PlanProbe]:
+        """Build a store-probe without performing (or counting) a lookup.
+
+        Used by replanner paths that already hold a plan proven correct by
+        other means (verbatim replay, continuation transform) and only
+        want to *populate* the cache so later recurrences hit.
+        """
+        if not demand_times:
+            return None
+        key = (config_key, coflow_id, tuple(demand_times.items()))
+        return self._probe(prt, key, demand_times, start_time)
+
+    def _probe(
+        self,
+        prt: PortReservationTable,
+        key: Tuple,
+        demand_times: Mapping[Circuit, float],
+        start_time: float,
+    ) -> PlanProbe:
+        in_ports = {src for src, _ in demand_times}
+        out_ports = {dst for _, dst in demand_times}
+        return PlanProbe(
+            key,
+            start_time,
+            tuple(prt.input_profile(p, start_time) for p in sorted(in_ports)),
+            tuple(prt.output_profile(p, start_time) for p in sorted(out_ports)),
+        )
 
     def store(
         self,

@@ -37,10 +37,18 @@ class CoflowView:
     arrival_time: float
     remaining_times: Dict[Tuple[int, int], float] = field(default_factory=dict)
     priority_class: int = 0
+    #: Precomputed bottleneck, when the caller already knows it.  The
+    #: incremental replayer memoizes the value per active Coflow (demand
+    #: only changes when a circuit is drained), so each replan's ordering
+    #: pass skips the per-view load scan.
+    bottleneck_hint: Optional[float] = None
 
     @property
     def bottleneck(self) -> float:
         """Remaining ``T^p_L``: the busiest port's remaining seconds of work."""
+        hint = self.bottleneck_hint
+        if hint is not None:
+            return hint
         # One defaultdict over both port spaces (input ``p`` → ``2p``,
         # output ``p`` → ``2p + 1``): this property runs on every view at
         # every replan.

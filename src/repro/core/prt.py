@@ -551,10 +551,136 @@ class PortReservationTable:
         """Re-insert already-validated reservations (e.g. a cached Coflow
         plan after a :meth:`rollback`).  Overlap checks still apply, so a
         stale plan that no longer fits raises :class:`PortConflictError`
-        instead of corrupting the table."""
-        insert = self._insert
+        instead of corrupting the table.
+
+        The call is *atomic*: every port is validated (against existing
+        reservations and the other replayed ones) before anything is
+        written, so a conflicting batch leaves the table untouched.
+        Insertion is batched per port — the replayed items are merged
+        into each boundary array in one pass instead of paying a bisect
+        plus three mid-array inserts per reservation.
+        """
+        n = len(reservations)
+        if n == 0:
+            return
+        if n == 1:
+            self._insert(reservations[0])
+            return
+        base = len(self._reservations)
+        in_groups: Dict[int, List[Tuple[float, float, int]]] = {}
+        out_groups: Dict[int, List[Tuple[float, float, int]]] = {}
+        for offset, reservation in enumerate(reservations):
+            item = (reservation.start, reservation.end, base + offset)
+            group = in_groups.get(reservation.src)
+            if group is None:
+                in_groups[reservation.src] = [item]
+            else:
+                group.append(item)
+            group = out_groups.get(reservation.dst)
+            if group is None:
+                out_groups[reservation.dst] = [item]
+            else:
+                group.append(item)
+        staged: List[Tuple[Dict[int, array], Dict[int, array], int, array, array, bool]] = []
+        eps = TIME_EPS
+        neg_inf = float("-inf")
+        for table_b, table_r, groups in (
+            (self._in_bounds, self._in_refs, in_groups),
+            (self._out_bounds, self._out_refs, out_groups),
+        ):
+            for port, items in groups.items():
+                if len(items) > 1:
+                    items.sort()
+                bounds = table_b.get(port)
+                if not bounds or bounds[-1] <= items[0][0] + eps:
+                    # Pure tail append: only the new items need checks
+                    # against each other.
+                    new_bounds = array("d")
+                    new_refs = array("q")
+                    prev_end = neg_inf
+                    prev_ref = -1
+                    for start, end, ref in items:
+                        if prev_end > start + eps:
+                            self._replay_conflict(
+                                reservations, base, ref, prev_ref
+                            )
+                        new_bounds.append(start)
+                        new_bounds.append(end)
+                        new_refs.append(ref)
+                        prev_end = end
+                        prev_ref = ref
+                    staged.append((table_b, table_r, port, new_bounds, new_refs, True))
+                    continue
+                refs = table_r[port]
+                n_exist = len(refs)
+                n_new = len(items)
+                merged_bounds = array("d")
+                merged_refs = array("q")
+                i = 0
+                k = 0
+                prev_end = neg_inf
+                prev_ref = -1
+                while i < n_exist or k < n_new:
+                    # Ties go to the new item, matching ``_insert``'s
+                    # ``bisect_left`` placement of equal starts.
+                    if k < n_new and (i >= n_exist or items[k][0] <= bounds[2 * i]):
+                        start, end, ref = items[k]
+                        k += 1
+                    else:
+                        start = bounds[2 * i]
+                        end = bounds[2 * i + 1]
+                        ref = refs[i]
+                        i += 1
+                    if prev_end > start + eps:
+                        # Existing reservations never overlap each other,
+                        # so one side of this pair is a replayed item.
+                        self._replay_conflict(reservations, base, ref, prev_ref)
+                    merged_bounds.append(start)
+                    merged_bounds.append(end)
+                    merged_refs.append(ref)
+                    prev_end = end
+                    prev_ref = ref
+                staged.append((table_b, table_r, port, merged_bounds, merged_refs, False))
+        # Apply: nothing above mutated the table, so a conflict left it
+        # intact and this loop cannot fail.
+        for table_b, table_r, port, new_bounds, new_refs, append in staged:
+            bounds = table_b.get(port)
+            if bounds is None:
+                table_b[port] = new_bounds
+                table_r[port] = new_refs
+            elif append:
+                bounds.extend(new_bounds)
+                table_r[port].extend(new_refs)
+            else:
+                bounds[:] = new_bounds
+                table_r[port][:] = new_refs
+        self._reservations.extend(reservations)
+        ends = self._ends
         for reservation in reservations:
-            insert(reservation)
+            ends.append(reservation.end)
+        self._ends_sorted = None
+
+    def _replay_conflict(
+        self,
+        replayed: Sequence[Reservation],
+        base: int,
+        ref: int,
+        prev_ref: int,
+    ) -> None:
+        """Materialize both sides of a replay overlap for the error."""
+
+        def side(journal_ref: int) -> Reservation:
+            if journal_ref >= base:
+                return replayed[journal_ref - base]
+            return self._reservations[journal_ref]
+
+        cur = side(ref)
+        if prev_ref < 0:
+            raise PortConflictError(f"{cur} overlaps an existing reservation")
+        prev = side(prev_ref)
+        new = cur if ref >= base else prev
+        other = prev if new is cur else cur
+        raise PortConflictError(f"{new} overlaps existing {other}")
 
     # ------------------------------------------------------------------
     # Checkpoint / rollback
@@ -580,24 +706,71 @@ class PortReservationTable:
         undone = len(journal) - token
         if not undone:
             return 0
-        for idx in range(len(journal) - 1, token - 1, -1):
-            reservation = journal[idx]
-            self._remove_from_port(
-                self._in_bounds[reservation.src],
-                self._in_refs[reservation.src],
-                reservation.start,
-                idx,
-            )
-            self._remove_from_port(
-                self._out_bounds[reservation.dst],
-                self._out_refs[reservation.dst],
-                reservation.start,
-                idx,
-            )
+        if undone <= 4:
+            for idx in range(len(journal) - 1, token - 1, -1):
+                reservation = journal[idx]
+                self._remove_from_port(
+                    self._in_bounds[reservation.src],
+                    self._in_refs[reservation.src],
+                    reservation.start,
+                    idx,
+                )
+                self._remove_from_port(
+                    self._out_bounds[reservation.dst],
+                    self._out_refs[reservation.dst],
+                    reservation.start,
+                    idx,
+                )
+        else:
+            # Batched path: count how many undone reservations sit on each
+            # port side, then strip each port once — one slice deletion
+            # when the suffix is a pure tail, one rebuilding filter pass
+            # otherwise — instead of a bisect + mid-array ``del`` per
+            # reservation.
+            in_counts: Dict[int, int] = {}
+            out_counts: Dict[int, int] = {}
+            for idx in range(token, len(journal)):
+                reservation = journal[idx]
+                src = reservation.src
+                dst = reservation.dst
+                in_counts[src] = in_counts.get(src, 0) + 1
+                out_counts[dst] = out_counts.get(dst, 0) + 1
+            for port, count in in_counts.items():
+                self._strip_port(
+                    self._in_bounds[port], self._in_refs[port], token, count
+                )
+            for port, count in out_counts.items():
+                self._strip_port(
+                    self._out_bounds[port], self._out_refs[port], token, count
+                )
         del journal[token:]
         del self._ends[token:]
         self._ends_sorted = None
         return undone
+
+    @staticmethod
+    def _strip_port(bounds: array, refs: array, token: int, count: int) -> None:
+        """Drop the ``count`` entries with journal ref >= ``token``."""
+        n = len(refs)
+        j = n
+        while j and refs[j - 1] >= token:
+            j -= 1
+        if n - j == count:
+            # All undone entries form a contiguous tail (the common case:
+            # later reservations usually extend the timeline rightwards).
+            del refs[j:]
+            del bounds[2 * j :]
+            return
+        new_bounds = array("d")
+        new_refs = array("q")
+        for i in range(n):
+            ref = refs[i]
+            if ref < token:
+                new_refs.append(ref)
+                new_bounds.append(bounds[2 * i])
+                new_bounds.append(bounds[2 * i + 1])
+        bounds[:] = new_bounds
+        refs[:] = new_refs
 
     @staticmethod
     def _remove_from_port(

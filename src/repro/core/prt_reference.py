@@ -271,9 +271,18 @@ class ReferencePortReservationTable:
         """Re-insert already-validated reservations (e.g. a cached Coflow
         plan after a :meth:`rollback`).  Overlap checks still apply, so a
         stale plan that no longer fits raises :class:`PortConflictError`
-        instead of corrupting the table."""
-        for reservation in reservations:
-            self._insert(reservation)
+        instead of corrupting the table.  The call is atomic: on conflict
+        the already-inserted prefix is undone before re-raising, matching
+        the batched array implementation."""
+        inserted = 0
+        try:
+            for reservation in reservations:
+                self._insert(reservation)
+                inserted += 1
+        except PortConflictError:
+            if inserted:
+                self.rollback(len(self._reservations) - inserted)
+            raise
 
     # ------------------------------------------------------------------
     # Checkpoint / rollback

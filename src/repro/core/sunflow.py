@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.coflow import Coflow
-from repro.core.plan_cache import PlanCache
+from repro.core.plan_cache import PlanCache, PlanProbe
 from repro.core.prt import PortReservationTable, Reservation, TIME_EPS
 from repro.units import DEFAULT_BANDWIDTH, DEFAULT_DELTA
 
@@ -235,6 +235,7 @@ class SunflowScheduler:
         demand_times: Mapping[Tuple[int, int], float],
         start_time: float = 0.0,
         established: "EstablishedCircuits" = frozenset(),
+        cache_probe: "Optional[PlanProbe]" = None,
     ) -> CoflowSchedule:
         """Reserve circuits on ``prt`` for one Coflow's remaining demand.
 
@@ -253,6 +254,13 @@ class SunflowScheduler:
                 remaining setup seconds``; a reservation starting exactly at
                 ``start_time`` on such a circuit pays only the remaining
                 setup instead of a full ``δ``.
+            cache_probe: a :class:`~repro.core.plan_cache.PlanProbe` from
+                a lookup the *caller* already performed against
+                :attr:`plan_cache` (the cache-aware incremental replanner
+                fetches before falling through to a recompute).  When
+                given, the internal fetch is skipped — the caller's
+                lookup already missed and a second one would double-count
+                — and the computed plan is stored under this probe.
 
         Returns:
             The reservations planned for this Coflow.
@@ -269,8 +277,8 @@ class SunflowScheduler:
         # hit would skip the shuffle and desynchronize the rng stream for
         # every later plan).
         cache = self.plan_cache
-        probe = None
-        if cache is not None and not established:
+        probe = cache_probe
+        if cache is not None and probe is None and not established:
             if self.order is ReservationOrder.RANDOM:
                 cache.note_bypass()
             else:
@@ -350,6 +358,8 @@ class SunflowScheduler:
         inf = float("inf")
         make_array = array
         wget = waiting.get
+        res_new = Reservation.__new__
+        res_cls = Reservation
 
         def enqueue(entry: _Entry) -> None:
             """File an entry under the port recorded in ``blocked_key``."""
@@ -368,10 +378,16 @@ class SunflowScheduler:
                 waiting[key] = suffix
             else:
                 # Entries moved onto this port during the same batch; both
-                # runs are sorted, so merge them.
-                waiting[key] = list(heapq.merge(suffix, bucket, key=_ORDER_KEY))
+                # runs are sorted, so Timsort's galloping merge combines
+                # them in O(n) C-level key calls (order indices are unique
+                # within a plan, so stability never matters).
+                suffix.extend(bucket)
+                suffix.sort(key=_ORDER_KEY)
+                waiting[key] = suffix
 
-        def examine(entry: _Entry, t: float, taken: Set[int]) -> None:
+        def examine(
+            entry: _Entry, t: float, taken: Set[int], origin: bool
+        ) -> None:
             """Attempt one entry whose ports are not yet taken this batch
             (``_make_reservation`` plus ``PortReservationTable._insert``,
             inlined).
@@ -390,11 +406,12 @@ class SunflowScheduler:
             nonlocal outstanding
             src = entry.src
             dst = entry.dst
+            teps = t + eps
             # Covering probes: one bisect over raw boundary doubles; odd
             # parity means the port is taken and the entry waits it out.
             ib = in_bounds_map.get(src)
             if ib:
-                ki = br(ib, t + eps)
+                ki = br(ib, teps)
                 if ki & 1:
                     entry.blocked_key = key = src * 2
                     bucket = wget(key)
@@ -409,7 +426,7 @@ class SunflowScheduler:
                 ki = 0
             ob = out_bounds_map.get(dst)
             if ob:
-                ko = br(ob, t + eps)
+                ko = br(ob, teps)
                 if ko & 1:
                     entry.blocked_key = key = dst * 2 + 1
                     bucket = wget(key)
@@ -431,7 +448,11 @@ class SunflowScheduler:
             if ob and ko < len(ob) and ob[ko] < t_next:
                 t_next = ob[ko]
             anchor = None
-            if established and abs(t - start_time) <= eps and (src, dst) in established:
+            # ``origin`` is the per-batch precomputation of
+            # ``established and abs(t - start_time) <= eps`` — every
+            # examination in a batch shares ``t``, so hoisting the float
+            # compare out of the hot path cannot change the outcome.
+            if origin and (src, dst) in established:
                 setup_left, anchor = established[(src, dst)]
                 setup = setup_left if setup_left < delta else delta
             else:
@@ -459,7 +480,17 @@ class SunflowScheduler:
             else:
                 length = max_length
                 end = t_next
-            reservation = Reservation(t, end, src, dst, coflow_id, setup)
+            # Direct slot stores instead of the dataclass constructor: the
+            # gap check above already proved what ``__post_init__`` would
+            # re-verify (``end > t`` and ``setup`` within the length, both
+            # by ``max_length > setup + eps``).
+            reservation = res_new(res_cls)
+            reservation.start = t
+            reservation.end = end
+            reservation.src = src
+            reservation.dst = dst
+            reservation.coflow_id = coflow_id
+            reservation.setup = setup
             idx = len(journal)
             if ib is None:
                 ib = in_bounds_map[src] = make_array("d")
@@ -502,6 +533,8 @@ class SunflowScheduler:
 
         # First pass: every entry, in consideration order, at the origin.
         taken: Set[int] = set()
+        has_established = bool(established)
+        origin = has_established
         for entry in entries:
             key = entry.src * 2
             if key in taken:
@@ -513,7 +546,7 @@ class SunflowScheduler:
                 entry.blocked_key = key
                 enqueue(entry)
                 continue
-            examine(entry, start_time, taken)
+            examine(entry, start_time, taken, origin)
 
         heappop = heapq.heappop
         wpop = waiting.pop
@@ -524,6 +557,7 @@ class SunflowScheduler:
                 )
             t, esrc, edst = heappop(events)
             horizon = t + eps
+            origin = has_established and abs(t - start_time) <= eps
             if events and events[0][0] <= horizon:
                 # Several circuits release within tolerance: collect the
                 # whole batch of freed port keys.
@@ -571,7 +605,7 @@ class SunflowScheduler:
                         entry.blocked_key = other
                         enqueue(entry)
                     else:
-                        examine(entry, t, taken)
+                        examine(entry, t, taken, origin)
                 if i < size:
                     reattach(key, queue[i:] if i else queue)
             else:
@@ -603,7 +637,7 @@ class SunflowScheduler:
                         entry.blocked_key = other
                         enqueue(entry)
                     else:
-                        examine(entry, t, taken)
+                        examine(entry, t, taken, origin)
         if probe is not None:
             cache.store(probe, schedule.reservations, schedule.first_start())
         return schedule
@@ -727,6 +761,21 @@ class SunflowScheduler:
     def _make_entries(
         self, demand_times: Mapping[Tuple[int, int], float]
     ) -> List[_Entry]:
+        if self.order is ReservationOrder.ORDERED_PORT and self.quantum is None:
+            # Hot path (the incremental replayer's configuration): the
+            # demand keys are unique ``(src, dst)`` pairs, so sorting the
+            # raw dict items compares key tuples only — the same order the
+            # lambda below produces, minus 2n Python-level key calls — and
+            # the consideration indices follow from the single pass.
+            entries = []
+            index = 0
+            for (src, dst), p in sorted(demand_times.items()):
+                if p > TIME_EPS:
+                    entry = _Entry(src, dst, p)
+                    entry.order_index = index
+                    index += 1
+                    entries.append(entry)
+            return entries
         if self.quantum is None:
             entries = [
                 _Entry(src, dst, p)

@@ -65,6 +65,12 @@ def run_trace_replay(
     wall_inc, report_inc, perf_inc = replay(incremental=True)
 
     def cache_hit_rate(perf: PerfCounters) -> Optional[float]:
+        # Skipped lookups (key never stored — the pre-check proved a hit
+        # impossible) are excluded: they are first-sight plans, and
+        # counting them as misses would deflate the rate achieved on
+        # genuinely recurring problems.  Guarded division: a run whose
+        # every lookup was a skip (or that never looked up at all) has no
+        # meaningful rate.
         hits = perf.count("plan_cache_hits")
         lookups = hits + perf.count("plan_cache_misses")
         return hits / lookups if lookups else None
@@ -83,11 +89,12 @@ def run_trace_replay(
         },
         # Reuse summary for the two planner layers: the gap-signature
         # plan cache (intra-Coflow) and the incremental replanner's
-        # kept/transformed/replayed layers (inter-Coflow).  The key is
-        # explicitly "incremental_" because the incremental path shadows
-        # the cache structurally (see PLAN_CACHE_DIAGNOSIS) — its 0.0 is
-        # expected, not a defect.
+        # kept/transformed/replayed layers (inter-Coflow).  The
+        # replanner fetches from the cache before any reuse path and
+        # populates it from all of them, so this rate reflects genuine
+        # recurrence in the trace.
         "incremental_plan_cache_hit_rate": cache_hit_rate(perf_inc),
+        "plan_cache_skips": perf_inc.count("plan_cache_skips"),
         "plans_kept_per_computed": (
             perf_inc.count("plans_kept") / computed if computed else None
         ),
@@ -115,18 +122,22 @@ def run_trace_replay(
     return result
 
 
-#: Why the headline replay shows a 0% plan-cache hit rate.  Recorded in
-#: the bench JSON so the number is never misread as a keying bug.
+#: How the incremental replanner and the plan cache compose.  Recorded in
+#: the bench JSON so the hit-rate numbers are read correctly.
 PLAN_CACHE_DIAGNOSIS = (
-    "In incremental mode the plan cache is structurally shadowed: a queued "
-    "Coflow whose port occupancy is unchanged is caught by the replanner's "
-    "verbatim-replay (plans_reused) or continuation-transform "
-    "(plans_transformed) paths before schedule_demand is ever called, so "
-    "the cache is only consulted for plans whose gap signatures necessarily "
-    "changed - every lookup is a guaranteed miss. The keying is correct: the "
-    "same trace replayed through the full-replan path (which rebuilds every "
-    "queued plan at every event) produces shifted hits from the identical "
-    "cache, as does the starvation guard's grow-horizon retry loop."
+    "The incremental replanner is cache-aware: for every unestablished "
+    "Coflow in the dirty suffix it fetches from the gap-signature plan "
+    "cache first (exact and shifted hits; profiles prove the planning "
+    "context independently of the replanner's superset chain), then falls "
+    "back to verbatim replay, continuation transform, and finally a true "
+    "recompute - and every one of those paths stores its plan under the "
+    "probe from the missed lookup, so recurrences first seen by the "
+    "replanner still seed future hits. A key pre-check counts first-sight "
+    "lookups as plan_cache_skips rather than misses, so the hit rate "
+    "measures recurring planning problems only. Established Coflows never "
+    "touch the cache (their demand mutates every event) and RANDOM "
+    "reservation order bypasses it (a hit would desynchronize the rng "
+    "stream)."
 )
 
 
@@ -138,13 +149,12 @@ def run_plan_cache_scenario() -> Dict[str, Any]:
     periodically, forcing a replan event that does not touch the hot
     ports.  Every event the full-replan path rebuilds each queued plan at
     a later origin against bitwise-identical port profiles — the shifted
-    hit the cache was built for.  The same trace through the incremental
-    replanner shows the shadowing effect: recurrences are absorbed by
-    verbatim replay before the cache is consulted, so its hit rate is 0
-    by construction, not by defect.
+    hit the cache was built for.  The incremental replanner fetches from
+    the cache before its verbatim-replay path and populates it from every
+    reuse path, so the same recurrences hit there too.
 
     Returns a JSON-ready dict with per-mode cache counters; callers
-    assert ``full_replan.plan_cache_hit_rate > 0``.
+    assert both modes' ``plan_cache_hit_rate`` (incremental ≥ 0.80).
     """
     from repro.core.coflow import Coflow, CoflowTrace
     from repro.sim.circuit_sim import InterCoflowSimulator
@@ -178,6 +188,7 @@ def run_plan_cache_scenario() -> Dict[str, Any]:
             "plan_cache_hits": hits,
             "plan_cache_shifted_hits": perf.count("plan_cache_shifted_hits"),
             "plan_cache_misses": perf.count("plan_cache_misses"),
+            "plan_cache_skips": perf.count("plan_cache_skips"),
             "plans_reused": perf.count("plans_reused"),
             "plans_transformed": perf.count("plans_transformed"),
             "plans_computed": perf.count("plans_computed"),

@@ -43,6 +43,7 @@ from repro.compat import legacy_entry_point
 from repro.perf import PerfCounters
 from repro.schedulers.base import AssignmentScheduler
 from repro.sim.assignment_exec import SwitchModel, execute_assignments
+from repro.sim.engine import IndexedEventQueue, run_replay
 from repro.sim.results import SimulationReport, make_record
 from repro.units import DEFAULT_BANDWIDTH, DEFAULT_DELTA
 
@@ -129,6 +130,10 @@ class _ActiveCoflow:
     #: ``InterCoflowSimulator._transform_continuation``).
     banked_circuits: Set[Circuit] = field(default_factory=set)
     switching_count: int = 0
+    #: Memoized ``CoflowView.bottleneck`` over the current ``remaining``.
+    #: Every write to ``remaining`` resets it to None (see ``_advance`` and
+    #: ``_apply_guard_service``); ``_ordered_ids`` recomputes on demand.
+    bottleneck_cache: Optional[float] = None
 
     @property
     def done(self) -> bool:
@@ -230,74 +235,84 @@ class InterCoflowSimulator:
     # ------------------------------------------------------------------
     def run(self) -> SimulationReport:
         """Replay the whole trace; returns one record per Coflow."""
-        report = SimulationReport("sunflow", self.bandwidth_bps, self.delta)
-        arrivals = list(self.trace)
-        next_arrival_index = 0
-        active: Dict[int, _ActiveCoflow] = {}
-        now = 0.0
-        perf = self.perf
+        self._report = SimulationReport("sunflow", self.bandwidth_bps, self.delta)
+        self._active = {}
+        self._schedules = {}
         self._prt = PortReservationTable()
         self._layers = []
+        # Per-Coflow completion predictions, re-pushed only when a plan
+        # object actually changes; ``peek_time`` is the next completion.
+        self._completions = IndexedEventQueue()
+        self._predicted = {}
         cache = self.scheduler.plan_cache
         cache_baseline = dict(cache.counters) if cache is not None else {}
 
-        while active or next_arrival_index < len(arrivals):
-            if not active:
-                now = arrivals[next_arrival_index].arrival_time
-            # Admit every Coflow arriving at the current instant.
-            while (
-                next_arrival_index < len(arrivals)
-                and arrivals[next_arrival_index].arrival_time <= now + TIME_EPS
-            ):
-                coflow = arrivals[next_arrival_index]
-                active[coflow.coflow_id] = _ActiveCoflow(
-                    coflow=coflow,
-                    remaining=dict(coflow.processing_times(self.bandwidth_bps)),
-                )
-                next_arrival_index += 1
+        self.event_times = run_replay(self, list(self.trace))
 
-            perf.inc("events")
-            with perf.timer("plan"):
-                schedules = self._replan(active, now)
-            next_arrival = (
-                arrivals[next_arrival_index].arrival_time
-                if next_arrival_index < len(arrivals)
-                else float("inf")
-            )
-            next_completion = min(s.completion_time for s in schedules.values())
-            event_time = min(next_arrival, next_completion)
-            if self.guard is not None:
-                # Wake at the next guard-slice end inside the horizon so
-                # Coflows drained by shared guard service complete promptly.
-                for window in self.guard.windows_between(now, event_time):
-                    if window.end > now + TIME_EPS:
-                        event_time = min(event_time, window.end)
-                        break
-
-            with perf.timer("advance"):
-                self._advance(active, schedules, now, event_time)
-            with perf.timer("record"):
-                self._record_completions(active, report, event_time)
-            now = event_time
         if cache is not None:
             # Fold this run's share of the (scheduler-lifetime) cache
             # counters into the simulation's perf counters.
             for name, value in cache.counters.items():
-                perf.inc(name, value - cache_baseline.get(name, 0))
-        return report
+                self.perf.inc(name, value - cache_baseline.get(name, 0))
+        return self._report
+
+    # ------------------------------------------------------------------
+    # ReplayHost hooks (driven by repro.sim.engine.run_replay)
+    # ------------------------------------------------------------------
+    def has_active(self) -> bool:
+        return bool(self._active)
+
+    def admit(self, coflow: Coflow, now: float) -> None:
+        self._active[coflow.coflow_id] = _ActiveCoflow(
+            coflow=coflow,
+            remaining=dict(coflow.processing_times(self.bandwidth_bps)),
+        )
+
+    def plan(self, now: float, next_arrival: float) -> float:
+        perf = self.perf
+        perf.inc("events")
+        with perf.timer("plan"):
+            schedules = self._schedules = self._replan(self._active, now)
+        completions = self._completions
+        predicted = self._predicted
+        for cid, plan in schedules.items():
+            if predicted.get(cid) is not plan:
+                predicted[cid] = plan
+                completions.schedule(cid, plan.completion_time)
+        event_time = min(next_arrival, completions.peek_time())
+        if self.guard is not None:
+            # Wake at the next guard-slice end inside the horizon so
+            # Coflows drained by shared guard service complete promptly.
+            for window in self.guard.windows_between(now, event_time):
+                if window.end > now + TIME_EPS:
+                    event_time = min(event_time, window.end)
+                    break
+        return event_time
+
+    def advance(self, now: float, event_time: float) -> None:
+        perf = self.perf
+        with perf.timer("advance"):
+            self._advance(self._active, self._schedules, now, event_time)
+        with perf.timer("record"):
+            self._record_completions(self._active, self._report, event_time)
 
     # ------------------------------------------------------------------
     def _ordered_ids(self, active: Dict[int, _ActiveCoflow]) -> List[int]:
         """Active Coflow ids in the policy's priority order."""
-        views = [
-            CoflowView(
+        views = []
+        for cid, state in active.items():
+            view = CoflowView(
                 coflow_id=cid,
                 arrival_time=state.coflow.arrival_time,
                 remaining_times=state.remaining,
                 priority_class=self.priority_classes.get(cid, 0),
+                bottleneck_hint=state.bottleneck_cache,
             )
-            for cid, state in active.items()
-        ]
+            if view.bottleneck_hint is None:
+                # Memoize for the next event: ``remaining`` writes reset
+                # the cache, so the hint is always the exact recompute.
+                state.bottleneck_cache = view.bottleneck_hint = view.bottleneck
+            views.append(view)
         return [view.coflow_id for view in self.policy.order(views)]
 
     def _replan(
@@ -462,6 +477,20 @@ class InterCoflowSimulator:
         # rolls back and falls through to a true recompute.  A fresh
         # recompute whose future occupancy differs from the dropped plan
         # (checked exactly) breaks the superset for everything below.
+        #
+        # The gap-signature plan cache layers on top of this: for every
+        # unestablished Coflow in the suffix we *fetch first* — the
+        # cached profiles prove the planning context independently of the
+        # superset chain, so a hit is valid even after a priority
+        # reorder broke it.  A miss hands back the probe; whichever path
+        # then produces the plan (verbatim replay, continuation
+        # transform, or a true recompute) stores under it, so recurrences
+        # first seen by the replanner still seed future hits.
+        scheduler = self.scheduler
+        cache = scheduler.plan_cache
+        cache_ok = (
+            cache is not None and scheduler.order is not ReservationOrder.RANDOM
+        )
         superset = True
         cptr = 0
         for cid in order_ids[ptr:]:
@@ -477,7 +506,24 @@ class InterCoflowSimulator:
                 # cached plans below were computed.
                 superset = False
             plan = None
-            if superset and old_plan is not None:
+            probe = None
+            if cache_ok and not state.established:
+                fetched, probe = cache.fetch(
+                    prt, scheduler._cache_config, cid, state.remaining, now
+                )
+                if fetched is not None:
+                    # Bit-for-bit what a fresh recompute would produce
+                    # (and already replayed into the PRT by the fetch), so
+                    # the bookkeeping mirrors the recompute path below.
+                    plan = CoflowSchedule(
+                        coflow_id=cid, start_time=now, reservations=fetched
+                    )
+                    state.banked_circuits.clear()
+                    perf.inc("replans_avoided")
+                    perf.inc("reservations_replayed", len(fetched))
+                    if superset and old_plan is not None:
+                        superset = _same_future_occupancy(old_plan, plan, now)
+            if plan is None and superset and old_plan is not None:
                 if (
                     old_plan.first_start() >= now - TIME_EPS
                     and not state.established
@@ -490,6 +536,10 @@ class InterCoflowSimulator:
                         perf.inc(
                             "reservations_replayed", len(plan.reservations)
                         )
+                        if probe is not None:
+                            cache.store(
+                                probe, plan.reservations, plan.first_start()
+                            )
                     except PortConflictError:
                         perf.inc(
                             "reservations_rolled_back", prt.rollback(token)
@@ -512,18 +562,25 @@ class InterCoflowSimulator:
                                 "reservations_replayed",
                                 len(plan.reservations),
                             )
+                            if probe is not None:
+                                cache.store(
+                                    probe,
+                                    plan.reservations,
+                                    plan.first_start(),
+                                )
                         except PortConflictError:
                             perf.inc(
                                 "reservations_rolled_back",
                                 prt.rollback(token),
                             )
             if plan is None:
-                plan = self.scheduler.schedule_demand(
+                plan = scheduler.schedule_demand(
                     prt,
                     cid,
                     state.remaining,
                     start_time=now,
                     established=state.established,
+                    cache_probe=probe,
                 )
                 # ``remaining`` is this plan's baseline again; future
                 # banking re-dirties circuits from here.
@@ -729,6 +786,7 @@ class InterCoflowSimulator:
                     left = state.remaining.get(circuit, 0.0) - served
                     state.remaining[circuit] = max(0.0, left)
                     state.banked_circuits.add(circuit)
+                    state.bottleneck_cache = None
                 # A reconfiguration that began before the event counts as a
                 # switching event even if the plan is later discarded.
                 if reservation.setup > 0:
@@ -768,6 +826,7 @@ class InterCoflowSimulator:
                 for state in sharers:
                     left = state.remaining[(src, dst)] - share
                     state.remaining[(src, dst)] = max(0.0, left)
+                    state.bottleneck_cache = None
 
     # ------------------------------------------------------------------
     def _record_completions(
@@ -776,6 +835,8 @@ class InterCoflowSimulator:
         finished = [cid for cid, state in active.items() if state.done]
         for cid in finished:
             state = active.pop(cid)
+            self._completions.cancel(cid)
+            self._predicted.pop(cid, None)
             report.add(
                 make_record(
                     state.coflow,

@@ -1,18 +1,39 @@
-"""Minimal discrete-event engine.
+"""The discrete-event engine every simulator in this package drives.
 
-A stable priority queue of timestamped events.  The Coflow simulators in
-this package are *reschedule-on-event* simulators (paper §6: "Sunflow
-reschedules only upon Coflow arrivals and completions"), so the engine's
-job is small but correctness-critical: deterministic ordering of
-simultaneous events and protection against time moving backwards.
+The Coflow simulators are *reschedule-on-event* simulators (paper §6:
+"Sunflow reschedules only upon Coflow arrivals and completions"), and all
+of them — circuit replay, flow-level packet, vectorized packet — share
+one event-loop skeleton: admit the Coflows arriving at the current
+instant, ask the scheduling layer when the next internal event (a
+completion, a guard-slice end, an allocator wake-up) falls, step time to
+the earlier of that and the next arrival, then bank progress and record
+completions.  :func:`run_replay` is that skeleton, written once; each
+simulator plugs in as a :class:`ReplayHost` and owns only the
+domain-specific hooks.
+
+Two queue flavors support it:
+
+* :class:`EventQueue` — a stable priority queue of timestamped events
+  (deterministic FIFO ordering of simultaneous events, protection
+  against time moving backwards).
+* :class:`IndexedEventQueue` — the same heap discipline with O(1)
+  *cancellation*: entries are keyed, rescheduling a key invalidates its
+  previous entry lazily (stale heap nodes are dropped when they surface
+  at the top).  The circuit simulator uses it to track per-Coflow
+  completion predictions across incremental replans — only plans that
+  actually changed are re-pushed, so finding the next completion no
+  longer rescans every active schedule at every event.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass
-from typing import Generic, List, Optional, Tuple, TypeVar
+from typing import Generic, Hashable, List, Optional, Protocol, Sequence, Tuple, TypeVar
+
+from repro.core.prt import TIME_EPS
 
 Payload = TypeVar("Payload")
 
@@ -70,3 +91,140 @@ class EventQueue(Generic[Payload]):
         while self._heap and self._heap[0][0] <= first.time + tolerance:
             batch.append(self.pop())
         return batch
+
+
+Key = TypeVar("Key", bound=Hashable)
+
+
+class IndexedEventQueue(Generic[Key]):
+    """Keyed event queue with stable tie-break and O(1) cancellation.
+
+    Each key holds at most one live event.  :meth:`schedule` replaces the
+    key's previous event in O(1) (the old heap node is merely orphaned);
+    :meth:`cancel` likewise.  Stale nodes are discarded lazily when they
+    reach the heap top, so every operation stays O(log n) amortized in
+    the number of schedules, with no mid-heap deletion.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Key]] = []
+        self._counter = itertools.count()
+        self._live: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    def schedule(self, key: Key, time: float) -> None:
+        """(Re)schedule ``key`` at ``time``, cancelling its previous event."""
+        sequence = next(self._counter)
+        self._live[key] = sequence
+        heapq.heappush(self._heap, (time, sequence, key))
+
+    def cancel(self, key: Key) -> None:
+        """Drop ``key``'s event if it has one (no-op otherwise)."""
+        self._live.pop(key, None)
+
+    def time_of(self, key: Key) -> Optional[float]:
+        """Currently scheduled time for ``key`` (linear scan; debug aid)."""
+        sequence = self._live.get(key)
+        if sequence is None:
+            return None
+        for time, seq, heap_key in self._heap:
+            if seq == sequence and heap_key == key:
+                return time
+        return None
+
+    def _drop_stale(self) -> None:
+        heap = self._heap
+        live = self._live
+        while heap and live.get(heap[0][2]) != heap[0][1]:
+            heapq.heappop(heap)
+
+    def peek(self) -> Optional[Tuple[float, Key]]:
+        """Earliest live ``(time, key)`` without removing it."""
+        self._drop_stale()
+        if not self._heap:
+            return None
+        time, _, key = self._heap[0]
+        return time, key
+
+    def peek_time(self) -> Optional[float]:
+        entry = self.peek()
+        return entry[0] if entry is not None else None
+
+    def pop(self) -> Tuple[float, Key]:
+        """Remove and return the earliest live ``(time, key)``."""
+        self._drop_stale()
+        time, _, key = heapq.heappop(self._heap)
+        del self._live[key]
+        return time, key
+
+
+class ReplayHost(Protocol):
+    """What a simulator must provide to be driven by :func:`run_replay`.
+
+    The host owns all domain state (active Coflows, rate/plan tables,
+    completion records); the engine owns time, arrival admission, and the
+    event loop itself.
+    """
+
+    def has_active(self) -> bool:
+        """True while any admitted Coflow is still unfinished."""
+
+    def admit(self, coflow, now: float) -> None:
+        """Activate one arriving Coflow at instant ``now``."""
+
+    def plan(self, now: float, next_arrival: float) -> float:
+        """(Re)schedule at ``now``; return the next event's time.
+
+        The returned instant is the earlier of ``next_arrival`` and the
+        host's next internal event (completion, guard-slice end,
+        allocator wake-up).  Return ``inf`` only when the host can make
+        no progress at all — with no arrivals remaining that is a fatal
+        stall and the engine raises.
+        """
+
+    def advance(self, now: float, event_time: float) -> None:
+        """Bank progress over ``[now, event_time)`` and record completions."""
+
+
+def run_replay(host: ReplayHost, arrivals: Sequence) -> List[float]:
+    """The one trace-replay event loop (shared by every simulator here).
+
+    Drives ``host`` through the whole trace: jump idle gaps to the next
+    arrival, admit everything arriving within ``TIME_EPS`` of the current
+    instant, let the host plan, step to the chosen event, advance.
+    ``arrivals`` must be sorted by ``arrival_time`` (traces are).
+
+    Returns the processed event times (also what each iteration set
+    ``now`` to) — the event sequence the differential suites compare.
+
+    Raises:
+        RuntimeError: if the host reports no upcoming event while no
+            arrivals remain (a packet allocator that starved every active
+            Coflow; circuit plans always yield a finite completion).
+    """
+    event_times: List[float] = []
+    index = 0
+    total = len(arrivals)
+    now = 0.0
+    while index < total or host.has_active():
+        if not host.has_active():
+            now = arrivals[index].arrival_time
+        while index < total and arrivals[index].arrival_time <= now + TIME_EPS:
+            host.admit(arrivals[index], now)
+            index += 1
+        next_arrival = arrivals[index].arrival_time if index < total else math.inf
+        event_time = host.plan(now, next_arrival)
+        if math.isinf(event_time):
+            raise RuntimeError(
+                "no progress possible: allocator starved all active coflows "
+                "and no arrivals remain"
+            )
+        host.advance(now, event_time)
+        event_times.append(event_time)
+        now = event_time
+    return event_times

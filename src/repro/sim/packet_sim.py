@@ -24,6 +24,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.compat import legacy_entry_point
 from repro.core.coflow import Coflow, CoflowTrace
 from repro.core.prt import TIME_EPS
+from repro.sim.engine import run_replay
 from repro.sim.results import SimulationReport, make_record
 from repro.units import DEFAULT_BANDWIDTH
 
@@ -158,72 +159,67 @@ class PacketSimulator:
         self.event_times: List[float] = []
 
     def run(self) -> SimulationReport:
+        self._report = SimulationReport(
+            self.allocator.name, self.bandwidth_bps, delta=0.0
+        )
+        self._passes = getattr(self.allocator, "allocation_passes", 1)
+        self._active = {}
+        self._states = []
+        self._rates = {}
+        run_replay(self, list(self.trace))
+        return self._report
+
+    # ------------------------------------------------------------------
+    # ReplayHost hooks (driven by repro.sim.engine.run_replay)
+    # ------------------------------------------------------------------
+    def has_active(self) -> bool:
+        return bool(self._active)
+
+    def admit(self, coflow: Coflow, now: float) -> None:
+        self._active[coflow.coflow_id] = PacketCoflowState(
+            coflow=coflow,
+            remaining=dict(coflow.processing_times(self.bandwidth_bps)),
+        )
+
+    def plan(self, now: float, next_arrival: float) -> float:
         from repro.perf import packet_counters
 
-        report = SimulationReport(self.allocator.name, self.bandwidth_bps, delta=0.0)
-        arrivals = list(self.trace)
-        passes = getattr(self.allocator, "allocation_passes", 1)
-        next_arrival_index = 0
-        active: Dict[int, PacketCoflowState] = {}
-        now = 0.0
+        states = self._states = list(self._active.values())
+        rates = self._rates = self.allocator.allocate(
+            states, self.trace.num_ports, self.bandwidth_bps
+        )
+        packet_counters.inc("rate_reallocations")
+        packet_counters.inc("allocator_passes", self._passes)
+        packet_counters.observe_max(
+            "flows_active_peak",
+            sum(state.unfinished_count for state in states),
+        )
+        self._check_capacity(rates)
+        return min(
+            next_arrival,
+            self._next_completion(states, rates, now),
+            self.allocator.extra_event_time(states, rates, now, self.bandwidth_bps),
+        )
 
-        while active or next_arrival_index < len(arrivals):
-            if not active:
-                now = arrivals[next_arrival_index].arrival_time
-            while (
-                next_arrival_index < len(arrivals)
-                and arrivals[next_arrival_index].arrival_time <= now + TIME_EPS
-            ):
-                coflow = arrivals[next_arrival_index]
-                active[coflow.coflow_id] = PacketCoflowState(
-                    coflow=coflow,
-                    remaining=dict(coflow.processing_times(self.bandwidth_bps)),
+    def advance(self, now: float, event_time: float) -> None:
+        from repro.perf import packet_counters
+
+        self._advance(self._states, self._rates, event_time - now)
+        packet_counters.inc("events_processed")
+        active = self._active
+        finished = [cid for cid, state in active.items() if state.done]
+        for cid in finished:
+            state = active.pop(cid)
+            self._report.add(
+                make_record(
+                    state.coflow,
+                    completion_time=event_time,
+                    bandwidth_bps=self.bandwidth_bps,
+                    delta=0.0,
+                    switching_count=0,
                 )
-                next_arrival_index += 1
-
-            states = list(active.values())
-            rates = self.allocator.allocate(states, self.trace.num_ports, self.bandwidth_bps)
-            packet_counters.inc("rate_reallocations")
-            packet_counters.inc("allocator_passes", passes)
-            packet_counters.observe_max(
-                "flows_active_peak",
-                sum(state.unfinished_count for state in states),
             )
-            self._check_capacity(rates)
-
-            next_arrival = (
-                arrivals[next_arrival_index].arrival_time
-                if next_arrival_index < len(arrivals)
-                else math.inf
-            )
-            event_time = min(
-                next_arrival,
-                self._next_completion(states, rates, now),
-                self.allocator.extra_event_time(states, rates, now, self.bandwidth_bps),
-            )
-            if math.isinf(event_time):
-                raise RuntimeError(
-                    "no progress possible: allocator starved all active coflows "
-                    "and no arrivals remain"
-                )
-
-            self._advance(states, rates, event_time - now)
-            packet_counters.inc("events_processed")
-            finished = [cid for cid, state in active.items() if state.done]
-            for cid in finished:
-                state = active.pop(cid)
-                report.add(
-                    make_record(
-                        state.coflow,
-                        completion_time=event_time,
-                        bandwidth_bps=self.bandwidth_bps,
-                        delta=0.0,
-                        switching_count=0,
-                    )
-                )
-            now = event_time
-            self.event_times.append(event_time)
-        return report
+        self.event_times.append(event_time)
 
     # ------------------------------------------------------------------
     def _check_capacity(self, rates: Dict[FlowKey, float]) -> None:

@@ -26,7 +26,6 @@ twin, so it falls back to the reference engine.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional
 
 import numpy as np
@@ -41,6 +40,7 @@ from repro.kernels.allocation import (
 )
 from repro.perf import packet_counters
 from repro.sim.aalo import AaloAllocator
+from repro.sim.engine import run_replay
 from repro.sim.packet_sim import RateAllocator
 from repro.sim.results import SimulationReport, make_record
 from repro.sim.varys import VarysAllocator
@@ -155,73 +155,76 @@ class VectorPacketSimulator:
         self.event_times: List[float] = []
 
     def run(self) -> SimulationReport:
-        report = SimulationReport(self.allocator.name, self.bandwidth_bps, delta=0.0)
+        self._report = SimulationReport(
+            self.allocator.name, self.bandwidth_bps, delta=0.0
+        )
+        self._passes = getattr(self.allocator, "allocation_passes", 1)
+        self._live = []
+        self._table = None
+        self._table_stale = False
+        run_replay(self, list(self.trace))
+        return self._report
+
+    # ------------------------------------------------------------------
+    # ReplayHost hooks (driven by repro.sim.engine.run_replay)
+    # ------------------------------------------------------------------
+    def has_active(self) -> bool:
+        return bool(self._live)
+
+    def admit(self, coflow: Coflow, now: float) -> None:
+        self._live.append(_Slot(coflow, self.bandwidth_bps))
+        self._table_stale = True
+
+    def plan(self, now: float, next_arrival: float) -> float:
         allocator = self.allocator
         bandwidth = self.bandwidth_bps
         num_ports = self.trace.num_ports
-        reallocate = allocator.reallocate_on_flow_completion
-        passes = getattr(allocator, "allocation_passes", 1)
-        arrivals = list(self.trace)
-        total = len(arrivals)
-        index = 0
-        live: List[_Slot] = []
-        table: Optional[FlowArrays] = None
-        now = 0.0
+        if self._table_stale:
+            # Rebuild drops lazily-retained dead segments and appends the
+            # new Coflows' flows.
+            self._table = _build_table(self._live, self._table, num_ports)
+            self._table_stale = False
+        table = self._table
 
-        while live or index < total:
-            if not live:
-                now = arrivals[index].arrival_time
-            admitted = False
-            while index < total and arrivals[index].arrival_time <= now + TIME_EPS:
-                live.append(_Slot(arrivals[index], bandwidth))
-                index += 1
-                admitted = True
-            if admitted:
-                # Rebuild drops lazily-retained dead segments and
-                # appends the new Coflows' flows.
-                table = _build_table(live, table, num_ports)
+        order = allocator.vector_allocate(table, num_ports, bandwidth)
+        packet_counters.inc("rate_reallocations")
+        packet_counters.inc("allocator_passes", self._passes)
+        packet_counters.observe_max(
+            "flows_active_peak", int(table.unfinished.sum())
+        )
+        check_capacity(table, order, num_ports)
 
-            order = allocator.vector_allocate(table, num_ports, bandwidth)
-            packet_counters.inc("rate_reallocations")
-            packet_counters.inc("allocator_passes", passes)
-            packet_counters.observe_max(
-                "flows_active_peak", int(table.unfinished.sum())
-            )
-            check_capacity(table, order, num_ports)
+        event_time = min(
+            next_arrival,
+            next_completion(table, now, allocator.reallocate_on_flow_completion),
+            allocator.vector_extra_event_time(table, now, bandwidth),
+        )
+        # numpy scalars leak out of the vector kernels; the engine (and
+        # the event_times log the differential suite compares) works in
+        # native floats.
+        return float(event_time)
 
-            next_arrival = arrivals[index].arrival_time if index < total else math.inf
-            event_time = min(
-                next_arrival,
-                next_completion(table, now, reallocate),
-                allocator.vector_extra_event_time(table, now, bandwidth),
-            )
-            if math.isinf(event_time):
-                raise RuntimeError(
-                    "no progress possible: allocator starved all active coflows "
-                    "and no arrivals remain"
-                )
-            event_time = float(event_time)
+    def advance(self, now: float, event_time: float) -> None:
+        table = self._table
+        advance(table, event_time - now)
+        packet_counters.inc("events_processed")
 
-            advance(table, event_time - now)
-            packet_counters.inc("events_processed")
-
-            unfinished = table.unfinished
-            if any(unfinished[slot.cidx] == 0 for slot in live):
-                still: List[_Slot] = []
-                for slot in live:
-                    if unfinished[slot.cidx] == 0:
-                        report.add(
-                            make_record(
-                                slot.coflow,
-                                completion_time=event_time,
-                                bandwidth_bps=bandwidth,
-                                delta=0.0,
-                                switching_count=0,
-                            )
+        unfinished = table.unfinished
+        live = self._live
+        if any(unfinished[slot.cidx] == 0 for slot in live):
+            still: List[_Slot] = []
+            for slot in live:
+                if unfinished[slot.cidx] == 0:
+                    self._report.add(
+                        make_record(
+                            slot.coflow,
+                            completion_time=event_time,
+                            bandwidth_bps=self.bandwidth_bps,
+                            delta=0.0,
+                            switching_count=0,
                         )
-                    else:
-                        still.append(slot)
-                live = still
-            now = event_time
-            self.event_times.append(event_time)
-        return report
+                    )
+                else:
+                    still.append(slot)
+            self._live = still
+        self.event_times.append(event_time)

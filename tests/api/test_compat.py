@@ -78,3 +78,31 @@ def test_every_alias_is_registered():
         "bandwidth": "bandwidth_bps",
         "rate_bps": "bandwidth_bps",
     }
+
+
+def test_warning_fires_once_per_call_site():
+    """A looping legacy caller warns on the first iteration only — but the
+    keyword rewrite still happens on every call."""
+
+    @canonical_kwargs(old_name="new_name")
+    def f(new_name=0):
+        return new_name
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        results = [f(old_name=i) for i in range(5)]  # one call site
+    assert results == [0, 1, 2, 3, 4]  # rewrite applied on all five calls
+    assert len(caught) == 1
+    assert issubclass(caught[0].category, DeprecationWarning)
+
+
+def test_distinct_call_sites_each_warn():
+    @canonical_kwargs(old_name="new_name")
+    def f(new_name=0):
+        return new_name
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        f(old_name=1)
+        f(old_name=2)  # different line: its own notice
+    assert len(caught) == 2

@@ -36,7 +36,10 @@ class TestPlanCacheUnit:
         assert plan_keys(first) == plan_keys(second)
         counters = scheduler.plan_cache.counters
         assert counters["plan_cache_hits"] == 1
-        assert counters["plan_cache_misses"] == 1
+        # The first lookup is a pre-check skip (key never stored), not a
+        # miss: the rate only counts recurring planning problems.
+        assert counters["plan_cache_misses"] == 0
+        assert counters["plan_cache_skips"] == 1
         assert counters["plan_cache_shifted_hits"] == 0
 
     def test_shifted_hit_from_earlier_origin(self):
@@ -68,7 +71,10 @@ class TestPlanCacheUnit:
         scheduler.schedule_demand(prt, 5, demand)
         counters = scheduler.plan_cache.counters
         assert counters["plan_cache_hits"] == 0
-        assert counters["plan_cache_misses"] == 2
+        # First sight skips; the recurrence with changed occupancy is the
+        # real miss (the key exists but no signature matches).
+        assert counters["plan_cache_skips"] == 1
+        assert counters["plan_cache_misses"] == 1
 
     def test_established_and_random_order_bypass(self):
         demand = {(0, 1): 0.2}
@@ -146,8 +152,10 @@ class TestCacheEquivalence:
         with_cache, sim_on = run(cache_on=True)
         without_cache, _ = run(cache_on=False)
         assert with_cache == without_cache
-        lookups = sim_on.perf.count("plan_cache_hits") + sim_on.perf.count(
-            "plan_cache_misses"
+        lookups = (
+            sim_on.perf.count("plan_cache_hits")
+            + sim_on.perf.count("plan_cache_misses")
+            + sim_on.perf.count("plan_cache_skips")
         )
         assert lookups > 0
 
@@ -171,15 +179,16 @@ class TestCacheEquivalence:
 
 
 class TestRecurringConvoyScenario:
-    """The bench scenario documenting the headline 0% hit rate.
+    """The bench scenario pinning the cache-aware replanner's hit rate.
 
-    The incremental replanner absorbs recurrences through verbatim replay
-    before the cache is consulted (hit rate 0 by construction); the same
-    trace through the full-replan path produces shifted hits from the
-    identical keying.  Pinning both sides keeps the diagnosis honest.
+    The incremental replanner now fetches from the plan cache *before*
+    falling through to verbatim replay or a recompute, and its reuse
+    paths populate the cache — so the convoy's recurring planning
+    problems hit in both modes instead of being structurally shadowed on
+    the incremental path.
     """
 
-    def test_full_replan_hits_and_incremental_shadowing(self):
+    def test_both_replan_modes_hit_the_cache(self):
         from repro.perf.replay_bench import run_plan_cache_scenario
 
         result = run_plan_cache_scenario()
@@ -187,10 +196,11 @@ class TestRecurringConvoyScenario:
         assert full["plan_cache_hit_rate"] > 0
         assert full["plan_cache_hits"] > 0
         incremental = result["incremental"]
-        assert incremental["plan_cache_hits"] == 0
-        # ...because the replanner's cheaper reuse paths got there first.
-        assert incremental["plans_reused"] > 0
+        assert incremental["plan_cache_hits"] > 0
+        assert incremental["plan_cache_hit_rate"] >= 0.80
+        # Hits replace the verbatim replays that used to shadow them;
+        # recurrences still never reach a recompute.
         assert (
-            incremental["plans_reused"] + incremental["plans_transformed"]
+            incremental["plan_cache_hits"] + incremental["plans_transformed"]
             > incremental["plans_computed"]
         )

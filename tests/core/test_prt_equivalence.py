@@ -122,8 +122,9 @@ class TestDifferentialFuzz:
             elif accepted:
                 # Re-play a random slice of previously accepted
                 # reservations; after the rollbacks above some still fit
-                # and some now conflict — behavior must match exactly,
-                # including which prefix of the batch landed.
+                # and some now conflict — behavior must match exactly.
+                # Replay is atomic in both implementations: a conflicting
+                # batch leaves the table untouched.
                 sample = rng.sample(accepted, min(len(accepted), 4))
                 fast_err = ref_err = None
                 try:
