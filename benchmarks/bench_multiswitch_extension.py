@@ -1,9 +1,10 @@
-"""Future-work extension — Sunflow over k parallel switch planes.
+"""K-core fabric scaling — Sunflow over k parallel switch cores.
 
 The paper's §6 names controlling "a network of circuit switches" as future
 work.  This bench quantifies the natural first step (k parallel OCS
-planes, one transceiver per plane per rack): how much Coflow completion
-improves with extra planes, per traffic category.
+cores, one transceiver per core per rack): how much Coflow completion
+improves with extra cores, per traffic category, under the flow-spreading
+``first-fit`` placement (the K-core generalization of MakeReservation).
 
 Expected shape: port-contended Coflows (in-casts and dense shuffles)
 scale ~1/k, while permutation-like traffic — which never shares ports —
@@ -11,45 +12,47 @@ gains nothing; the fabric-wide average sits in between, dominated by the
 heavy many-to-many shuffles.
 """
 
-from repro.core.multiswitch import MultiSwitchSunflow
+from repro.core.multicore import MultiCoreSunflowScheduler, uniform_cores
 from repro.sim import mean
 
 from _utils import emit, header, run_once
 from conftest import BANDWIDTH, DELTA
 
-PLANES = (1, 2, 4)
+CORES = (1, 2, 4)
 
 
-def test_multiswitch_scaling(benchmark, trace):
+def test_multicore_scaling(benchmark, trace):
     def compute():
-        per_plane = {}
-        for planes in PLANES:
-            scheduler = MultiSwitchSunflow(num_planes=planes, delta=DELTA)
+        per_k = {}
+        for num_cores in CORES:
+            scheduler = MultiCoreSunflowScheduler(
+                uniform_cores(num_cores, BANDWIDTH, DELTA)
+            )
             ccts = {}
             for coflow in trace:
-                schedule = scheduler.schedule_coflow(coflow, BANDWIDTH)
+                schedule = scheduler.schedule_coflow(coflow, policy="first-fit")
                 ccts[coflow.coflow_id] = schedule.makespan
-            per_plane[planes] = ccts
-        return per_plane
+            per_k[num_cores] = ccts
+        return per_k
 
-    per_plane = run_once(benchmark, compute)
-    base = per_plane[1]
+    per_k = run_once(benchmark, compute)
+    base = per_k[1]
 
-    header("Future work: Sunflow on k parallel switch planes (intra mode)")
-    emit(f"{'planes':>7} {'avg CCT':>9} {'vs k=1':>8} {'mean speedup':>13}")
-    for planes in PLANES:
-        ccts = per_plane[planes]
+    header("K-core fabric: Sunflow on k parallel switch cores (intra mode)")
+    emit(f"{'cores':>7} {'avg CCT':>9} {'vs k=1':>8} {'mean speedup':>13}")
+    for num_cores in CORES:
+        ccts = per_k[num_cores]
         average = mean(list(ccts.values()))
         speedups = [base[cid] / ccts[cid] for cid in ccts]
         emit(
-            f"{planes:>7} {average:>8.2f}s "
+            f"{num_cores:>7} {average:>8.2f}s "
             f"{average / mean(list(base.values())):>8.3f}x {mean(speedups):>12.2f}x"
         )
     emit()
-    emit("contended coflows (in-cast, dense shuffles) scale with the plane")
+    emit("contended coflows (in-cast, dense shuffles) scale with the core")
     emit("count; permutation-like demand is already contention-free at k=1.")
 
-    # More planes never hurt, and help on average.
+    # More cores never hurt, and help on average.
     for cid in base:
-        assert per_plane[4][cid] <= base[cid] + 1e-9
-    assert mean(list(per_plane[4].values())) < mean(list(base.values()))
+        assert per_k[4][cid] <= base[cid] + 1e-9
+    assert mean(list(per_k[4].values())) < mean(list(base.values()))

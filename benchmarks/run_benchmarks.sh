@@ -5,10 +5,12 @@
 # inter-Coflow replanning) at paper scale, the sweep-engine benchmark
 # (serial vs parallel vs cache-warm over a δ × seed grid), the
 # scheduler-kernel benchmark (numpy kernels vs pure-Python references),
-# and the packet-simulator benchmark (vectorized engine vs reference),
-# leaving the summaries in BENCH_trace_replay.json,
-# BENCH_sweep_engine.json, BENCH_schedulers.json, and
-# BENCH_packet_sim.json at the repository root.  Extra arguments are
+# the packet-simulator benchmark (vectorized engine vs reference), and
+# the K-core fabric benchmark (CCT vs lower bound over K ∈ {1,2,4,8}
+# with bitwise differentials), leaving the summaries in
+# BENCH_trace_replay.json, BENCH_sweep_engine.json,
+# BENCH_schedulers.json, BENCH_packet_sim.json, and
+# BENCH_multicore.json at the repository root.  Extra arguments are
 # forwarded to the trace-replay bench, e.g.:
 #
 #   benchmarks/run_benchmarks.sh --coflows 120 --max-width 30
@@ -115,5 +117,33 @@ if ratio > 1.25:
     )
 else:
     print(f"perf smoke: packet simulator wall {wall:.2f}s vs baseline {baseline:.2f}s ({ratio:.2f}x)")
+EOF
+fi
+
+# K-core fabric: same perf-smoke pattern — remember the committed sweep
+# wall, rerun (the bench itself exits nonzero on any differential
+# mismatch), warn (non-fatally) past 25%.
+multicore_baseline=""
+if [ -f BENCH_multicore.json ]; then
+    multicore_baseline=$(python -c "import json; print(json.load(open('BENCH_multicore.json')).get('wall_s', ''))")
+fi
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_multicore.py
+
+if [ -n "$multicore_baseline" ]; then
+    python - "$multicore_baseline" <<'EOF'
+import json, sys
+baseline = float(sys.argv[1])
+wall = json.load(open("BENCH_multicore.json"))["wall_s"]
+ratio = wall / baseline if baseline > 0 else 0.0
+if ratio > 1.25:
+    print(
+        f"WARNING: K-core sweep took {wall:.2f}s vs committed baseline "
+        f"{baseline:.2f}s ({ratio:.2f}x) — possible performance regression",
+        file=sys.stderr,
+    )
+else:
+    print(f"perf smoke: K-core sweep wall {wall:.2f}s vs baseline {baseline:.2f}s ({ratio:.2f}x)")
 EOF
 fi

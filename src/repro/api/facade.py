@@ -37,6 +37,7 @@ from repro.sim.circuit_sim import (
     simulate_intra_sunflow,
 )
 from repro.sim.hybrid import HybridConfig, simulate_inter_hybrid, simulate_intra_hybrid
+from repro.sim.multicore_sim import simulate_inter_multicore, simulate_intra_multicore
 from repro.sim.packet_sim import simulate_packet
 from repro.sim.results import SimulationReport
 from repro.sim.aalo import AaloAllocator
@@ -88,7 +89,38 @@ def simulate(spec: SimulationSpec) -> SimulationReport:
     order = ReservationOrder(spec.order)
     rng = random.Random(spec.seed) if spec.seed is not None else None
 
+    multicore = spec.network.num_cores > 1 or spec.multicore_policy is not None
+    if multicore and spec.scheduler != "sunflow":
+        raise ValueError(
+            f"scheduler {spec.scheduler!r} has no K-core backend; "
+            "multi-core fabrics require scheduler='sunflow'"
+        )
+
     if spec.scheduler == "sunflow":
+        if multicore:
+            if spec.guard is not None:
+                raise ValueError(
+                    "starvation guards are single-switch-only; remove the "
+                    "guard or set network.num_cores=1"
+                )
+            cores = spec.network.cores()
+            if spec.mode == "intra":
+                return simulate_intra_multicore(
+                    trace,
+                    cores,
+                    multicore_policy=spec.multicore_policy,
+                    order=order,
+                    rng=rng,
+                )
+            return simulate_inter_multicore(
+                trace,
+                cores,
+                multicore_policy=spec.multicore_policy,
+                policy=_resolve_policy(spec),
+                order=order,
+                priority_classes=spec.priority_mapping(),
+                rng=rng,
+            )
         if spec.mode == "intra":
             return simulate_intra_sunflow(
                 trace, bandwidth, delta, order=order, rng=rng

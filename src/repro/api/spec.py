@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Mapping, Optional, Tuple, Union
 
 from repro.core.coflow import Coflow, CoflowTrace
+from repro.core.multicore import MULTICORE_POLICIES, SwitchCore, build_cores
 from repro.core.starvation import StarvationGuard
 from repro.core.sunflow import ReservationOrder
 from repro.sim.assignment_exec import SwitchModel
@@ -53,22 +54,60 @@ TRACE_KINDS = ("facebook", "random-coflow", "file")
 
 @dataclass(frozen=True)
 class NetworkSpec:
-    """The fabric: link rate ``B`` and reconfiguration delay ``δ``.
+    """The fabric: link rate ``B``, reconfiguration delay ``δ``, and the
+    number of parallel switch cores ``K``.
 
     Attributes:
         bandwidth_bps: per-port line rate in bits per second.
         delta: circuit reconfiguration delay in seconds (ignored by the
             pure packet-switched backends, which have no circuits).
+        num_cores: parallel switch cores per port pair (K-core OCS).  The
+            default ``1`` is the paper's single-switch fabric and keeps
+            every legacy payload byte-identical.
+        core_deltas: optional per-core ``δ`` overrides (length
+            ``num_cores``); every core uses ``delta`` when omitted.
+        core_bandwidths: optional per-core line-rate overrides (length
+            ``num_cores``); every core uses ``bandwidth_bps`` when
+            omitted.
     """
 
     bandwidth_bps: float = DEFAULT_BANDWIDTH
     delta: float = DEFAULT_DELTA
+    num_cores: int = 1
+    core_deltas: Optional[Tuple[float, ...]] = None
+    core_bandwidths: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if self.bandwidth_bps <= 0:
             raise ValueError(f"bandwidth must be positive, got {self.bandwidth_bps!r}")
         if self.delta < 0:
             raise ValueError(f"delta must be non-negative, got {self.delta!r}")
+        if self.num_cores < 1:
+            raise ValueError(f"core count must be positive, got {self.num_cores!r}")
+        for name in ("core_deltas", "core_bandwidths"):
+            values = getattr(self, name)
+            if values is None:
+                continue
+            values = tuple(float(v) for v in values)
+            object.__setattr__(self, name, values)
+            if len(values) != self.num_cores:
+                raise ValueError(
+                    f"{name} has {len(values)} entries for "
+                    f"{self.num_cores} cores"
+                )
+        # Element validation (positivity) happens in build_cores at use
+        # time; validate eagerly so bad specs fail at construction.
+        self.cores()
+
+    def cores(self) -> Tuple[SwitchCore, ...]:
+        """The fabric as :class:`~repro.core.multicore.SwitchCore` objects."""
+        return build_cores(
+            self.num_cores,
+            bandwidth_bps=self.bandwidth_bps,
+            delta=self.delta,
+            core_bandwidths=self.core_bandwidths,
+            core_deltas=self.core_deltas,
+        )
 
 
 @dataclass(frozen=True)
@@ -215,6 +254,11 @@ class SimulationSpec:
             mappings are accepted and normalized.
         seed: seeds the scheduler's RNG (``order="random"``); None keeps
             the legacy default (unseeded = deterministic orders only).
+        multicore_policy: coflow-to-core placement policy for K-core
+            fabrics, one of :data:`repro.core.multicore.MULTICORE_POLICIES`
+            (None = per-mode default).  Requires ``scheduler="sunflow"``;
+            setting it (or ``network.num_cores > 1``) routes the run
+            through the multi-core simulators.
     """
 
     trace: Union[TraceSpec, CoflowTrace]
@@ -229,6 +273,7 @@ class SimulationSpec:
     latency: Optional[LatencyConfig] = None
     priority_classes: Optional[Tuple[Tuple[int, int], ...]] = None
     seed: Optional[int] = None
+    multicore_policy: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -236,6 +281,14 @@ class SimulationSpec:
         if self.scheduler not in SCHEDULERS:
             raise ValueError(
                 f"unknown scheduler {self.scheduler!r}; expected one of {SCHEDULERS}"
+            )
+        if (
+            self.multicore_policy is not None
+            and self.multicore_policy not in MULTICORE_POLICIES
+        ):
+            raise ValueError(
+                f"unknown multicore policy {self.multicore_policy!r}; "
+                f"expected one of {sorted(MULTICORE_POLICIES)}"
             )
         object.__setattr__(
             self, "order", _normalize_enum(self.order, ReservationOrder, "order")
@@ -312,16 +365,29 @@ def _trace_from_payload(payload: dict) -> Union[TraceSpec, CoflowTrace]:
 
 
 def spec_to_payload(spec: SimulationSpec) -> dict:
-    """A plain-JSON dict capturing the spec exactly (for hashing/IPC)."""
-    return {
+    """A plain-JSON dict capturing the spec exactly (for hashing/IPC).
+
+    Multi-core fields are emitted only when they deviate from the
+    single-core defaults, so every single-core spec serializes
+    byte-identically to the pre-K-core payload layout (sweep caches keyed
+    on payload hashes stay valid).
+    """
+    network = {
+        "bandwidth_bps": spec.network.bandwidth_bps,
+        "delta": spec.network.delta,
+    }
+    if spec.network.num_cores != 1:
+        network["num_cores"] = spec.network.num_cores
+    if spec.network.core_deltas is not None:
+        network["core_deltas"] = list(spec.network.core_deltas)
+    if spec.network.core_bandwidths is not None:
+        network["core_bandwidths"] = list(spec.network.core_bandwidths)
+    payload = {
         "version": PAYLOAD_VERSION,
         "trace": _trace_to_payload(spec.trace),
         "mode": spec.mode,
         "scheduler": spec.scheduler,
-        "network": {
-            "bandwidth_bps": spec.network.bandwidth_bps,
-            "delta": spec.network.delta,
-        },
+        "network": network,
         "policy": spec.policy,
         "order": spec.order,
         "switch_model": spec.switch_model,
@@ -359,6 +425,9 @@ def spec_to_payload(spec: SimulationSpec) -> dict:
         ),
         "seed": spec.seed,
     }
+    if spec.multicore_policy is not None:
+        payload["multicore_policy"] = spec.multicore_policy
+    return payload
 
 
 def spec_from_payload(payload: Mapping) -> SimulationSpec:
@@ -385,6 +454,7 @@ def spec_from_payload(payload: Mapping) -> SimulationSpec:
             None if classes is None else tuple((int(k), int(v)) for k, v in classes)
         ),
         seed=payload.get("seed"),
+        multicore_policy=payload.get("multicore_policy"),
     )
 
 

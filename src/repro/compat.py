@@ -97,3 +97,37 @@ def canonical_kwargs(**aliases: str) -> Callable[[F], F]:
 def legacy_entry_point(fn: F) -> F:
     """The standard shim applied to every legacy ``simulate_*`` function."""
     return canonical_kwargs(**LEGACY_KEYWORD_ALIASES)(fn)
+
+
+def deprecated_entry_point(replacement: str) -> Callable[[F], F]:
+    """Decorator marking a whole callable as superseded.
+
+    Unlike :func:`canonical_kwargs` (which deprecates individual keyword
+    spellings), this flags the callable itself: calling it emits a
+    :class:`DeprecationWarning` naming ``replacement``, once per call
+    site, then runs the original unchanged.  Used to retire standalone
+    scheduler entry points behind ``repro.api.simulate``.
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            caller = sys._getframe(1)
+            site = (
+                caller.f_code.co_filename,
+                caller.f_lineno,
+                fn.__qualname__,
+                "__deprecated__",
+            )
+            if site not in _warned_sites:
+                _warned_sites.add(site)
+                warnings.warn(
+                    f"{fn.__qualname__}() is deprecated; {replacement}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -18,7 +18,7 @@ for shortest-Coflow-first ordering (paper §4.2) and for the idleness metric
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.coflow import Coflow
 from repro.units import processing_time
@@ -104,3 +104,62 @@ def sunflow_packet_bound(coflow: Coflow, bandwidth_bps: float, delta: float) -> 
     return 2.0 * (1.0 + alpha(coflow, bandwidth_bps, delta)) * packet_lower_bound(
         coflow, bandwidth_bps
     )
+
+
+# ----------------------------------------------------------------------
+# K-core generalizations (the K-core OCS papers' lower bounds)
+# ----------------------------------------------------------------------
+def multicore_packet_lower_bound(
+    coflow: Coflow, core_bandwidths: "Sequence[float]"
+) -> float:
+    """K-core ``T^p_L``: busiest port's bytes over the *aggregate* rate.
+
+    With one transceiver per core per rack, a port can push (at most) the
+    sum of the core line rates; no schedule can drain its bytes faster.
+    Degenerates to :func:`packet_lower_bound` at ``K = 1``.
+    """
+    total = sum(core_bandwidths)
+    input_load: Dict[int, float] = defaultdict(float)
+    output_load: Dict[int, float] = defaultdict(float)
+    for flow in coflow.flows:
+        p = processing_time(flow.size_bytes, total)
+        input_load[flow.src] += p
+        output_load[flow.dst] += p
+    loads = list(input_load.values()) + list(output_load.values())
+    return max(loads) if loads else 0.0
+
+
+def multicore_circuit_lower_bound(
+    coflow: Coflow,
+    core_bandwidths: "Sequence[float]",
+    core_deltas: "Sequence[float]",
+) -> float:
+    """K-core ``T^c_L``: transceiver-time at the busiest port over ``K``.
+
+    Under the not-all-stop model, every flow (however its bytes are split
+    across cores) occupies transceiver time on both of its ports of at
+    least its transmission at the *fastest* core rate plus one setup at
+    the *smallest* core delay.  A port owns one transceiver per core, so
+    it accrues at most ``K`` transceiver-seconds per second — the busiest
+    port's total transceiver-time divided by ``K`` lower-bounds the CCT.
+    Degenerates to :func:`circuit_lower_bound` at ``K = 1``.
+    """
+    if len(core_bandwidths) != len(core_deltas):
+        raise ValueError(
+            f"got {len(core_bandwidths)} bandwidths for {len(core_deltas)} deltas"
+        )
+    num_cores = len(core_bandwidths)
+    if num_cores == 0:
+        raise ValueError("at least one core is required")
+    best_bandwidth = max(core_bandwidths)
+    min_delta = min(core_deltas)
+    if min_delta < 0:
+        raise ValueError(f"delta must be non-negative, got {min_delta!r}")
+    input_load: Dict[int, float] = defaultdict(float)
+    output_load: Dict[int, float] = defaultdict(float)
+    for flow in coflow.flows:
+        t = flow_circuit_time(flow.size_bytes, best_bandwidth, min_delta)
+        input_load[flow.src] += t
+        output_load[flow.dst] += t
+    loads = list(input_load.values()) + list(output_load.values())
+    return max(loads) / num_cores if loads else 0.0

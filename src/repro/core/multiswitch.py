@@ -1,74 +1,56 @@
-"""Sunflow over multiple parallel optical switches (paper §6 future work).
+"""Deprecated multi-plane shim over :mod:`repro.core.multicore`.
 
-"Sunflow is meant for controlling a single optical circuit switch.
-Adapting Sunflow for controlling a network of circuit switches is a
-subject of our future work."  This module implements the natural first
-step: a fabric of ``k`` parallel switch *planes*, where every rack has one
-transceiver per plane (the multi-plane OCS topology of Helios-style
-designs).  A flow may be served by any plane; each plane enforces its own
-port constraint.
+This module began as an ad-hoc sketch of "Sunflow over ``k`` parallel
+switch planes" (the paper's §6 future work) with its own private copy of
+the release-scan event loop.  The K-core fabric work subsumed it:
 
-The scheduler generalizes Algorithm 1's MakeReservation to "reserve on the
-first plane where both ports are free and the gap fits": everything else —
-non-preemption, priority ordering across Coflows, the event-driven release
-scan — carries over unchanged.  Lemma 1's argument also survives per
-plane: whenever a flow waits, all planes of its ports are busy, so the
-waiting bound divides by ``k`` in the best case.
+* the fabric model, placement policies and the generalized first-fit
+  planner live in :mod:`repro.core.multicore`,
+* trace replay over cores goes through ``repro.api.simulate`` with
+  ``NetworkSpec(num_cores=k)`` (or :mod:`repro.sim.multicore_sim`),
+* this module keeps the historical names importable —
+  :class:`MultiSwitchSunflow` now *delegates* to
+  :class:`~repro.core.multicore.MultiCoreSunflowScheduler` and warns
+  (once per call site) on construction.
+
+A "plane" is a core with unit byte-rate: the legacy surface measures
+demand in *processing seconds*, so the shim builds cores whose line rate
+is exactly one byte per second (``bandwidth_bps = 8``), making the
+seconds-to-bytes conversion the identity and preserving the old
+numerical behavior exactly.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.compat import deprecated_entry_point
 from repro.core.coflow import Coflow
-from repro.core.prt import PortReservationTable, Reservation, TIME_EPS
-from repro.core.sunflow import ReservationOrder, _Entry
-from repro.units import DEFAULT_BANDWIDTH, DEFAULT_DELTA
+from repro.core.multicore import (
+    CoreReservation,
+    MultiCoreSchedule,
+    MultiCoreSunflowScheduler,
+    uniform_cores,
+)
+from repro.core.prt import CoreReservationTables, PortReservationTable
+from repro.core.sunflow import ReservationOrder
+from repro.units import BITS_PER_BYTE, DEFAULT_BANDWIDTH, DEFAULT_DELTA
 
-
-@dataclass(frozen=True)
-class PlanedReservation:
-    """A reservation bound to one switch plane."""
-
-    plane: int
-    reservation: Reservation
-
-
-@dataclass
-class MultiSwitchSchedule:
-    """The planned per-plane reservations for one Coflow."""
-
-    coflow_id: int
-    start_time: float
-    reservations: List[PlanedReservation] = field(default_factory=list)
-
-    @property
-    def completion_time(self) -> float:
-        if not self.reservations:
-            return self.start_time
-        return max(item.reservation.end for item in self.reservations)
-
-    @property
-    def makespan(self) -> float:
-        return self.completion_time - self.start_time
-
-    @property
-    def num_setups(self) -> int:
-        return sum(1 for item in self.reservations if item.reservation.setup > 0)
-
-    def per_plane_counts(self) -> Dict[int, int]:
-        counts: Dict[int, int] = {}
-        for item in self.reservations:
-            counts[item.plane] = counts.get(item.plane, 0) + 1
-        return counts
+#: Historical names, preserved as aliases of the multicore types (a
+#: ``plane`` attribute aliases ``core`` on :class:`CoreReservation`).
+PlanedReservation = CoreReservation
+MultiSwitchSchedule = MultiCoreSchedule
 
 
 class MultiSwitchSunflow:
-    """Sunflow planning over ``num_planes`` parallel switch planes.
+    """Deprecated: Sunflow planning over ``num_planes`` parallel planes.
+
+    Superseded by ``repro.api.simulate`` with ``NetworkSpec(num_cores=k)``
+    (trace replay) or :class:`~repro.core.multicore.MultiCoreSunflowScheduler`
+    (direct planning).  This shim keeps the seconds-denominated legacy
+    surface alive and emits a :class:`DeprecationWarning` once per call
+    site on construction.
 
     Args:
         num_planes: number of parallel OCS planes (``k``).
@@ -77,6 +59,10 @@ class MultiSwitchSunflow:
         rng: randomness for :attr:`ReservationOrder.RANDOM`.
     """
 
+    @deprecated_entry_point(
+        "use repro.api.simulate with NetworkSpec(num_cores=k), or "
+        "repro.core.multicore.MultiCoreSunflowScheduler for direct planning"
+    )
     def __init__(
         self,
         num_planes: int,
@@ -91,12 +77,19 @@ class MultiSwitchSunflow:
         self.num_planes = num_planes
         self.delta = delta
         self.order = order
-        self._rng = rng if rng is not None else random.Random(0)
+        # Unit byte-rate planes: demand seconds map 1:1 onto demand bytes.
+        self._impl = MultiCoreSunflowScheduler(
+            uniform_cores(
+                num_planes, bandwidth_bps=float(BITS_PER_BYTE), delta=delta
+            ),
+            order=order,
+            rng=rng,
+        )
 
     # ------------------------------------------------------------------
     def new_tables(self) -> List[PortReservationTable]:
         """Fresh per-plane reservation tables."""
-        return [PortReservationTable() for _ in range(self.num_planes)]
+        return list(self._impl.new_tables())
 
     def schedule_demand(
         self,
@@ -115,72 +108,13 @@ class MultiSwitchSunflow:
             raise ValueError(
                 f"expected {self.num_planes} tables, got {len(tables)}"
             )
-        entries = self._make_entries(demand_times)
-        schedule = MultiSwitchSchedule(coflow_id=coflow_id, start_time=start_time)
-        if not entries:
-            return schedule
-
-        pending_by_port: Dict[Tuple[int, str, int], Set[_Entry]] = {}
-        for entry in entries:
-            for plane in range(self.num_planes):
-                pending_by_port.setdefault((plane, "in", entry.src), set()).add(entry)
-                pending_by_port.setdefault((plane, "out", entry.dst), set()).add(entry)
-        outstanding = len(entries)
-
-        counter = itertools.count()
-        events: List[Tuple[float, int, int, int, int]] = []
-        used_inputs = {entry.src for entry in entries}
-        used_outputs = {entry.dst for entry in entries}
-        seeded = set()
-        for plane, prt in enumerate(tables):
-            for port in used_inputs:
-                for reservation in prt.reservations_for_input(port):
-                    if reservation.end > start_time + TIME_EPS:
-                        seeded.add((reservation.end, plane, reservation.src, reservation.dst))
-            for port in used_outputs:
-                for reservation in prt.reservations_for_output(port):
-                    if reservation.end > start_time + TIME_EPS:
-                        seeded.add((reservation.end, plane, reservation.src, reservation.dst))
-        for end, plane, src, dst in seeded:
-            heapq.heappush(events, (end, next(counter), plane, src, dst))
-
-        def attempt(batch, t: float) -> None:
-            nonlocal outstanding
-            for entry in sorted(batch, key=lambda e: e.order_index):
-                if entry.remaining <= TIME_EPS:
-                    continue
-                placed = self._make_reservation(tables, schedule, entry, t)
-                if placed is not None:
-                    plane, reservation = placed
-                    heapq.heappush(
-                        events,
-                        (reservation.end, next(counter), plane,
-                         reservation.src, reservation.dst),
-                    )
-                if entry.remaining <= TIME_EPS:
-                    for plane in range(self.num_planes):
-                        pending_by_port[(plane, "in", entry.src)].discard(entry)
-                        pending_by_port[(plane, "out", entry.dst)].discard(entry)
-                    outstanding -= 1
-
-        attempt(entries, start_time)
-        while outstanding > 0:
-            if not events:
-                raise RuntimeError(
-                    f"coflow {coflow_id}: demand left but no future release"
-                )
-            t = events[0][0]
-            released: Set[Tuple[int, str, int]] = set()
-            while events and events[0][0] <= t + TIME_EPS:
-                _, _, plane, src, dst = heapq.heappop(events)
-                released.add((plane, "in", src))
-                released.add((plane, "out", dst))
-            candidates: Set[_Entry] = set()
-            for key in released:
-                candidates.update(pending_by_port.get(key, ()))
-            if candidates:
-                attempt(candidates, t)
-        return schedule
+        if isinstance(tables, CoreReservationTables):
+            group = tables
+        else:
+            group = CoreReservationTables(list(tables))
+        return self._impl.schedule_demand(
+            group, coflow_id, dict(demand_times), start_time=start_time
+        )
 
     def schedule_coflow(
         self,
@@ -215,52 +149,5 @@ class MultiSwitchSunflow:
             )
         return list(tables), schedules
 
-    # ------------------------------------------------------------------
-    def _make_entries(self, demand_times) -> List[_Entry]:
-        entries = [
-            _Entry(src, dst, p)
-            for (src, dst), p in demand_times.items()
-            if p > TIME_EPS
-        ]
-        if self.order is ReservationOrder.ORDERED_PORT:
-            entries.sort(key=lambda e: (e.src, e.dst))
-        elif self.order is ReservationOrder.RANDOM:
-            entries.sort(key=lambda e: (e.src, e.dst))
-            self._rng.shuffle(entries)
-        else:
-            entries.sort(key=lambda e: (-e.remaining, e.src, e.dst))
-        for index, entry in enumerate(entries):
-            entry.order_index = index
-        return entries
 
-    def _make_reservation(
-        self,
-        tables: Sequence[PortReservationTable],
-        schedule: MultiSwitchSchedule,
-        entry: _Entry,
-        t: float,
-    ) -> Optional[Tuple[int, Reservation]]:
-        """Try each plane in turn; reserve on the first feasible one."""
-        for plane, prt in enumerate(tables):
-            if not (
-                prt.input_free_at(entry.src, t) and prt.output_free_at(entry.dst, t)
-            ):
-                continue
-            t_next = prt.next_reserved_time(entry.src, entry.dst, t)
-            max_length = t_next - t
-            desired_length = self.delta + entry.remaining
-            if max_length <= self.delta + TIME_EPS:
-                continue
-            length = min(max_length, desired_length)
-            reservation = prt.reserve(
-                entry.src,
-                entry.dst,
-                start=t,
-                end=t + length,
-                coflow_id=schedule.coflow_id,
-                setup=self.delta,
-            )
-            schedule.reservations.append(PlanedReservation(plane, reservation))
-            entry.remaining = desired_length - length
-            return plane, reservation
-        return None
+__all__ = ["MultiSwitchSunflow", "MultiSwitchSchedule", "PlanedReservation"]

@@ -821,9 +821,114 @@ class PortReservationTable:
                         )
 
 
+class CoreReservationTables:
+    """K per-core Port Reservation Tables with batched group operations.
+
+    A K-core OCS fabric gives every port pair ``K`` parallel switch cores,
+    each enforcing its own port constraint (a rack has one transceiver per
+    core).  This container holds one :class:`PortReservationTable` per core
+    and mirrors the single-table transaction surface — checkpoint,
+    rollback, replay — *across* the group, so multi-core planners can
+    speculate and undo whole multi-core plans exactly the way the
+    single-switch incremental replanner does on one table:
+
+    * :meth:`checkpoint` captures every core's journal position at once;
+    * :meth:`rollback` undoes every core back to such a group token;
+    * :meth:`replay` re-inserts a ``(core, reservation)`` batch atomically
+      — if any core raises :class:`PortConflictError`, the cores already
+      written are rolled back before the error propagates, leaving the
+      whole group untouched.
+    """
+
+    __slots__ = ("tables",)
+
+    def __init__(self, tables: Sequence[PortReservationTable]) -> None:
+        if not tables:
+            raise ValueError("a core group needs at least one table")
+        self.tables = list(tables)
+
+    @classmethod
+    def fresh(cls, num_cores: int) -> "CoreReservationTables":
+        """A group of ``num_cores`` empty tables."""
+        if num_cores <= 0:
+            raise ValueError(f"core count must be positive, got {num_cores!r}")
+        return cls([PortReservationTable() for _ in range(num_cores)])
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __iter__(self) -> Iterator[PortReservationTable]:
+        return iter(self.tables)
+
+    def __getitem__(self, core: int) -> PortReservationTable:
+        return self.tables[core]
+
+    @property
+    def num_reservations(self) -> int:
+        return sum(len(table) for table in self.tables)
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Tuple[int, ...]:
+        """Group token: every core's journal position, in core order."""
+        return tuple(table.checkpoint() for table in self.tables)
+
+    def rollback(self, token: Sequence[int]) -> int:
+        """Undo every core back to a group ``checkpoint``; returns the
+        total number of reservations undone across the cores."""
+        if len(token) != len(self.tables):
+            raise ValueError(
+                f"group token has {len(token)} entries for {len(self.tables)} cores"
+            )
+        return sum(
+            table.rollback(mark) for table, mark in zip(self.tables, token)
+        )
+
+    def replay(self, items: Sequence[Tuple[int, Reservation]]) -> None:
+        """Atomically re-insert ``(core, reservation)`` pairs.
+
+        Per-core batches go through :meth:`PortReservationTable.replay`
+        (itself atomic per table); on a conflict in any core, the cores
+        already written are rolled back so the group is left exactly as it
+        was before the call.
+        """
+        if not items:
+            return
+        per_core: Dict[int, List[Reservation]] = {}
+        for core, reservation in items:
+            if not 0 <= core < len(self.tables):
+                raise ValueError(
+                    f"core {core} out of range for {len(self.tables)}-core group"
+                )
+            per_core.setdefault(core, []).append(reservation)
+        token = self.checkpoint()
+        written: List[int] = []
+        try:
+            for core, batch in per_core.items():
+                self.tables[core].replay(batch)
+                written.append(core)
+        except PortConflictError:
+            for core in written:
+                self.tables[core].rollback(token[core])
+            raise
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        for table in self.tables:
+            table.clear()
+
+    def makespan(self) -> float:
+        return max(table.makespan() for table in self.tables)
+
+    def validate(self) -> None:
+        for table in self.tables:
+            table.validate()
+
+
 __all__ = [
     "TIME_EPS",
     "Reservation",
     "PortConflictError",
     "PortReservationTable",
+    "CoreReservationTables",
 ]

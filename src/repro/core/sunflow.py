@@ -206,6 +206,7 @@ class SunflowScheduler:
         quantum: Optional[float] = None,
         plan_cache: Optional[PlanCache] = None,
         cache_plans: bool = True,
+        cache_scope: Optional[int] = None,
     ) -> None:
         if delta < 0:
             raise ValueError(f"delta must be non-negative, got {delta!r}")
@@ -223,7 +224,17 @@ class SunflowScheduler:
         if plan_cache is None and cache_plans:
             plan_cache = PlanCache()
         self.plan_cache = plan_cache if cache_plans else None
-        self._cache_config = (delta, order.value, quantum)
+        #: ``cache_scope`` namespaces this scheduler's entries inside a
+        #: *shared* cache: a K-core fabric shares one PlanCache across its
+        #: per-core schedulers, and the gap signatures of two cores are
+        #: incomparable (each core has its own PRT), so the core index
+        #: rides in the config key.  ``None`` (single-switch) keeps the
+        #: historical three-element key.
+        self.cache_scope = cache_scope
+        if cache_scope is None:
+            self._cache_config = (delta, order.value, quantum)
+        else:
+            self._cache_config = (delta, order.value, quantum, ("core", cache_scope))
 
     # ------------------------------------------------------------------
     # Intra-Coflow scheduling (Algorithm 1, IntraCoflow + MakeReservation)

@@ -16,6 +16,11 @@ from repro.sim.hybrid import (
     split_coflow,
     split_trace,
 )
+from repro.sim.multicore_sim import (
+    MultiCoreInterSimulator,
+    simulate_inter_multicore,
+    simulate_intra_multicore,
+)
 from repro.sim.packet_sim import (
     PacketCoflowState,
     PacketSimulator,
@@ -43,6 +48,9 @@ __all__ = [
     "simulate_inter_sunflow",
     "simulate_intra_assignment",
     "simulate_intra_sunflow",
+    "MultiCoreInterSimulator",
+    "simulate_inter_multicore",
+    "simulate_intra_multicore",
     "Event",
     "EventQueue",
     "HybridConfig",

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.coflow import Coflow, CoflowTrace
 from repro.core.policies import CoflowView, Policy, ShortestFirst
+from repro.core.plan_cache import PlanCache
 from repro.core.prt import (
     PortConflictError,
     PortReservationTable,
@@ -214,6 +215,8 @@ class InterCoflowSimulator:
         rng: Optional[random.Random] = None,
         incremental: bool = True,
         perf: Optional[PerfCounters] = None,
+        plan_cache: Optional[PlanCache] = None,
+        cache_scope: Optional[int] = None,
     ) -> None:
         self.trace = trace.sorted_by_arrival()
         self.bandwidth_bps = bandwidth_bps
@@ -221,7 +224,13 @@ class InterCoflowSimulator:
         self.policy = policy if policy is not None else ShortestFirst()
         self.guard = guard
         self.priority_classes = priority_classes or {}
-        self.scheduler = SunflowScheduler(delta=delta, order=order, rng=rng)
+        self.scheduler = SunflowScheduler(
+            delta=delta,
+            order=order,
+            rng=rng,
+            plan_cache=plan_cache,
+            cache_scope=cache_scope,
+        )
         self.incremental = incremental
         self.perf = perf if perf is not None else PerfCounters()
         # Incremental-replan state: a persistent layered PRT plus the plan
@@ -235,6 +244,17 @@ class InterCoflowSimulator:
     # ------------------------------------------------------------------
     def run(self) -> SimulationReport:
         """Replay the whole trace; returns one record per Coflow."""
+        self.begin_run()
+        self.event_times = run_replay(self, list(self.trace))
+        return self.finish_run()
+
+    def begin_run(self) -> None:
+        """Reset per-run state; the ReplayHost hooks are live afterwards.
+
+        Split from :meth:`run` so a composite host (the K-core simulator)
+        can drive several per-core instances through one shared
+        :func:`~repro.sim.engine.run_replay` loop.
+        """
         self._report = SimulationReport("sunflow", self.bandwidth_bps, self.delta)
         self._active = {}
         self._schedules = {}
@@ -245,15 +265,15 @@ class InterCoflowSimulator:
         self._completions = IndexedEventQueue()
         self._predicted = {}
         cache = self.scheduler.plan_cache
-        cache_baseline = dict(cache.counters) if cache is not None else {}
+        self._cache_baseline = dict(cache.counters) if cache is not None else {}
 
-        self.event_times = run_replay(self, list(self.trace))
-
+    def finish_run(self) -> SimulationReport:
+        """Fold this run's share of the (scheduler-lifetime) cache counters
+        into the simulation's perf counters and return the report."""
+        cache = self.scheduler.plan_cache
         if cache is not None:
-            # Fold this run's share of the (scheduler-lifetime) cache
-            # counters into the simulation's perf counters.
             for name, value in cache.counters.items():
-                self.perf.inc(name, value - cache_baseline.get(name, 0))
+                self.perf.inc(name, value - self._cache_baseline.get(name, 0))
         return self._report
 
     # ------------------------------------------------------------------

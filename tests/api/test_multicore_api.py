@@ -1,0 +1,171 @@
+"""Public-API tests for the K-core spec surface and facade dispatch."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    GuardSpec,
+    NetworkSpec,
+    SimulationSpec,
+    TraceSpec,
+    override_spec,
+    simulate,
+    spec_from_payload,
+    spec_to_payload,
+)
+from repro.units import GBPS, MS
+
+#: Small Facebook-like workload reused by every cell here.
+TRACE = TraceSpec(num_ports=30, num_coflows=25, seed=2016)
+
+
+class TestNetworkSpecCores:
+    def test_defaults_are_single_core(self):
+        network = NetworkSpec()
+        assert network.num_cores == 1
+        assert network.core_deltas is None and network.core_bandwidths is None
+        cores = network.cores()
+        assert len(cores) == 1
+        assert cores[0].bandwidth_bps == network.bandwidth_bps
+        assert cores[0].delta == network.delta
+
+    def test_core_overrides_normalized_and_validated(self):
+        network = NetworkSpec(num_cores=2, core_deltas=[0.01, 0.02])
+        assert network.core_deltas == (0.01, 0.02)
+        assert [c.delta for c in network.cores()] == [0.01, 0.02]
+        with pytest.raises(ValueError):
+            NetworkSpec(num_cores=0)
+        with pytest.raises(ValueError):
+            NetworkSpec(num_cores=2, core_deltas=(0.01,))
+        with pytest.raises(ValueError):
+            NetworkSpec(num_cores=2, core_bandwidths=(1e9, -1.0))
+
+    def test_multicore_policy_validated(self):
+        SimulationSpec(trace=TRACE, multicore_policy="balanced-split")
+        with pytest.raises(ValueError, match="multicore policy"):
+            SimulationSpec(trace=TRACE, multicore_policy="bogus")
+
+
+class TestPayloadRoundTrip:
+    def test_single_core_payload_is_byte_identical_to_legacy_layout(self):
+        """The K-core fields must be invisible on single-core specs, so
+        sweep caches keyed on payload hashes keep hitting."""
+        spec = SimulationSpec(trace=TRACE, mode="inter")
+        payload = spec_to_payload(spec)
+        assert payload["network"] == {
+            "bandwidth_bps": spec.network.bandwidth_bps,
+            "delta": spec.network.delta,
+        }
+        assert "multicore_policy" not in payload
+        assert spec_from_payload(json.loads(json.dumps(payload))) == spec
+
+    def test_multicore_payload_round_trips(self):
+        spec = SimulationSpec(
+            trace=TRACE,
+            mode="inter",
+            network=NetworkSpec(
+                num_cores=4,
+                core_deltas=(0.01, 0.01, 0.02, 0.02),
+                core_bandwidths=(1 * GBPS, 1 * GBPS, 2 * GBPS, 2 * GBPS),
+            ),
+            multicore_policy="ok-approx",
+        )
+        payload = spec_to_payload(spec)
+        assert payload["network"]["num_cores"] == 4
+        assert payload["multicore_policy"] == "ok-approx"
+        assert spec_from_payload(json.loads(json.dumps(payload))) == spec
+
+    def test_override_spec_reaches_core_fields(self):
+        spec = SimulationSpec(trace=TRACE)
+        assert override_spec(spec, "network.num_cores", 4).network.num_cores == 4
+        assert (
+            override_spec(spec, "multicore_policy", "balanced-split")
+            .multicore_policy
+            == "balanced-split"
+        )
+
+
+class TestFacadeDispatch:
+    @pytest.mark.parametrize("delta", [2 * MS, 10 * MS])
+    def test_fig6_intra_k1_bitwise(self, delta):
+        """Fig-6 mode (intra δ-sensitivity): a one-core fabric must give
+        record-for-record identical results through the public API."""
+        network = NetworkSpec(delta=delta)
+        expected = simulate(SimulationSpec(trace=TRACE, mode="intra", network=network))
+        got = simulate(
+            SimulationSpec(
+                trace=TRACE,
+                mode="intra",
+                network=NetworkSpec(delta=delta, num_cores=1),
+                multicore_policy="first-fit",
+            )
+        )
+        assert got.records == expected.records
+
+    @pytest.mark.parametrize("delta", [2 * MS, 10 * MS])
+    def test_fig10_inter_k1_bitwise(self, delta):
+        """Fig-10 mode (inter δ-sensitivity): same bitwise guarantee on
+        the trace-replay path."""
+        expected = simulate(
+            SimulationSpec(
+                trace=TRACE, mode="inter", network=NetworkSpec(delta=delta)
+            )
+        )
+        got = simulate(
+            SimulationSpec(
+                trace=TRACE,
+                mode="inter",
+                network=NetworkSpec(delta=delta, num_cores=1),
+                multicore_policy="ok-approx",
+            )
+        )
+        assert got.records == expected.records
+
+    @pytest.mark.parametrize("mode", ["intra", "inter"])
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_multicore_runs_through_facade(self, mode, k):
+        report = simulate(
+            SimulationSpec(
+                trace=TRACE, mode=mode, network=NetworkSpec(num_cores=k)
+            )
+        )
+        assert len(report.records) == TRACE.num_coflows
+
+    def test_non_sunflow_schedulers_reject_cores(self):
+        with pytest.raises(ValueError, match="K-core"):
+            simulate(
+                SimulationSpec(
+                    trace=TRACE,
+                    scheduler="solstice",
+                    network=NetworkSpec(num_cores=2),
+                )
+            )
+        with pytest.raises(ValueError, match="K-core"):
+            simulate(
+                SimulationSpec(
+                    trace=TRACE,
+                    mode="inter",
+                    scheduler="varys",
+                    multicore_policy="ok-approx",
+                )
+            )
+
+    def test_guard_rejected_on_multicore(self):
+        with pytest.raises(ValueError, match="single-switch"):
+            simulate(
+                SimulationSpec(
+                    trace=TRACE,
+                    mode="inter",
+                    network=NetworkSpec(num_cores=2),
+                    guard=GuardSpec(period=1.0, tau=0.1),
+                )
+            )
+
+    def test_first_fit_rejected_in_inter_mode(self):
+        with pytest.raises(ValueError, match="first-fit"):
+            simulate(
+                SimulationSpec(
+                    trace=TRACE, mode="inter", multicore_policy="first-fit"
+                )
+            )

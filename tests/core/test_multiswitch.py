@@ -153,3 +153,51 @@ class TestInterCoflow:
         # With two planes, the low-priority coflow uses the second plane's
         # transceiver on port 0 and is not delayed at all.
         assert schedules[2].makespan == pytest.approx(alone.makespan)
+
+
+class TestDeprecationShim:
+    def test_constructor_warns_once_per_call_site(self):
+        import warnings
+
+        def construct():
+            return MultiSwitchSunflow(num_planes=2)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            construct()
+            construct()
+        notices = [
+            w
+            for w in caught
+            if issubclass(w.category, DeprecationWarning)
+            and "MultiSwitchSunflow" in str(w.message)
+        ]
+        assert len(notices) == 1
+        assert "repro.api.simulate" in str(notices[0].message)
+
+    def test_shim_delegates_to_multicore_scheduler(self):
+        import warnings
+
+        from repro.core.multicore import MultiCoreSunflowScheduler, uniform_cores
+        from repro.units import BITS_PER_BYTE, processing_time
+
+        coflow = Coflow.from_demand(
+            1, {(0, 1): 40 * MB, (0, 2): 25 * MB, (3, 1): 10 * MB}
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = MultiSwitchSunflow(num_planes=2, delta=DELTA).schedule_coflow(
+                coflow, B
+            )
+        modern = MultiCoreSunflowScheduler(
+            uniform_cores(2, bandwidth_bps=float(BITS_PER_BYTE), delta=DELTA)
+        )
+        seconds = {c: processing_time(b, B) for c, b in coflow.demand().items()}
+        expected = modern.schedule_demand(modern.new_tables(), 1, seconds)
+        assert [
+            (item.plane, item.reservation.start, item.reservation.end)
+            for item in legacy.reservations
+        ] == [
+            (item.core, item.reservation.start, item.reservation.end)
+            for item in expected.reservations
+        ]

@@ -341,21 +341,26 @@ class TestVectorEquivalence:
 
 
 class TestSingleEventLoop:
-    def test_exactly_one_event_loop_in_sim(self):
+    def test_exactly_one_event_loop_in_sim_and_core(self):
         """The unification's structural guarantee: the only trace-replay
-        ``while`` loop left in ``src/repro/sim/`` is the engine's."""
+        ``while`` loop left in ``src/repro/sim/`` *and* ``src/repro/core/``
+        is the engine's.  ``core/`` is scanned so the retired multiswitch
+        private loop (now delegated through ``core/multicore.py``) cannot
+        quietly come back."""
         import pathlib
 
+        import repro.core as core_pkg
         import repro.sim as sim_pkg
 
-        sim_dir = pathlib.Path(sim_pkg.__file__).parent
         pattern = "while index < total or host.has_active()"
         loop_files = []
-        for path in sorted(sim_dir.glob("*.py")):
-            text = path.read_text()
-            if pattern in text:
-                loop_files.append(path.name)
-            # The retired private-loop idiom must not reappear.
-            assert "while active or next_arrival_index" not in text, path.name
-            assert "while live or index < total" not in text, path.name
+        for pkg in (sim_pkg, core_pkg):
+            pkg_dir = pathlib.Path(pkg.__file__).parent
+            for path in sorted(pkg_dir.glob("*.py")):
+                text = path.read_text()
+                if pattern in text:
+                    loop_files.append(path.name)
+                # The retired private-loop idioms must not reappear.
+                assert "while active or next_arrival_index" not in text, path.name
+                assert "while live or index < total" not in text, path.name
         assert loop_files == ["engine.py"]

@@ -1,0 +1,179 @@
+"""Differential tests for the K-core replay (``repro.sim.multicore_sim``).
+
+The load-bearing guarantees:
+
+* ``K = 1`` reproduces the single-switch replay **bitwise** — same
+  records, same event times — for both the incremental and full-replan
+  paths and for every placement policy;
+* at any ``K``, the incremental and full-replan paths of the multi-core
+  replay agree bitwise with each other (the single-switch invariant,
+  lifted to the composed host).
+"""
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coflow import Coflow, CoflowTrace
+from repro.core.multicore import uniform_cores
+from repro.core.policies import Fifo
+from repro.sim.circuit_sim import (
+    InterCoflowSimulator,
+    simulate_intra_sunflow,
+)
+from repro.sim.multicore_sim import (
+    MultiCoreInterSimulator,
+    simulate_inter_multicore,
+    simulate_intra_multicore,
+)
+from repro.units import GBPS, MB, MS
+
+B = 1 * GBPS
+DELTA = 10 * MS
+
+
+def _random_trace(seed, num_ports=10, num_coflows=25):
+    rng = random.Random(seed)
+    coflows = []
+    for cid in range(num_coflows):
+        demand = {}
+        for _ in range(rng.randint(1, 5)):
+            circuit = (rng.randrange(num_ports), rng.randrange(num_ports))
+            demand[circuit] = demand.get(circuit, 0.0) + rng.uniform(
+                0.1 * MB, 60 * MB
+            )
+        coflows.append(
+            Coflow.from_demand(cid, demand, arrival_time=rng.uniform(0.0, 1.5))
+        )
+    return CoflowTrace(num_ports, coflows)
+
+
+TRACE = _random_trace(7)
+
+
+class TestSingleCoreBitwise:
+    @pytest.mark.parametrize("incremental", [True, False])
+    @pytest.mark.parametrize("policy", ["ok-approx", "balanced-split"])
+    def test_k1_inter_matches_single_switch(self, incremental, policy):
+        reference = InterCoflowSimulator(
+            TRACE, bandwidth_bps=B, delta=DELTA, incremental=incremental
+        )
+        expected = reference.run()
+        simulator = MultiCoreInterSimulator(
+            TRACE,
+            uniform_cores(1, B, DELTA),
+            multicore_policy=policy,
+            incremental=incremental,
+        )
+        got = simulator.run()
+        assert simulator.event_times == reference.event_times
+        assert got.records == expected.records
+
+    def test_k1_inter_matches_with_priority_policy(self):
+        expected = InterCoflowSimulator(
+            TRACE, bandwidth_bps=B, delta=DELTA, policy=Fifo()
+        ).run()
+        got = simulate_inter_multicore(
+            TRACE, uniform_cores(1, B, DELTA), policy=Fifo()
+        )
+        assert got.records == expected.records
+
+    def test_k1_intra_matches_single_switch(self):
+        expected = simulate_intra_sunflow(TRACE, B, DELTA)
+        got = simulate_intra_multicore(TRACE, uniform_cores(1, B, DELTA))
+        assert got.records == expected.records
+
+
+class TestMultiCoreDifferential:
+    @pytest.mark.parametrize("k", [2, 4])
+    @pytest.mark.parametrize("policy", ["ok-approx", "balanced-split"])
+    def test_incremental_equals_full_replan(self, k, policy):
+        runs = []
+        for incremental in (True, False):
+            simulator = MultiCoreInterSimulator(
+                TRACE,
+                uniform_cores(k, B, DELTA),
+                multicore_policy=policy,
+                incremental=incremental,
+            )
+            report = simulator.run()
+            runs.append((simulator.event_times, report.records))
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1] == runs[1][1]
+
+    @pytest.mark.parametrize("policy", ["ok-approx", "balanced-split"])
+    def test_more_cores_do_not_slow_the_mean_cct(self, policy):
+        def mean_cct(report):
+            return sum(
+                r.completion_time - r.arrival_time for r in report.records
+            ) / len(report.records)
+
+        base = mean_cct(
+            simulate_inter_multicore(
+                TRACE, uniform_cores(1, B, DELTA), multicore_policy=policy
+            )
+        )
+        wide = mean_cct(
+            simulate_inter_multicore(
+                TRACE, uniform_cores(4, B, DELTA), multicore_policy=policy
+            )
+        )
+        assert wide <= base * (1 + 1e-9)
+
+    def test_every_coflow_gets_exactly_one_merged_record(self):
+        simulator = MultiCoreInterSimulator(
+            TRACE, uniform_cores(3, B, DELTA), multicore_policy="balanced-split"
+        )
+        report = simulator.run()
+        assert sorted(r.coflow_id for r in report.records) == sorted(
+            c.coflow_id for c in TRACE
+        )
+        assert not simulator._pending
+
+    def test_intra_policies_run_and_respect_k(self):
+        for policy in ("first-fit", "ok-approx", "balanced-split"):
+            report = simulate_intra_multicore(
+                TRACE, uniform_cores(2, B, DELTA), multicore_policy=policy
+            )
+            assert len(report.records) == len(TRACE.coflows)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        k=st.integers(min_value=1, max_value=4),
+        policy=st.sampled_from(["ok-approx", "balanced-split"]),
+    )
+    def test_fuzz_incremental_equals_full(self, seed, k, policy):
+        """Random traces, random K, skewed demand: the two replan paths of
+        the K-core replay must stay bitwise identical."""
+        trace = _random_trace(seed, num_ports=6, num_coflows=10)
+        results = []
+        for incremental in (True, False):
+            simulator = MultiCoreInterSimulator(
+                trace,
+                uniform_cores(k, B, DELTA),
+                multicore_policy=policy,
+                incremental=incremental,
+            )
+            report = simulator.run()
+            results.append((simulator.event_times, report.records))
+        assert results[0] == results[1]
+
+
+class TestSmokeCores:
+    def test_smoke_at_ci_core_count(self):
+        """CI matrix hook: REPRO_SMOKE_CORES selects the fabric width."""
+        k = int(os.environ.get("REPRO_SMOKE_CORES", "1"))
+        trace = _random_trace(3, num_ports=8, num_coflows=12)
+        inter = simulate_inter_multicore(trace, uniform_cores(k, B, DELTA))
+        intra = simulate_intra_multicore(trace, uniform_cores(k, B, DELTA))
+        assert len(inter.records) == len(trace.coflows)
+        assert len(intra.records) == len(trace.coflows)
+        if k == 1:
+            expected = InterCoflowSimulator(
+                trace, bandwidth_bps=B, delta=DELTA
+            ).run()
+            assert inter.records == expected.records
