@@ -58,6 +58,10 @@ def main(argv=None) -> int:
         cores_list=args.cores,
     )
 
+    from repro.perf import bench_provenance
+
+    result["provenance"] = bench_provenance()
+
     args.output.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.output}")
     print(

@@ -150,6 +150,10 @@ def main(argv=None) -> int:
 
     result["mismatches"] = total_mismatches
     result["targets_met"] = not shortfalls
+
+    from repro.perf import bench_provenance
+
+    result["provenance"] = bench_provenance()
     args.output.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {args.output}")
 

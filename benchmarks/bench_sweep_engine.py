@@ -147,6 +147,10 @@ def main(argv=None) -> int:
         },
     }
 
+    from repro.perf import bench_provenance
+
+    summary["provenance"] = bench_provenance()
+
     args.output.write_text(json.dumps(summary, indent=2) + "\n")
     print(f"wrote {args.output}")
     print(

@@ -18,6 +18,71 @@ import pathlib
 import sys
 
 
+def _compare_backends(args, run_trace_replay) -> dict:
+    """Replay the same trace under the python and native planner backends.
+
+    Both runs keep the full-replan validation on, so each backend's
+    incremental/full mismatch count is enforced to 0; on top of that the
+    two backends' perf-counter counts (events, plans computed,
+    reservations made, ...) must be identical — the planners are bitwise
+    twins, so any divergence is a kernel bug, not noise.
+    """
+    from repro.core.sunflow import native_planner_available
+    from repro.kernels import use_backend
+
+    if not native_planner_available():
+        return {
+            "native_available": False,
+            "note": "repro._native is not built; skipped "
+            "(python setup.py build_ext --inplace)",
+        }
+
+    comparison: dict = {"native_available": True}
+    counts = {}
+    for backend in ("python", "native"):
+        with use_backend(backend):
+            run = run_trace_replay(
+                num_coflows=args.coflows,
+                num_ports=args.ports,
+                max_width=args.max_width,
+                seed=args.seed,
+                compare_full=True,
+            )
+        counts[backend] = run["counters"]["counts"]
+        comparison[backend] = {
+            "wall_s": run["wall_s"],
+            "plan_timer_s": run["counters"]["timers_s"]["plan"],
+            "full_replan_wall_s": run["full_replan_wall_s"],
+            "mismatches": run["mismatches"],
+        }
+        if run["mismatches"]:
+            comparison["error"] = (
+                f"{backend} backend: incremental and full replanning disagree"
+            )
+            return comparison
+    comparison["counters_identical"] = counts["python"] == counts["native"]
+    if not comparison["counters_identical"]:
+        diff = {
+            key: (counts["python"].get(key), counts["native"].get(key))
+            for key in set(counts["python"]) | set(counts["native"])
+            if counts["python"].get(key) != counts["native"].get(key)
+        }
+        comparison["counter_diff"] = diff
+        comparison["error"] = "python and native backends diverged: " + ", ".join(
+            f"{key} {py_val} vs {nat_val}" for key, (py_val, nat_val) in diff.items()
+        )
+        return comparison
+    py_plan = comparison["python"]["plan_timer_s"]
+    nat_plan = comparison["native"]["plan_timer_s"]
+    comparison["plan_speedup"] = py_plan / nat_plan if nat_plan > 0 else None
+    comparison["wall_speedup"] = (
+        comparison["python"]["wall_s"] / comparison["native"]["wall_s"]
+        if comparison["native"]["wall_s"] > 0
+        else None
+    )
+    return comparison
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--coflows", type=int, default=500, help="trace length")
@@ -33,6 +98,13 @@ def main(argv=None) -> int:
         "--no-compare",
         action="store_true",
         help="skip the full-replan validation run (timing only)",
+    )
+    parser.add_argument(
+        "--compare-backends",
+        action="store_true",
+        help="also replay under REPRO_KERNEL=python and REPRO_KERNEL=native "
+        "and record wall + plan-timer for each (requires the repro._native "
+        "extension; mismatches are enforced to 0 in both)",
     )
     parser.add_argument(
         "--baseline-s",
@@ -51,6 +123,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro.perf import bench_provenance
     from repro.perf.replay_bench import run_plan_cache_scenario, run_trace_replay
 
     result = run_trace_replay(
@@ -60,6 +133,16 @@ def main(argv=None) -> int:
         seed=args.seed,
         compare_full=not args.no_compare,
     )
+    result["provenance"] = bench_provenance()
+
+    if args.compare_backends:
+        comparison = _compare_backends(args, run_trace_replay)
+        result["backend_comparison"] = comparison
+        if comparison.get("error"):
+            print(f"ERROR: {comparison['error']}", file=sys.stderr)
+            args.output.write_text(json.dumps(result, indent=2) + "\n")
+            return 1
+
     result["plan_cache_scenario"] = scenario = run_plan_cache_scenario()
     # Surface the convoy scenario's hit rates next to the headline
     # replay's so the summary shows recurring-workload cache behavior in
@@ -81,16 +164,28 @@ def main(argv=None) -> int:
         f"incremental: {result['wall_s']:.2f}s over {result['events']} events, "
         f"{result['coflows']} coflows"
     )
-    hit_rate = result.get("incremental_plan_cache_hit_rate")
+    hit_rate = result["incremental_plan_cache_hit_rate"]
+    skips_only = " (skips only)" if result["incremental_plan_cache_skips_only"] else ""
     kept = result.get("plans_kept_per_computed")
     print(
         "reuse: "
-        "incremental plan-cache hit rate "
-        f"{hit_rate if hit_rate is None else f'{hit_rate:.1%}'}, "
+        f"incremental plan-cache hit rate {hit_rate:.1%}{skips_only}, "
         f"kept/computed {kept if kept is None else f'{kept:.2f}'}, "
         f"{result.get('plans_transformed', 0)} transformed, "
         f"{result.get('plans_reused', 0)} replayed"
     )
+    if "backend_comparison" in result and result["backend_comparison"].get(
+        "native_available"
+    ):
+        comparison = result["backend_comparison"]
+        print(
+            "backend comparison: "
+            f"python plan {comparison['python']['plan_timer_s']:.2f}s / "
+            f"wall {comparison['python']['wall_s']:.2f}s, "
+            f"native plan {comparison['native']['plan_timer_s']:.2f}s / "
+            f"wall {comparison['native']['wall_s']:.2f}s "
+            f"(plan speedup {comparison['plan_speedup']:.2f}x, 0 mismatches)"
+        )
     if "full_replan_wall_s" in result:
         print(
             f"full replan: {result['full_replan_wall_s']:.2f}s "
@@ -105,8 +200,7 @@ def main(argv=None) -> int:
     print(
         "plan-cache scenario (recurring convoy): "
         f"full-replan hit rate {cache_rate:.1%}, "
-        f"incremental hit rate "
-        f"{inc_rate if inc_rate is None else f'{inc_rate:.1%}'} "
+        f"incremental hit rate {inc_rate:.1%} "
         f"({scenario['incremental']['plan_cache_hits']} hits, "
         f"{scenario['incremental']['plan_cache_skips']} first-sight skips)"
     )

@@ -25,14 +25,36 @@
 set -e
 cd "$(dirname "$0")/.."
 
+# When the compiled planner (repro._native) is built, run the replay
+# bench under REPRO_KERNEL=native with the per-backend comparison on:
+# the committed numbers then track the fastest supported configuration
+# and the regression smoke below compares native against native.  An
+# explicit REPRO_KERNEL in the environment wins.
+replay_kernel="${REPRO_KERNEL:-}"
+replay_flags=""
+if [ -z "$replay_kernel" ] && PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+        python -c "import repro._native" >/dev/null 2>&1; then
+    replay_kernel="native"
+    replay_flags="--compare-backends"
+fi
+
 # Perf smoke: remember the committed replay wall before the bench
 # overwrites BENCH_trace_replay.json, then warn (non-fatally) if the
 # fresh run regressed by more than 25%.  Machine-to-machine variance is
 # larger than that, so this only flags regressions against a baseline
-# produced on the same machine.
+# produced on the same machine — and only when the committed run used
+# the same planner backend (a native run vs a pure-Python baseline is a
+# 2× "improvement" that says nothing about regressions).
 baseline_wall=""
 if [ -f BENCH_trace_replay.json ]; then
-    baseline_wall=$(python -c "import json; print(json.load(open('BENCH_trace_replay.json')).get('wall_s', ''))")
+    baseline_wall=$(python - "$replay_kernel" <<'EOF'
+import json, sys
+data = json.load(open("BENCH_trace_replay.json"))
+expected = "native" if sys.argv[1] == "native" else "python"
+committed = data.get("provenance", {}).get("planner_backend", "python")
+print(data.get("wall_s", "") if committed == expected else "")
+EOF
+    )
 fi
 # A custom --output (or non-default trace config) diverts the summary
 # away from the committed file, so the smoke comparison below would be
@@ -41,8 +63,8 @@ if [ "$#" -gt 0 ]; then
     baseline_wall=""
 fi
 
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
-    python benchmarks/bench_trace_replay.py "$@"
+REPRO_KERNEL="$replay_kernel" PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_trace_replay.py $replay_flags "$@"
 
 if [ -n "$baseline_wall" ]; then
     python - "$baseline_wall" <<'EOF'

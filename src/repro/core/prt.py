@@ -45,6 +45,16 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 #: Tolerance for floating-point time comparisons throughout the scheduler.
 TIME_EPS = 1e-9
 
+#: Version of the storage layout documented above, as consumed by the
+#: optional compiled planner (``src/repro/_native.c`` reads the per-port
+#: ``array('d')``/``array('q')`` buffers directly through the buffer
+#: protocol).  Bump this whenever the struct-of-arrays contract changes —
+#: boundary interleaving, typecodes, the ``__slots__`` names, or the
+#: journal/``_ends``/``_ends_sorted`` bookkeeping — so a stale extension
+#: build is refused (``repro.core.sunflow`` falls back to pure Python)
+#: instead of corrupting tables.
+PRT_LAYOUT_VERSION = 1
+
 #: Profile of a port with no (future) reservations; shared singleton.
 _EMPTY_PROFILE: Tuple[float, ...] = (0,)
 
@@ -927,6 +937,7 @@ class CoreReservationTables:
 
 __all__ = [
     "TIME_EPS",
+    "PRT_LAYOUT_VERSION",
     "Reservation",
     "PortConflictError",
     "PortReservationTable",

@@ -40,14 +40,150 @@ from array import array
 import itertools
 import math
 import operator
+import os
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.coflow import Coflow
 from repro.core.plan_cache import PlanCache, PlanProbe
-from repro.core.prt import PortReservationTable, Reservation, TIME_EPS
+from repro.core.prt import (
+    PRT_LAYOUT_VERSION,
+    PortReservationTable,
+    Reservation,
+    TIME_EPS,
+)
 from repro.units import DEFAULT_BANDWIDTH, DEFAULT_DELTA
+
+# The optional compiled planner (src/repro/_native.c): the event-driven
+# scheduling loop below, running directly against the PRT's per-port
+# boundary buffers.  Import-time detection — a missing build, or one
+# compiled against a different PRT storage layout, simply leaves the
+# pure-Python loop in charge.
+try:
+    from repro import _native
+except ImportError:  # pragma: no cover - depends on the build environment
+    _native = None
+if _native is not None and getattr(_native, "LAYOUT_VERSION", None) != PRT_LAYOUT_VERSION:
+    _native = None  # pragma: no cover - stale build artifact
+
+#: Same environment variable :mod:`repro.kernels` dispatches on; read
+#: directly (rather than through ``repro.kernels.active_backend``) so the
+#: pure-Python planner keeps working without numpy installed.
+_BACKEND_ENV = "REPRO_KERNEL"
+
+_NAN = float("nan")
+
+_warned_native_missing = False
+
+
+def native_planner_available() -> bool:
+    """True when the compiled planner is importable and layout-compatible."""
+    return _native is not None
+
+
+def planner_backend() -> str:
+    """Which ``schedule_demand`` implementation the current environment
+    selects: ``"native"`` (compiled kernel) or ``"python"``.
+
+    ``REPRO_KERNEL=native`` requests the compiled kernel; when the
+    extension is not built (or was built against a different PRT layout)
+    the answer is ``"python"`` — the fallback is transparent apart from a
+    one-time :class:`RuntimeWarning`.
+    """
+    return "native" if _use_native() else "python"
+
+
+def _use_native() -> bool:
+    # Same normalization as ``repro.kernels.active_backend``; unknown
+    # values are *that* function's job to reject.
+    if os.environ.get(_BACKEND_ENV, "").strip().lower() != "native":
+        return False
+    if _native is None:
+        global _warned_native_missing
+        if not _warned_native_missing:
+            _warned_native_missing = True
+            warnings.warn(
+                "REPRO_KERNEL=native requested but the repro._native "
+                "extension is not available; using the pure-Python planner "
+                "(build it with `python setup.py build_ext --inplace` or by "
+                "installing the package with a C compiler present)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return False
+    return True
+
+
+def _pack_entries(
+    entries: "List[_Entry]",
+    established: Mapping[Tuple[int, int], Tuple[float, Optional[float]]],
+) -> List[Tuple[int, int, float, bool, float, float]]:
+    """Flatten entries for the native kernel.
+
+    One 6-tuple per entry, in consideration order (entry list position ==
+    ``order_index``, an invariant of :meth:`SunflowScheduler._make_entries`):
+    ``(src, dst, remaining, has_established, setup_left, anchor)`` with a
+    NaN anchor encoding "no anchor" (reservation end times are never NaN).
+    """
+    if not established:
+        return [(e.src, e.dst, e.remaining, False, 0.0, _NAN) for e in entries]
+    packed = []
+    get = established.get
+    for e in entries:
+        est = get((e.src, e.dst))
+        if est is None:
+            packed.append((e.src, e.dst, e.remaining, False, 0.0, _NAN))
+        else:
+            setup_left, anchor = est
+            packed.append(
+                (
+                    e.src,
+                    e.dst,
+                    e.remaining,
+                    True,
+                    setup_left,
+                    _NAN if anchor is None else anchor,
+                )
+            )
+    return packed
+
+
+def _pack_demand(
+    demand_times: Mapping[Tuple[int, int], float],
+    established: Mapping[Tuple[int, int], Tuple[float, Optional[float]]],
+) -> List[Tuple[int, int, float, bool, float, float]]:
+    """Fused ``_make_entries`` + ``_pack_entries`` for the native kernel's
+    hot path (ORDERED_PORT order, no quantum): the sorted dict items *are*
+    the consideration order, so the packed tuples are built straight from
+    them without materializing ``_Entry`` objects first."""
+    if established:
+        get = established.get
+        packed = []
+        for (src, dst), p in sorted(demand_times.items()):
+            if p > TIME_EPS:
+                est = get((src, dst))
+                if est is None:
+                    packed.append((src, dst, p, False, 0.0, _NAN))
+                else:
+                    setup_left, anchor = est
+                    packed.append(
+                        (
+                            src,
+                            dst,
+                            p,
+                            True,
+                            setup_left,
+                            _NAN if anchor is None else anchor,
+                        )
+                    )
+        return packed
+    return [
+        (src, dst, p, False, 0.0, _NAN)
+        for (src, dst), p in sorted(demand_times.items())
+        if p > TIME_EPS
+    ]
 
 
 #: Sort key for attempt batches; C-level attrgetter keeps the hot loop lean.
@@ -307,11 +443,64 @@ class SunflowScheduler:
                         reservations=cached,
                     )
 
-        entries = self._make_entries(demand_times)
         schedule = CoflowSchedule(coflow_id=coflow_id, start_time=start_time)
-        if not entries:
-            return schedule
+        if _use_native():
+            # Compiled twin of ``_plan_python``: the same event loop with
+            # verbatim float expressions, mutating the same PRT arrays in
+            # place through the buffer protocol.
+            if self.order is ReservationOrder.ORDERED_PORT and self.quantum is None:
+                packed = _pack_demand(demand_times, established)
+            else:
+                # RANDOM must still shuffle through ``_make_entries`` so
+                # the rng stream advances exactly as in the Python loop.
+                packed = _pack_entries(self._make_entries(demand_times), established)
+            if not packed:
+                return schedule
+            _native.schedule_demand(
+                prt,
+                Reservation,
+                coflow_id,
+                start_time,
+                self.delta,
+                TIME_EPS,
+                bool(established),
+                packed,
+                schedule.reservations,
+            )
+        else:
+            entries = self._make_entries(demand_times)
+            if not entries:
+                return schedule
+            self._plan_python(
+                prt,
+                coflow_id,
+                entries,
+                start_time,
+                established,
+                schedule.reservations,
+            )
+        if probe is not None:
+            cache.store(probe, schedule.reservations, schedule.first_start())
+        return schedule
 
+    def _plan_python(
+        self,
+        prt: PortReservationTable,
+        coflow_id: int,
+        entries: "List[_Entry]",
+        start_time: float,
+        established: Mapping[Tuple[int, int], Tuple[float, Optional[float]]],
+        reservations: List[Reservation],
+    ) -> None:
+        """The event-driven scheduling loop (pure-Python backend).
+
+        Fills ``prt`` and appends to ``reservations`` in place.  The
+        compiled kernel (:mod:`repro._native`, selected by
+        ``REPRO_KERNEL=native``) is this loop's bit-identical twin — any
+        behavioral change here must be mirrored there, and the
+        differential suites in ``tests/kernels/test_native_planner.py``
+        compare the two reservation-for-reservation.
+        """
         outstanding = len(entries)
 
         # Release events: the scheduling clock.  Seed with the ends of
@@ -360,7 +549,6 @@ class SunflowScheduler:
         journal = prt._reservations
         ends = prt._ends
         release_of_block = prt.release_of_block
-        reservations = schedule.reservations
         eps = TIME_EPS
         br = bisect.bisect_right
         heappush = heapq.heappush
@@ -649,9 +837,6 @@ class SunflowScheduler:
                         enqueue(entry)
                     else:
                         examine(entry, t, taken, origin)
-        if probe is not None:
-            cache.store(probe, schedule.reservations, schedule.first_start())
-        return schedule
 
     def schedule_coflow(
         self,

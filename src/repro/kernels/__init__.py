@@ -46,8 +46,12 @@ import numpy as np
 #: Environment variable selecting the kernel backend at runtime.
 BACKEND_ENV = "REPRO_KERNEL"
 
-#: Recognized backend names.
-BACKENDS = ("numpy", "python")
+#: Recognized backend names.  ``native`` selects the compiled Sunflow
+#: planner (:mod:`repro._native`) for ``schedule_demand`` and behaves like
+#: ``numpy`` everywhere else; when the extension is not built the planner
+#: falls back to pure Python with a one-time warning (see
+#: :func:`repro.core.sunflow.planner_backend`).
+BACKENDS = ("numpy", "python", "native")
 
 
 def active_backend() -> str:
@@ -73,8 +77,13 @@ def active_backend() -> str:
 
 
 def numpy_enabled() -> bool:
-    """True when the numpy kernel layer is active."""
-    return active_backend() == "numpy"
+    """True when the numpy kernel layer is active.
+
+    The ``native`` backend only swaps the Sunflow planner loop; the
+    scheduler/packet kernels keep their numpy implementations, so every
+    backend except ``python`` enables them.
+    """
+    return active_backend() != "python"
 
 
 @contextmanager

@@ -5,6 +5,9 @@
   made/replayed, and where time went.
 * :mod:`repro.perf.replay_bench` — the end-to-end trace-replay benchmark
   comparing the incremental replanner against the full-replan path.
+* :func:`bench_provenance` — backend/host provenance (kernel backend,
+  native-extension availability, cpu count, python version) attached to
+  every ``BENCH_*.json`` by the bench CLIs.
 * :data:`scheduler_counters` — process-wide counters for the baseline
   scheduler layer (``matchings_extracted``, ``stuffing_iterations``,
   ``slices_emitted``, ``bvn_permutations``, ``hungarian_solves``),
@@ -17,7 +20,54 @@
   ``BENCH_packet_sim.json``.
 """
 
+from typing import Any, Dict
+
 from repro.perf.counters import PerfCounters
+
+
+def bench_provenance() -> Dict[str, Any]:
+    """Machine and backend provenance stamped into every ``BENCH_*.json``.
+
+    Perf trajectories are only comparable when the runs they came from
+    are: the same bench is 2× faster with the compiled planner built, and
+    multicore numbers depend on the host's core count.  Every bench CLI
+    attaches this dict under a ``"provenance"`` key so a committed JSON
+    records *what* produced it, not just the numbers.
+
+    Keys:
+        ``repro_kernel``
+            The active kernel backend (``REPRO_KERNEL`` resolved through
+            :func:`repro.kernels.active_backend`; the raw value if unknown).
+        ``planner_backend``
+            Which ``schedule_demand`` loop actually runs — ``"native"``
+            only when ``REPRO_KERNEL=native`` *and* the extension is built.
+        ``native_extension_available``
+            Whether :mod:`repro._native` imported (independent of whether
+            it is selected).
+        ``cpu_count`` / ``python_version`` / ``platform``
+            The host context.
+    """
+    # Imported lazily so ``repro.perf`` stays importable without numpy
+    # (repro.kernels imports it eagerly) or the simulation stack.
+    import os
+    import platform as platform_mod
+
+    from repro.core.sunflow import native_planner_available, planner_backend
+
+    try:
+        from repro.kernels import active_backend
+
+        backend = active_backend()
+    except (ImportError, ValueError):
+        backend = os.environ.get("REPRO_KERNEL", "").strip().lower() or "numpy"
+    return {
+        "repro_kernel": backend,
+        "planner_backend": planner_backend(),
+        "native_extension_available": native_planner_available(),
+        "cpu_count": os.cpu_count(),
+        "python_version": platform_mod.python_version(),
+        "platform": platform_mod.platform(),
+    }
 
 #: Process-wide counters for the baseline scheduler / kernel layer.
 #: Benchmarks ``reset()`` this before a run and ``snapshot()`` it after;
@@ -30,4 +80,9 @@ scheduler_counters = PerfCounters()
 #: signal).  ``flows_active_peak`` is an ``observe_max`` high-water mark.
 packet_counters = PerfCounters()
 
-__all__ = ["PerfCounters", "scheduler_counters", "packet_counters"]
+__all__ = [
+    "PerfCounters",
+    "bench_provenance",
+    "scheduler_counters",
+    "packet_counters",
+]

@@ -12,9 +12,28 @@ the result as ``BENCH_trace_replay.json``.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.perf.counters import PerfCounters
+
+
+def _cache_hit_rate(perf: PerfCounters) -> Tuple[float, bool]:
+    """Plan-cache hit rate plus a ``skips_only`` qualifier.
+
+    Skipped lookups (key never stored — the pre-check proved a hit
+    impossible) are excluded: they are first-sight plans, and counting
+    them as misses would deflate the rate achieved on genuinely recurring
+    problems.  When *every* lookup was such a skip (or the run never
+    looked up at all) there were zero cache opportunities, so the rate is
+    reported as ``0.0`` with ``skips_only=True`` — a concrete number
+    downstream tooling can plot without a null guard, flagged so it is
+    not mistaken for a cache that tried and missed.
+    """
+    hits = perf.count("plan_cache_hits")
+    lookups = hits + perf.count("plan_cache_misses")
+    if lookups:
+        return hits / lookups, False
+    return 0.0, True
 
 
 def run_trace_replay(
@@ -64,17 +83,7 @@ def run_trace_replay(
 
     wall_inc, report_inc, perf_inc = replay(incremental=True)
 
-    def cache_hit_rate(perf: PerfCounters) -> Optional[float]:
-        # Skipped lookups (key never stored — the pre-check proved a hit
-        # impossible) are excluded: they are first-sight plans, and
-        # counting them as misses would deflate the rate achieved on
-        # genuinely recurring problems.  Guarded division: a run whose
-        # every lookup was a skip (or that never looked up at all) has no
-        # meaningful rate.
-        hits = perf.count("plan_cache_hits")
-        lookups = hits + perf.count("plan_cache_misses")
-        return hits / lookups if lookups else None
-
+    inc_rate, inc_skips_only = _cache_hit_rate(perf_inc)
     computed = perf_inc.count("plans_computed")
     result: Dict[str, Any] = {
         "bench": "trace_replay",
@@ -93,7 +102,8 @@ def run_trace_replay(
         # replanner fetches from the cache before any reuse path and
         # populates it from all of them, so this rate reflects genuine
         # recurrence in the trace.
-        "incremental_plan_cache_hit_rate": cache_hit_rate(perf_inc),
+        "incremental_plan_cache_hit_rate": inc_rate,
+        "incremental_plan_cache_skips_only": inc_skips_only,
         "plan_cache_skips": perf_inc.count("plan_cache_skips"),
         "plans_kept_per_computed": (
             perf_inc.count("plans_kept") / computed if computed else None
@@ -116,7 +126,9 @@ def run_trace_replay(
         result["speedup_vs_full"] = wall_full / wall_inc if wall_inc > 0 else None
         # The full path replans every queued Coflow at every event, so it
         # is where shifted plan-cache hits show up at scale.
-        result["full_replan_plan_cache_hit_rate"] = cache_hit_rate(perf_full)
+        full_rate, full_skips_only = _cache_hit_rate(perf_full)
+        result["full_replan_plan_cache_hit_rate"] = full_rate
+        result["full_replan_plan_cache_skips_only"] = full_skips_only
         result["mismatches"] = mismatches
 
     return result
@@ -181,11 +193,11 @@ def run_plan_cache_scenario() -> Dict[str, Any]:
         perf = PerfCounters()
         simulator = InterCoflowSimulator(trace, incremental=incremental, perf=perf)
         simulator.run()
-        hits = perf.count("plan_cache_hits")
-        lookups = hits + perf.count("plan_cache_misses")
+        rate, skips_only = _cache_hit_rate(perf)
         return {
-            "plan_cache_hit_rate": hits / lookups if lookups else None,
-            "plan_cache_hits": hits,
+            "plan_cache_hit_rate": rate,
+            "plan_cache_skips_only": skips_only,
+            "plan_cache_hits": perf.count("plan_cache_hits"),
             "plan_cache_shifted_hits": perf.count("plan_cache_shifted_hits"),
             "plan_cache_misses": perf.count("plan_cache_misses"),
             "plan_cache_skips": perf.count("plan_cache_skips"),

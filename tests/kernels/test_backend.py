@@ -40,6 +40,17 @@ class TestBackendSelection:
             with use_backend("fortran"):
                 pass  # pragma: no cover
 
+    def test_native_is_a_known_backend(self, monkeypatch):
+        """``native`` swaps only the Sunflow planner; the scheduler/packet
+        kernel layer must treat it exactly like ``numpy``."""
+        monkeypatch.setenv(BACKEND_ENV, "native")
+        assert active_backend() == "native"
+        assert numpy_enabled()
+
+    def test_backend_names_normalized(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "  Native ")
+        assert active_backend() == "native"
+
     def test_dispatch_follows_env_per_call(self, monkeypatch):
         """The backend is read per schedule call, not captured at import."""
         from repro.matching import stuffing
