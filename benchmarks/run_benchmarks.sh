@@ -7,8 +7,11 @@
 # scheduler-kernel benchmark (numpy kernels vs pure-Python references),
 # the packet-simulator benchmark (vectorized engine vs reference), and
 # the K-core fabric benchmark (CCT vs lower bound over K ∈ {1,2,4,8}
-# with bitwise differentials), leaving the summaries in
-# BENCH_trace_replay.json, BENCH_sweep_engine.json,
+# with bitwise differentials), and the streaming-replay benchmark
+# (bounded-memory engine with a hard peak-RSS ceiling and the
+# 500-coflow byte-identity check; REPRO_STREAM_COFLOWS shrinks it for
+# CI), leaving the summaries in BENCH_trace_replay.json,
+# BENCH_streaming.json, BENCH_sweep_engine.json,
 # BENCH_schedulers.json, BENCH_packet_sim.json, and
 # BENCH_multicore.json at the repository root.  Extra arguments are
 # forwarded to the trace-replay bench, e.g.:
@@ -80,6 +83,36 @@ if ratio > 1.25:
     )
 else:
     print(f"perf smoke: replay wall {wall:.2f}s vs baseline {baseline:.2f}s ({ratio:.2f}x)")
+EOF
+fi
+
+# Streaming replay: the bench itself exits nonzero on any divergence
+# from the in-memory engine or a sketch-accuracy violation; on top of
+# that, same perf-smoke pattern as the replay bench.  The comparison
+# only makes sense at the committed scale, so REPRO_STREAM_COFLOWS
+# (the CI shrink knob) skips it.
+streaming_baseline=""
+if [ -f BENCH_streaming.json ] && [ -z "${REPRO_STREAM_COFLOWS:-}" ]; then
+    streaming_baseline=$(python -c "import json; print(json.load(open('BENCH_streaming.json')).get('wall_s', ''))")
+fi
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    python benchmarks/bench_streaming.py --assert-peak-rss-mb 256
+
+if [ -n "$streaming_baseline" ]; then
+    python - "$streaming_baseline" <<'EOF'
+import json, sys
+baseline = float(sys.argv[1])
+wall = json.load(open("BENCH_streaming.json"))["wall_s"]
+ratio = wall / baseline if baseline > 0 else 0.0
+if ratio > 1.25:
+    print(
+        f"WARNING: streaming replay took {wall:.2f}s vs committed baseline "
+        f"{baseline:.2f}s ({ratio:.2f}x) — possible performance regression",
+        file=sys.stderr,
+    )
+else:
+    print(f"perf smoke: streaming replay wall {wall:.2f}s vs baseline {baseline:.2f}s ({ratio:.2f}x)")
 EOF
 fi
 

@@ -12,6 +12,7 @@ from repro.analysis.export import (
     write_records_csv,
     write_sweep_csv,
 )
+from repro.analysis.quantiles import ExactQuantiles, QuantileDigest, rank_error
 from repro.analysis.stats import cdf_at, ecdf, pearson, spearman
 from repro.analysis.timeline import render_timeline
 from repro.analysis.tracestats import TraceStatistics, trace_statistics
@@ -22,6 +23,9 @@ __all__ = [
     "active_intervals",
     "merge_intervals",
     "network_idleness",
+    "ExactQuantiles",
+    "QuantileDigest",
+    "rank_error",
     "cdf_at",
     "ecdf",
     "pearson",

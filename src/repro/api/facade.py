@@ -76,13 +76,21 @@ def simulate(spec: SimulationSpec) -> SimulationReport:
     """Run the scenario a :class:`~repro.api.spec.SimulationSpec` describes.
 
     Returns the same :class:`~repro.sim.results.SimulationReport` the
-    matching legacy entry point would, for any of the eight backends.
+    matching legacy entry point would, for any of the eight backends —
+    except ``stream=True`` runs, which return a
+    :class:`~repro.sim.streaming.StreamingResult` (bounded-memory
+    aggregates instead of per-Coflow records; the simulation itself is
+    bit-identical).
 
     Raises:
         ValueError: for (mode, scheduler) pairs with no backend — e.g. the
             assignment baselines have no inter-Coflow replay, and the
             packet allocators and system stack have no intra mode.
     """
+    if spec.stream:
+        # Dispatched before resolve_trace(): materializing the trace is
+        # exactly what the streaming path exists to avoid.
+        return _simulate_stream(spec)
     trace = spec.resolve_trace()
     bandwidth = spec.network.bandwidth_bps
     delta = spec.network.delta
@@ -178,3 +186,37 @@ def simulate(spec: SimulationSpec) -> SimulationReport:
         )
 
     raise AssertionError(f"unhandled scheduler {spec.scheduler!r}")  # pragma: no cover
+
+
+def _simulate_stream(spec: SimulationSpec):
+    """The ``stream=True`` path: lazy arrivals, bounded-memory report.
+
+    Spec validation already pinned mode/scheduler/single-core; here we
+    only build the arrival stream (without materializing declarative
+    traces) and hand off to
+    :func:`repro.sim.streaming.simulate_inter_sunflow_stream`.
+    """
+    from repro.api.spec import TraceSpec
+    from repro.sim.streaming import simulate_inter_sunflow_stream
+    from repro.workloads.stream import ArrivalStream
+
+    if isinstance(spec.trace, TraceSpec):
+        arrivals = spec.trace.open_stream()
+    else:
+        ordered = spec.trace.sorted_by_arrival()
+        arrivals = ArrivalStream(ordered.num_ports, ordered.coflows, len(ordered))
+    guard = (
+        spec.guard.build(arrivals.num_ports, spec.network.delta)
+        if spec.guard is not None
+        else None
+    )
+    return simulate_inter_sunflow_stream(
+        arrivals,
+        bandwidth_bps=spec.network.bandwidth_bps,
+        delta=spec.network.delta,
+        policy=_resolve_policy(spec),
+        order=ReservationOrder(spec.order),
+        guard=guard,
+        priority_classes=spec.priority_mapping(),
+        rng=random.Random(spec.seed) if spec.seed is not None else None,
+    )

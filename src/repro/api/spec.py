@@ -49,7 +49,7 @@ SCHEDULERS = (
     "system",
 )
 
-TRACE_KINDS = ("facebook", "random-coflow", "file")
+TRACE_KINDS = ("facebook", "random-coflow", "file", "stream")
 
 
 @dataclass(frozen=True)
@@ -114,13 +114,16 @@ class NetworkSpec:
 class TraceSpec:
     """Declarative workload source — reproducible from parameters alone.
 
-    Three kinds:
+    Four kinds:
 
     * ``"facebook"`` — the synthetic Facebook-like generator used by the
       evaluation (optionally with the paper's ±5 % size perturbation),
     * ``"random-coflow"`` — a single dense random Coflow of ``num_flows``
       subflows (the §6 scheduler-latency workload),
-    * ``"file"`` — a coflow-benchmark format trace file at ``path``.
+    * ``"file"`` — a coflow-benchmark format trace file at ``path``,
+    * ``"stream"`` — a binary ``SFTR`` stream trace at ``path`` (see
+      :mod:`repro.workloads.stream`); made for million-coflow replays but
+      loadable in-memory too.
 
     Unlike an in-memory :class:`~repro.core.coflow.CoflowTrace`, a
     ``TraceSpec`` is pure data: sweep workers regenerate the trace from it
@@ -147,13 +150,17 @@ class TraceSpec:
     def __post_init__(self) -> None:
         if self.kind not in TRACE_KINDS:
             raise ValueError(f"unknown trace kind {self.kind!r}; expected {TRACE_KINDS}")
-        if self.kind == "file" and not self.path:
-            raise ValueError("trace kind 'file' needs a path")
+        if self.kind in ("file", "stream") and not self.path:
+            raise ValueError(f"trace kind {self.kind!r} needs a path")
         if not 0 <= self.perturb < 1:
             raise ValueError(f"perturb must be in [0, 1), got {self.perturb!r}")
 
     def load(self) -> CoflowTrace:
         """Materialize the trace this spec describes (deterministic)."""
+        if self.kind == "stream":
+            from repro.workloads import read_stream_trace
+
+            return read_stream_trace(self.path)
         if self.kind == "file":
             from repro.workloads import parse_trace
 
@@ -186,6 +193,49 @@ class TraceSpec:
         if self.perturb:
             trace = perturb_sizes(trace, fraction=self.perturb, seed=self.seed)
         return trace
+
+    def open_stream(self):
+        """The trace as a lazy :class:`~repro.workloads.stream.ArrivalStream`.
+
+        The streaming counterpart of :meth:`load`: nothing is
+        materialized — file-backed kinds decode records as the replay
+        consumes them, and the generator kinds stream draws.  Coflow for
+        Coflow the stream is bit-identical to :meth:`load` (the
+        differential suites pin this), so ``stream=True`` runs simulate
+        exactly the trace their in-memory twins do.
+        """
+        from repro.workloads.stream import (
+            ArrivalStream,
+            open_any_trace,
+            open_stream_trace,
+        )
+
+        if self.kind == "stream":
+            return open_stream_trace(self.path)
+        if self.kind == "file":
+            return open_any_trace(self.path)
+        if self.kind == "random-coflow":
+            trace = self.load()  # a single Coflow; nothing to stream
+            return ArrivalStream(trace.num_ports, trace.coflows, len(trace))
+        from repro.workloads import (
+            FacebookLikeTraceGenerator,
+            GeneratorConfig,
+            perturb_sizes_iter,
+        )
+
+        config = GeneratorConfig(
+            num_ports=self.num_ports,
+            num_coflows=self.num_coflows,
+            mean_interarrival=self.mean_interarrival,
+            max_width=self.max_width,
+            seed=self.seed,
+        )
+        coflows = FacebookLikeTraceGenerator(config).iter_coflows()
+        if self.perturb:
+            coflows = perturb_sizes_iter(
+                coflows, fraction=self.perturb, seed=self.seed
+            )
+        return ArrivalStream(self.num_ports, coflows, self.num_coflows)
 
 
 @dataclass(frozen=True)
@@ -259,6 +309,13 @@ class SimulationSpec:
             (None = per-mode default).  Requires ``scheduler="sunflow"``;
             setting it (or ``network.num_cores > 1``) routes the run
             through the multi-core simulators.
+        stream: run the bounded-memory streaming replay instead of the
+            in-memory pipeline (``mode="inter"``, ``scheduler="sunflow"``,
+            single-core only).  The simulation is bit-identical; only the
+            result container changes — :func:`repro.api.simulate` returns
+            a :class:`~repro.sim.streaming.StreamingResult` whose report
+            holds running aggregates and a CCT quantile sketch rather
+            than per-Coflow records.
     """
 
     trace: Union[TraceSpec, CoflowTrace]
@@ -274,6 +331,7 @@ class SimulationSpec:
     priority_classes: Optional[Tuple[Tuple[int, int], ...]] = None
     seed: Optional[int] = None
     multicore_policy: Optional[str] = None
+    stream: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -290,6 +348,17 @@ class SimulationSpec:
                 f"unknown multicore policy {self.multicore_policy!r}; "
                 f"expected one of {sorted(MULTICORE_POLICIES)}"
             )
+        if self.stream:
+            if self.mode != "inter" or self.scheduler != "sunflow":
+                raise ValueError(
+                    "stream=True requires mode='inter' and scheduler='sunflow' "
+                    f"(got mode={self.mode!r}, scheduler={self.scheduler!r})"
+                )
+            if self.network.num_cores != 1 or self.multicore_policy is not None:
+                raise ValueError(
+                    "stream=True has no K-core backend; set network.num_cores=1 "
+                    "and multicore_policy=None"
+                )
         object.__setattr__(
             self, "order", _normalize_enum(self.order, ReservationOrder, "order")
         )
@@ -427,6 +496,10 @@ def spec_to_payload(spec: SimulationSpec) -> dict:
     }
     if spec.multicore_policy is not None:
         payload["multicore_policy"] = spec.multicore_policy
+    # Emitted only when set, like the multi-core fields, so legacy
+    # payloads (and their sweep-cache hashes) stay byte-identical.
+    if spec.stream:
+        payload["stream"] = True
     return payload
 
 
@@ -455,6 +528,7 @@ def spec_from_payload(payload: Mapping) -> SimulationSpec:
         ),
         seed=payload.get("seed"),
         multicore_policy=payload.get("multicore_policy"),
+        stream=payload.get("stream", False),
     )
 
 

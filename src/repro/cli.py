@@ -11,6 +11,11 @@ Subcommands mirror the evaluation workflow:
 * ``inter``    — full trace replay (Sunflow / Varys / Aalo) with average
   CCT summaries,
 * ``compare``  — all schedulers side by side,
+* ``replay``   — inter-Coflow Sunflow replay of a text or binary trace;
+  ``--stream`` runs it through the bounded-memory streaming engine
+  (quantile sketch instead of per-Coflow records, O(active) state),
+* ``convert``  — text trace → binary streaming trace (``SFTR``) in O(1)
+  memory,
 * ``timeline`` — ASCII rendering of one Coflow's circuit schedule,
 * ``sweep``    — run a declarative experiment grid (TOML/JSON
   :class:`~repro.sweep.SweepSpec`) through the process-parallel sweep
@@ -122,6 +127,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="inter-Coflow priority policy (Sunflow only)",
     )
 
+    replay = commands.add_parser(
+        "replay",
+        help="inter-Coflow Sunflow replay (text or binary trace); "
+        "--stream uses the bounded-memory streaming engine",
+    )
+    replay.add_argument(
+        "trace", help="path to a text (coflow-benchmark) or binary (SFTR) trace"
+    )
+    _add_network_arguments(replay)
+    replay.add_argument(
+        "--policy",
+        choices=sorted(POLICIES),
+        default="shortest-first",
+        help="inter-Coflow priority policy",
+    )
+    replay.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream arrivals from disk: O(active) memory, CCT quantile "
+        "sketch instead of per-Coflow records",
+    )
+    replay.add_argument(
+        "--digest-compression",
+        type=int,
+        default=200,
+        help="streaming CCT sketch compression δ (memory and rank error "
+        "both scale with it; default 200)",
+    )
+
+    convert = commands.add_parser(
+        "convert",
+        help="convert a text trace to the binary streaming format (SFTR)",
+    )
+    convert.add_argument("trace", help="text trace file to read")
+    convert.add_argument("output", help="binary SFTR file to write")
+
     compare = commands.add_parser(
         "compare", help="run every scheduler on a trace and tabulate CCTs"
     )
@@ -184,6 +225,62 @@ def _print_cct_summary(label: str, values: List[float]) -> None:
         f"{label}: mean {mean(values):.3f}  median {percentile(values, 50):.3f}  "
         f"p95 {percentile(values, 95):.3f}  max {max(values):.3f}"
     )
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    """The ``replay`` subcommand: streaming or in-memory Sunflow replay."""
+    import time
+
+    bandwidth = args.bandwidth_gbps * GBPS
+    delta = args.delta_ms * MS
+    policy = POLICIES[args.policy]
+
+    if args.stream:
+        from repro.sim.streaming import simulate_inter_sunflow_stream
+        from repro.workloads.stream import open_any_trace
+
+        start = time.perf_counter()
+        result = simulate_inter_sunflow_stream(
+            open_any_trace(args.trace),
+            bandwidth_bps=bandwidth,
+            delta=delta,
+            policy=policy,
+            digest_compression=args.digest_compression,
+        )
+        wall = time.perf_counter() - start
+        summary = result.report.summary()
+        print(
+            f"CCT (s): mean {summary['mean_cct_s']:.3f}  "
+            f"median {summary['median_cct_s']:.3f}  "
+            f"p95 {summary['p95_cct_s']:.3f}  max {summary['max_cct_s']:.3f}"
+        )
+        print(
+            f"average CCT: {summary['mean_cct_s']:.3f} s over "
+            f"{summary['count']} coflows (streaming)"
+        )
+        counters = (
+            result.perf.snapshot()["counts"] if result.perf is not None else {}
+        )
+        peak = counters.get("peak_rss_bytes")
+        peak_text = f"{peak / 1e6:.0f} MB" if peak else "n/a"
+        print(
+            f"{result.events} events in {wall:.2f} s "
+            f"({result.events / wall:.0f} events/s), peak RSS {peak_text}, "
+            f"{counters.get('prt_compactions', 0)} compactions, "
+            f"{counters.get('sketch_merges', 0)} sketch merges"
+        )
+        return 0
+
+    from repro.workloads.stream import is_stream_trace, read_stream_trace
+
+    if is_stream_trace(args.trace):
+        trace = read_stream_trace(args.trace)
+    else:
+        trace = parse_trace(args.trace)
+    report = simulate_inter_sunflow(trace, bandwidth, delta, policy=policy)
+    _print_cct_summary("CCT (s)", report.ccts())
+    print(f"average CCT: {report.average_cct():.3f} s over {len(report)} coflows")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -268,6 +365,16 @@ def _dispatch(args: argparse.Namespace) -> int:
             json_path, csv_path = result.write(args.output_dir)
             print(f"wrote {json_path} and {csv_path}")
         return 1 if result.failures() else 0
+
+    if args.command == "convert":
+        from repro.workloads.stream import convert_text_trace
+
+        count = convert_text_trace(args.trace, args.output)
+        print(f"wrote {count} coflows to {args.output} (binary SFTR)")
+        return 0
+
+    if args.command == "replay":
+        return _run_replay(args)
 
     trace = parse_trace(args.trace)
 

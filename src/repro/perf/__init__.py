@@ -20,9 +20,48 @@
   ``BENCH_packet_sim.json``.
 """
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.perf.counters import PerfCounters
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident set size of this process, in bytes (None if unknown).
+
+    Reads ``getrusage(RUSAGE_SELF).ru_maxrss`` — kilobytes on Linux, bytes
+    on macOS — so the value is a high-water mark over the whole process
+    lifetime: it can only grow.  The streaming benchmark asserts its
+    memory ceiling on this number (a flat peak across a million-coflow
+    replay is the whole point), and :func:`bench_provenance` stamps it
+    into every ``BENCH_*.json``.
+    """
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return None
+    import sys
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+def current_rss_bytes() -> Optional[int]:
+    """Current resident set size in bytes via ``/proc`` (None elsewhere).
+
+    Unlike :func:`peak_rss_bytes` this can go down, so the streaming
+    benchmark samples it at checkpoints to show the *trajectory* is flat,
+    not just the final high-water mark.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as statm:
+            fields = statm.read().split()
+        import os
+
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        return None
 
 
 def bench_provenance() -> Dict[str, Any]:
@@ -46,6 +85,10 @@ def bench_provenance() -> Dict[str, Any]:
             it is selected).
         ``cpu_count`` / ``python_version`` / ``platform``
             The host context.
+        ``peak_rss_bytes``
+            Process peak resident memory at stamping time (None when the
+            platform cannot report it) — so every committed bench payload
+            records memory alongside wall time.
     """
     # Imported lazily so ``repro.perf`` stays importable without numpy
     # (repro.kernels imports it eagerly) or the simulation stack.
@@ -67,6 +110,7 @@ def bench_provenance() -> Dict[str, Any]:
         "cpu_count": os.cpu_count(),
         "python_version": platform_mod.python_version(),
         "platform": platform_mod.platform(),
+        "peak_rss_bytes": peak_rss_bytes(),
     }
 
 #: Process-wide counters for the baseline scheduler / kernel layer.
@@ -83,6 +127,8 @@ packet_counters = PerfCounters()
 __all__ = [
     "PerfCounters",
     "bench_provenance",
+    "peak_rss_bytes",
+    "current_rss_bytes",
     "scheduler_counters",
     "packet_counters",
 ]

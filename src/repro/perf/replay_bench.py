@@ -85,10 +85,12 @@ def run_trace_replay(
 
     inc_rate, inc_skips_only = _cache_hit_rate(perf_inc)
     computed = perf_inc.count("plans_computed")
+    events_inc = perf_inc.count("events")
     result: Dict[str, Any] = {
         "bench": "trace_replay",
         "wall_s": wall_inc,
-        "events": perf_inc.count("events"),
+        "events": events_inc,
+        "events_per_sec": events_inc / wall_inc if wall_inc > 0 else None,
         "coflows": len(report_inc.records),
         "config": {
             "num_coflows": num_coflows,

@@ -37,6 +37,11 @@ from repro.sim.results import (
     percentile,
     summarize,
 )
+from repro.sim.streaming import (
+    StreamingReport,
+    StreamingResult,
+    simulate_inter_sunflow_stream,
+)
 from repro.sim.varys import VarysAllocator
 
 __all__ = [
@@ -71,5 +76,8 @@ __all__ = [
     "mean",
     "percentile",
     "summarize",
+    "StreamingReport",
+    "StreamingResult",
+    "simulate_inter_sunflow_stream",
     "VarysAllocator",
 ]

@@ -240,6 +240,19 @@ class InterCoflowSimulator:
         #: Journal size past which the layered PRT is compacted by a full
         #: recompute (kept layers never shrink it on their own).
         self._compact_reservations = 60_000
+        #: Dead (completed-Coflow) layers counted by the last prefix walk.
+        #: When they outnumber the active set, the next replan compacts —
+        #: keeping the per-event walk O(active), not O(history).
+        self._dead_layers = 0
+        #: Per-Coflow view cache for ``_ordered_ids``: ``cid -> (state,
+        #: view)``.  The state reference guards against a foreign driver
+        #: (the differential suites replan hand-built active dicts) reusing
+        #: a view over the wrong ``remaining`` mapping.
+        self._views: Dict[int, Tuple[_ActiveCoflow, CoflowView]] = {}
+        #: Memoized priority order: ``(input ids, ordered ids)``.  Valid
+        #: until any view's bottleneck is invalidated or membership (or
+        #: even iteration order) of the active set changes.
+        self._order_cache: Optional[Tuple[Tuple[int, ...], List[int]]] = None
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationReport:
@@ -248,18 +261,30 @@ class InterCoflowSimulator:
         self.event_times = run_replay(self, list(self.trace))
         return self.finish_run()
 
-    def begin_run(self) -> None:
+    def begin_run(self, report=None) -> None:
         """Reset per-run state; the ReplayHost hooks are live afterwards.
 
         Split from :meth:`run` so a composite host (the K-core simulator)
         can drive several per-core instances through one shared
         :func:`~repro.sim.engine.run_replay` loop.
+
+        Args:
+            report: optional completion-record sink (anything with
+                ``add(record)``).  The streaming replay passes a
+                bounded-memory :class:`~repro.sim.streaming.StreamingReport`
+                here; by default a full in-memory
+                :class:`~repro.sim.results.SimulationReport` is created.
         """
-        self._report = SimulationReport("sunflow", self.bandwidth_bps, self.delta)
+        if report is None:
+            report = SimulationReport("sunflow", self.bandwidth_bps, self.delta)
+        self._report = report
         self._active = {}
         self._schedules = {}
         self._prt = PortReservationTable()
         self._layers = []
+        self._dead_layers = 0
+        self._views = {}
+        self._order_cache = None
         # Per-Coflow completion predictions, re-pushed only when a plan
         # object actually changes; ``peek_time`` is the next completion.
         self._completions = IndexedEventQueue()
@@ -318,22 +343,62 @@ class InterCoflowSimulator:
 
     # ------------------------------------------------------------------
     def _ordered_ids(self, active: Dict[int, _ActiveCoflow]) -> List[int]:
-        """Active Coflow ids in the policy's priority order."""
-        views = []
+        """Active Coflow ids in the policy's priority order.
+
+        Both the per-Coflow :class:`~repro.core.policies.CoflowView` and
+        the sorted order are cached across events with write-site
+        invalidation: a view survives until its Coflow's ``remaining`` is
+        written (``bottleneck_cache`` reset — the same signal the SEBF
+        bottleneck memo uses), and the order survives until any view
+        changes or the active set does.  An event that only admits or
+        only completes therefore re-sorts, but an event in a stable busy
+        period reuses the previous order outright — per-event ordering
+        cost tracks the number of *touched* Coflows, not actives × events.
+        Cache state is keyed by the state object's identity, so foreign
+        drivers (the differential suites replan hand-built active dicts)
+        can never read a view over the wrong ``remaining`` mapping.
+        """
+        cache = self._views
+        priority_classes = self.priority_classes
+        dirty = False
+        views: List[CoflowView] = []
         for cid, state in active.items():
-            view = CoflowView(
-                coflow_id=cid,
-                arrival_time=state.coflow.arrival_time,
-                remaining_times=state.remaining,
-                priority_class=self.priority_classes.get(cid, 0),
-                bottleneck_hint=state.bottleneck_cache,
-            )
-            if view.bottleneck_hint is None:
+            entry = cache.get(cid)
+            if entry is None or entry[0] is not state:
+                view = CoflowView(
+                    coflow_id=cid,
+                    arrival_time=state.coflow.arrival_time,
+                    remaining_times=state.remaining,
+                    priority_class=priority_classes.get(cid, 0),
+                    bottleneck_hint=state.bottleneck_cache,
+                )
+                cache[cid] = (state, view)
+                dirty = True
+            else:
+                view = entry[1]
+            if state.bottleneck_cache is None:
                 # Memoize for the next event: ``remaining`` writes reset
                 # the cache, so the hint is always the exact recompute.
+                view.bottleneck_hint = None
                 state.bottleneck_cache = view.bottleneck_hint = view.bottleneck
+                dirty = True
+            elif view.bottleneck_hint is None:
+                view.bottleneck_hint = state.bottleneck_cache
+                dirty = True
             views.append(view)
-        return [view.coflow_id for view in self.policy.order(views)]
+        if len(cache) > len(views):
+            # Foreign driver dropped Coflows without _record_completions;
+            # prune so the view cache stays O(active).
+            for cid in [cid for cid in cache if cid not in active]:
+                del cache[cid]
+        input_ids = tuple(active)
+        memo = self._order_cache
+        if not dirty and memo is not None and memo[0] == input_ids:
+            self.perf.inc("order_reuses")
+            return memo[1]
+        ordered = [view.coflow_id for view in self.policy.order(views)]
+        self._order_cache = (input_ids, ordered)
+        return ordered
 
     def _replan(
         self, active: Dict[int, _ActiveCoflow], now: float
@@ -415,13 +480,20 @@ class InterCoflowSimulator:
         perf.inc("incremental_replans")
         order_ids = self._ordered_ids(active)
         prt, layers = self._prt, self._layers
-        if len(prt) > self._compact_reservations:
-            # The journal only grows while layers are kept in place; once
-            # it passes the threshold, pay one full recompute (identical
-            # results by construction) to reset every per-port array.
+        if len(prt) > self._compact_reservations or self._dead_layers > max(
+            64, 2 * len(active)
+        ):
+            # The journal only grows while layers are kept in place, and
+            # completed Coflows' dead layers pile up at the front of the
+            # stack, stretching every prefix walk.  Once either passes its
+            # threshold, pay one full recompute (identical results by
+            # construction) to reset every per-port array and drop the
+            # dead prefix — bounding per-event cost by the active set, not
+            # the trace history.
             perf.inc("prt_compactions")
             prt.clear()
             layers.clear()
+            self._dead_layers = 0
 
         # 1. Reusable prefix.
         keep = 0
@@ -458,6 +530,7 @@ class InterCoflowSimulator:
             ptr += 1
 
         # 2. Roll back the dirty suffix.
+        self._dead_layers = keep - ptr
         dropped = layers[keep:]
         if ptr == 0:
             # No live plan survives the prefix walk; anything still kept is
@@ -470,6 +543,7 @@ class InterCoflowSimulator:
                 perf.inc("prt_compactions")
                 prt.clear()
                 layers.clear()
+                self._dead_layers = 0
         elif dropped:
             perf.inc("reservations_rolled_back", prt.rollback(dropped[0].token))
             del layers[keep:]
@@ -723,8 +797,16 @@ class InterCoflowSimulator:
         if len(heads) != len(established):
             return None
 
+        # The future-reservation walk is the transform's hot loop (it
+        # touches every planned reservation, not just the established
+        # heads), so the lookups it repeats per iteration are bound once.
         banked = state.banked_circuits
         pending_circuits: Set[Circuit] = set()
+        pending_add = pending_circuits.add
+        head_src_of = head_by_src.get
+        head_dst_of = head_by_dst.get
+        input_at = prt.input_reservation_at
+        output_at = prt.output_reservation_at
         for i in range(cutoff, len(reservations)):
             future = reservations[i]
             src = future.src
@@ -732,27 +814,27 @@ class InterCoflowSimulator:
             circuit = (src, dst)
             if circuit in pending_circuits:
                 continue
-            if head_by_src.get(src) == dst or circuit in banked:
+            head_dst = head_src_of(src)
+            if head_dst == dst or circuit in banked:
                 return None
             # Blocked-at-now proof (see docstring).
-            head_dst = head_by_src.get(src)
             if head_dst is not None and head_dst < dst:
-                pending_circuits.add(circuit)
+                pending_add(circuit)
                 continue
-            head_src = head_by_dst.get(dst)
+            head_src = head_dst_of(dst)
             if head_src is not None and head_src < src:
-                pending_circuits.add(circuit)
+                pending_add(circuit)
                 continue
-            res = prt.input_reservation_at(src, now)
+            res = input_at(src, now)
             if res is None or (
                 above_ids is not None and res.coflow_id not in above_ids
             ):
-                res = prt.output_reservation_at(dst, now)
+                res = output_at(dst, now)
                 if res is None or (
                     above_ids is not None and res.coflow_id not in above_ids
                 ):
                     return None
-            pending_circuits.add(circuit)
+            pending_add(circuit)
 
         for circuit, rem in remaining.items():
             if (
@@ -857,6 +939,7 @@ class InterCoflowSimulator:
             state = active.pop(cid)
             self._completions.cancel(cid)
             self._predicted.pop(cid, None)
+            self._views.pop(cid, None)
             report.add(
                 make_record(
                     state.coflow,

@@ -31,7 +31,18 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Generic, Hashable, List, Optional, Protocol, Sequence, Tuple, TypeVar
+from typing import (
+    Callable,
+    Generic,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.core.prt import TIME_EPS
 
@@ -201,6 +212,9 @@ def run_replay(host: ReplayHost, arrivals: Sequence) -> List[float]:
 
     Returns the processed event times (also what each iteration set
     ``now`` to) — the event sequence the differential suites compare.
+    This list grows with the trace; million-coflow streaming replays use
+    :func:`run_replay_stream` directly, which shares the same loop but
+    keeps only a counter.
 
     Raises:
         RuntimeError: if the host reports no upcoming event while no
@@ -208,16 +222,57 @@ def run_replay(host: ReplayHost, arrivals: Sequence) -> List[float]:
             Coflow; circuit plans always yield a finite completion).
     """
     event_times: List[float] = []
-    index = 0
-    total = len(arrivals)
+    run_replay_stream(host, arrivals, on_event=event_times.append)
+    return event_times
+
+
+#: End-of-stream marker for the replay loop's one-event lookahead.  A
+#: private sentinel (not ``None``) so a trace could, in principle, carry
+#: falsy arrival objects without terminating the stream early.
+_END = object()
+
+
+def run_replay_stream(
+    host: ReplayHost,
+    arrivals: Iterable,
+    on_event: Optional[Callable[[float], None]] = None,
+) -> int:
+    """The replay loop over an arrival *iterator*: O(active) memory.
+
+    Identical event-for-event to :func:`run_replay` (which delegates
+    here): the loop keeps a one-arrival lookahead instead of indexing a
+    materialized list, so a streaming trace source — a chunked on-disk
+    reader, a generator — feeds the simulation without the full Coflow
+    list ever existing in memory.  ``arrivals`` must be sorted by
+    ``arrival_time``; the streaming readers in
+    :mod:`repro.workloads.stream` validate that as they yield.
+
+    Args:
+        host: the simulator being driven.
+        arrivals: Coflows sorted by arrival time (any iterable).
+        on_event: optional per-event callback receiving each processed
+            event time (used by :func:`run_replay` to collect the event
+            sequence, and by the streaming benchmark to sample RSS and
+            throughput at checkpoints without retaining history).
+
+    Returns:
+        The number of events processed.
+
+    Raises:
+        RuntimeError: if the host reports no upcoming event while no
+            arrivals remain (see :func:`run_replay`).
+    """
+    stream = iter(arrivals)
+    pending = next(stream, _END)
+    events = 0
     now = 0.0
-    while index < total or host.has_active():
+    while pending is not _END or host.has_active():
         if not host.has_active():
-            now = arrivals[index].arrival_time
-        while index < total and arrivals[index].arrival_time <= now + TIME_EPS:
-            host.admit(arrivals[index], now)
-            index += 1
-        next_arrival = arrivals[index].arrival_time if index < total else math.inf
+            now = pending.arrival_time
+        while pending is not _END and pending.arrival_time <= now + TIME_EPS:
+            host.admit(pending, now)
+            pending = next(stream, _END)
+        next_arrival = pending.arrival_time if pending is not _END else math.inf
         event_time = host.plan(now, next_arrival)
         if math.isinf(event_time):
             raise RuntimeError(
@@ -225,6 +280,8 @@ def run_replay(host: ReplayHost, arrivals: Sequence) -> List[float]:
                 "and no arrivals remain"
             )
         host.advance(now, event_time)
-        event_times.append(event_time)
+        events += 1
+        if on_event is not None:
+            on_event(event_time)
         now = event_time
-    return event_times
+    return events

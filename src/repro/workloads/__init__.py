@@ -1,7 +1,14 @@
 """Workloads: the Facebook trace format, a statistically matching
-synthetic generator, and the evaluation's trace transforms."""
+synthetic generator, a binary streaming trace format, and the
+evaluation's trace transforms."""
 
-from repro.workloads.facebook import TraceFormatError, parse_trace, write_trace
+from repro.workloads.facebook import (
+    TraceFormatError,
+    TraceReader,
+    iter_trace,
+    parse_trace,
+    write_trace,
+)
 from repro.workloads.patterns import (
     broadcast,
     hotspot,
@@ -16,14 +23,45 @@ from repro.workloads.synthetic import (
     GeneratorConfig,
     paper_trace,
 )
+from repro.workloads.stream import (
+    ArrivalStream,
+    StreamTraceError,
+    StreamTraceReader,
+    StreamTraceWriter,
+    convert_text_trace,
+    is_stream_trace,
+    iter_chunks,
+    open_any_trace,
+    open_stream_trace,
+    read_stream_trace,
+    stream_facebook,
+    stream_synthetic,
+    write_stream_trace,
+)
 from repro.workloads.transforms import (
     perturb_sizes,
+    perturb_sizes_iter,
     scale_bytes,
     scale_to_idleness,
 )
 
 __all__ = [
     "TraceFormatError",
+    "TraceReader",
+    "iter_trace",
+    "ArrivalStream",
+    "StreamTraceError",
+    "StreamTraceReader",
+    "StreamTraceWriter",
+    "convert_text_trace",
+    "is_stream_trace",
+    "iter_chunks",
+    "open_any_trace",
+    "open_stream_trace",
+    "read_stream_trace",
+    "stream_facebook",
+    "stream_synthetic",
+    "write_stream_trace",
     "broadcast",
     "hotspot",
     "incast",
@@ -37,6 +75,7 @@ __all__ = [
     "GeneratorConfig",
     "paper_trace",
     "perturb_sizes",
+    "perturb_sizes_iter",
     "scale_bytes",
     "scale_to_idleness",
 ]

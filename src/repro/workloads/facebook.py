@@ -19,13 +19,19 @@ matrix per Coflow.
 This module reads and writes that exact format, so the real trace drops in
 unchanged; :mod:`repro.workloads.synthetic` generates statistically
 matching traces when the original file is unavailable.
+
+Reading is *streaming*: :class:`TraceReader` parses the header eagerly and
+then yields one :class:`~repro.core.coflow.Coflow` per record as you
+iterate, holding only the current line in memory — a trace of any length
+can feed the replay engine directly.  :func:`parse_trace` remains the
+materializing convenience wrapper around it.
 """
 
 from __future__ import annotations
 
 import io
 from pathlib import Path
-from typing import List, TextIO, Union
+from typing import Iterator, List, Optional, TextIO, Union
 
 from repro.core.coflow import Coflow, CoflowTrace, Flow
 from repro.units import MB
@@ -45,8 +51,143 @@ def _parse_reducer(token: str, line_number: int) -> tuple:
         ) from error
 
 
+def _parse_record(line: str, line_number: int) -> Coflow:
+    """Parse one non-blank data line into a Coflow."""
+    tokens = line.split()
+    cursor = 0
+
+    def take(count: int = 1) -> List[str]:
+        nonlocal cursor
+        if cursor + count > len(tokens):
+            raise TraceFormatError(f"line {line_number}: truncated record")
+        chunk = tokens[cursor : cursor + count]
+        cursor += count
+        return chunk
+
+    coflow_id = int(take()[0])
+    arrival_seconds = float(take()[0]) / 1000.0
+    num_mappers = int(take()[0])
+    mappers = [int(token) for token in take(num_mappers)]
+    num_reducers = int(take()[0])
+    reducer_tokens = take(num_reducers)
+    if cursor != len(tokens):
+        raise TraceFormatError(f"line {line_number}: trailing tokens")
+
+    flows: List[Flow] = []
+    for token in reducer_tokens:
+        reducer, total_mb = _parse_reducer(token, line_number)
+        per_mapper_bytes = total_mb * MB / num_mappers
+        for mapper in mappers:
+            if per_mapper_bytes > 0:
+                flows.append(Flow(src=mapper, dst=reducer, size_bytes=per_mapper_bytes))
+    return Coflow(coflow_id=coflow_id, arrival_time=arrival_seconds, flows=flows)
+
+
+class TraceReader:
+    """Streaming reader over a coflow-benchmark trace.
+
+    Parses the header on construction (so ``num_ports``/``num_coflows``
+    are available before any record is read), then yields one Coflow per
+    iteration without ever materializing the file.  The header's Coflow
+    count is validated lazily: a mismatch raises :class:`TraceFormatError`
+    when the discrepancy becomes observable (the end of the file, or a
+    record past the promised count), with the same message the eager
+    parser used.
+
+    Use as a context manager when the reader owns the file handle::
+
+        with TraceReader.open(path) as reader:
+            for coflow in reader:
+                ...
+    """
+
+    def __init__(self, stream: TextIO, owns_stream: bool = False) -> None:
+        self._stream = stream
+        self._owns_stream = owns_stream
+        self._consumed = False
+        header_line: Optional[str] = None
+        for line in stream:
+            line = line.strip()
+            if line:
+                header_line = line
+                break
+        if header_line is None:
+            raise TraceFormatError("empty trace file")
+        header = header_line.split()
+        if len(header) != 2:
+            raise TraceFormatError(f"bad header {header_line!r} (want '<ports> <coflows>')")
+        self.num_ports = int(header[0])
+        self.num_coflows = int(header[1])
+
+    @classmethod
+    def open(cls, source: Union[str, Path, TextIO]) -> "TraceReader":
+        """Open a reader over a path, raw trace text, or open stream."""
+        if isinstance(source, (str, Path)):
+            text = str(source)
+            if "\n" in text:
+                return cls(io.StringIO(text), owns_stream=True)
+            return cls(open(text, "r", encoding="utf-8"), owns_stream=True)
+        return cls(source)
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __iter__(self) -> Iterator[Coflow]:
+        if self._consumed:
+            raise RuntimeError("TraceReader is forward-only; reopen to re-read")
+        self._consumed = True
+        # Non-blank lines are numbered from 1 (the header), matching the
+        # eager parser's error messages.
+        line_number = 1
+        parsed = 0
+        for line in self._stream:
+            line = line.strip()
+            if not line:
+                continue
+            line_number += 1
+            if parsed >= self.num_coflows:
+                # Too many records: count the rest so the error reports
+                # the file's true size, as the eager parser did.
+                extra = 1
+                for rest in self._stream:
+                    if rest.strip():
+                        extra += 1
+                raise TraceFormatError(
+                    f"header promises {self.num_coflows} coflows but file has "
+                    f"{parsed + extra}"
+                )
+            yield _parse_record(line, line_number)
+            parsed += 1
+        if parsed != self.num_coflows:
+            raise TraceFormatError(
+                f"header promises {self.num_coflows} coflows but file has {parsed}"
+            )
+
+
+def iter_trace(source: Union[str, Path, TextIO]) -> Iterator[Coflow]:
+    """Yield the Coflows of a trace one at a time (O(1) memory).
+
+    Convenience generator over :class:`TraceReader` for callers that do
+    not need the header; the file handle (when this function opened one)
+    is closed when the generator is exhausted or discarded.
+    """
+    with TraceReader.open(source) as reader:
+        yield from reader
+
+
 def parse_trace(source: Union[str, Path, TextIO]) -> CoflowTrace:
     """Parse a coflow-benchmark trace file into a :class:`CoflowTrace`.
+
+    Thin materializing wrapper around :class:`TraceReader` — use the
+    reader directly (or :func:`iter_trace`) when the trace is too large
+    to hold in memory.
 
     Args:
         source: path to the trace file, or an open text stream, or the raw
@@ -56,60 +197,10 @@ def parse_trace(source: Union[str, Path, TextIO]) -> CoflowTrace:
     Returns:
         Trace with arrival times in seconds and flow sizes in bytes.
     """
-    if isinstance(source, (str, Path)):
-        text = str(source)
-        if "\n" in text:
-            stream: TextIO = io.StringIO(text)
-        else:
-            stream = open(text, "r", encoding="utf-8")
-        with stream:
-            return _parse_stream(stream)
-    return _parse_stream(source)
-
-
-def _parse_stream(stream: TextIO) -> CoflowTrace:
-    lines = [line.strip() for line in stream if line.strip()]
-    if not lines:
-        raise TraceFormatError("empty trace file")
-    header = lines[0].split()
-    if len(header) != 2:
-        raise TraceFormatError(f"bad header {lines[0]!r} (want '<ports> <coflows>')")
-    num_ports, num_coflows = int(header[0]), int(header[1])
-    if len(lines) - 1 != num_coflows:
-        raise TraceFormatError(
-            f"header promises {num_coflows} coflows but file has {len(lines) - 1}"
-        )
-
-    trace = CoflowTrace(num_ports=num_ports)
-    for line_number, line in enumerate(lines[1:], start=2):
-        tokens = line.split()
-        cursor = 0
-
-        def take(count: int = 1) -> List[str]:
-            nonlocal cursor
-            if cursor + count > len(tokens):
-                raise TraceFormatError(f"line {line_number}: truncated record")
-            chunk = tokens[cursor : cursor + count]
-            cursor += count
-            return chunk
-
-        coflow_id = int(take()[0])
-        arrival_seconds = float(take()[0]) / 1000.0
-        num_mappers = int(take()[0])
-        mappers = [int(token) for token in take(num_mappers)]
-        num_reducers = int(take()[0])
-        reducer_tokens = take(num_reducers)
-        if cursor != len(tokens):
-            raise TraceFormatError(f"line {line_number}: trailing tokens")
-
-        flows: List[Flow] = []
-        for token in reducer_tokens:
-            reducer, total_mb = _parse_reducer(token, line_number)
-            per_mapper_bytes = total_mb * MB / num_mappers
-            for mapper in mappers:
-                if per_mapper_bytes > 0:
-                    flows.append(Flow(src=mapper, dst=reducer, size_bytes=per_mapper_bytes))
-        trace.add(Coflow(coflow_id=coflow_id, arrival_time=arrival_seconds, flows=flows))
+    with TraceReader.open(source) as reader:
+        trace = CoflowTrace(num_ports=reader.num_ports)
+        for coflow in reader:
+            trace.add(coflow)
     return trace
 
 

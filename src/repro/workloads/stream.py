@@ -1,0 +1,405 @@
+"""Compact on-disk Coflow trace format and chunked arrival iterators.
+
+The text coflow-benchmark format (:mod:`repro.workloads.facebook`) is
+what the paper's trace ships as, but at a million Coflows its parse cost
+and redundancy dominate.  This module defines a binary twin sized for
+streaming replay — the ``SFTR`` (SunFlow TRace) format — plus the
+iterator plumbing that feeds :func:`repro.sim.engine.run_replay_stream`
+without a full Coflow list ever existing in memory.
+
+``SFTR`` layout (little-endian, version 1)::
+
+    header   : magic b"SFTR" | u16 version | u32 num_ports | u64 num_coflows
+    per record: i64 coflow_id | f64 arrival_seconds | u32 num_flows
+                then num_flows × (u32 src | u32 dst | f64 size_bytes)
+
+The writer patches ``num_coflows`` into the header on close (so traces
+can be written from generators of unknown length — a seekable
+destination is required).  The reader decodes records lazily from a
+buffered stream, holding one Coflow at a time, and validates as it goes:
+magic/version, port bounds, and non-decreasing arrival times (the
+replay-loop precondition — a violation here fails fast instead of
+corrupting a simulation thousands of events later).
+
+:class:`ArrivalStream` is the thin carrier the facade and CLI hand to
+the streaming simulator: a port count, a length hint, and a lazy Coflow
+iterable — the streaming analogue of
+:class:`~repro.core.coflow.CoflowTrace`.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, List, Optional, Union
+
+from repro.core.coflow import Coflow, CoflowTrace, Flow
+
+#: File magic for the binary trace format.
+STREAM_TRACE_MAGIC = b"SFTR"
+#: Current format version (bump on any layout change).
+STREAM_TRACE_VERSION = 1
+
+_HEADER = struct.Struct("<4sHIQ")
+_RECORD_HEAD = struct.Struct("<qdI")
+_FLOW = struct.Struct("<IId")
+
+#: Flows decoded per struct.iter_unpack batch in the reader — the unit of
+#: chunked I/O (records are read via the stream's own buffering on top).
+_FLOW_BATCH = 4096
+
+
+class StreamTraceError(ValueError):
+    """Raised when a binary trace is malformed or violates an invariant."""
+
+
+class StreamTraceWriter:
+    """Incremental writer for the ``SFTR`` binary trace format.
+
+    Coflows are appended one at a time (from any source — a generator, a
+    conversion loop), so writing is O(1) in trace length.  Arrival times
+    must be non-decreasing; the Coflow count is patched into the header
+    when the writer closes, which requires ``destination`` to be
+    seekable.
+
+    Use as a context manager::
+
+        with StreamTraceWriter(path, num_ports=150) as writer:
+            for coflow in generator.iter_coflows():
+                writer.write(coflow)
+    """
+
+    def __init__(self, destination: Union[str, Path, BinaryIO], num_ports: int) -> None:
+        if num_ports <= 0:
+            raise ValueError(f"port count must be positive, got {num_ports!r}")
+        if isinstance(destination, (str, Path)):
+            self._stream: BinaryIO = open(destination, "wb")
+            self._owns_stream = True
+        else:
+            self._stream = destination
+            self._owns_stream = False
+        if not self._stream.seekable():
+            raise StreamTraceError(
+                "stream trace destination must be seekable (the coflow count "
+                "is patched into the header on close)"
+            )
+        self.num_ports = num_ports
+        self.count = 0
+        self._last_arrival = float("-inf")
+        self._closed = False
+        self._header_offset = self._stream.tell()
+        # Count placeholder; rewritten by close().
+        self._stream.write(
+            _HEADER.pack(STREAM_TRACE_MAGIC, STREAM_TRACE_VERSION, num_ports, 0)
+        )
+
+    def write(self, coflow: Coflow) -> None:
+        """Append one Coflow (validates ports and arrival monotonicity)."""
+        if self._closed:
+            raise StreamTraceError("writer is closed")
+        if coflow.arrival_time < self._last_arrival:
+            raise StreamTraceError(
+                f"coflow {coflow.coflow_id} arrives at {coflow.arrival_time} "
+                f"before previous arrival {self._last_arrival}; stream traces "
+                "must be sorted by arrival time"
+            )
+        parts = [_RECORD_HEAD.pack(coflow.coflow_id, coflow.arrival_time, len(coflow.flows))]
+        for flow in coflow.flows:
+            if flow.src >= self.num_ports or flow.dst >= self.num_ports:
+                raise StreamTraceError(
+                    f"coflow {coflow.coflow_id} uses port ({flow.src}, {flow.dst}) "
+                    f"outside a {self.num_ports}-port fabric"
+                )
+            parts.append(_FLOW.pack(flow.src, flow.dst, flow.size_bytes))
+        self._stream.write(b"".join(parts))
+        self._last_arrival = coflow.arrival_time
+        self.count += 1
+
+    def write_all(self, coflows: Iterable[Coflow]) -> int:
+        """Append every Coflow from an iterable; returns how many."""
+        written = 0
+        for coflow in coflows:
+            self.write(coflow)
+            written += 1
+        return written
+
+    def close(self) -> None:
+        """Patch the header count and release the stream."""
+        if self._closed:
+            return
+        self._closed = True
+        end = self._stream.tell()
+        self._stream.seek(self._header_offset)
+        self._stream.write(
+            _HEADER.pack(STREAM_TRACE_MAGIC, STREAM_TRACE_VERSION, self.num_ports, self.count)
+        )
+        self._stream.seek(end)
+        if self._owns_stream:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+    def __enter__(self) -> "StreamTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class StreamTraceReader:
+    """Lazy reader for the ``SFTR`` binary trace format.
+
+    The header is decoded on construction; iteration then yields one
+    :class:`~repro.core.coflow.Coflow` at a time from the buffered
+    stream, so memory is bounded by the largest single Coflow, not the
+    trace.  Every record is validated against the header's port count and
+    the non-decreasing-arrival invariant the replay loop requires.
+    """
+
+    def __init__(self, source: Union[str, Path, BinaryIO]) -> None:
+        if isinstance(source, (str, Path)):
+            self._stream: BinaryIO = open(source, "rb")
+            self._owns_stream = True
+        else:
+            self._stream = source
+            self._owns_stream = False
+        self._consumed = False
+        header = self._stream.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise StreamTraceError("truncated stream trace header")
+        magic, version, num_ports, num_coflows = _HEADER.unpack(header)
+        if magic != STREAM_TRACE_MAGIC:
+            raise StreamTraceError(
+                f"bad magic {magic!r} (want {STREAM_TRACE_MAGIC!r}); "
+                "not a binary stream trace"
+            )
+        if version != STREAM_TRACE_VERSION:
+            raise StreamTraceError(
+                f"unsupported stream trace version {version} "
+                f"(this reader handles {STREAM_TRACE_VERSION})"
+            )
+        if num_ports <= 0:
+            raise StreamTraceError(f"port count must be positive, got {num_ports}")
+        self.num_ports = num_ports
+        self.num_coflows = num_coflows
+
+    def __enter__(self) -> "StreamTraceReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def _read_exact(self, size: int, what: str) -> bytes:
+        data = self._stream.read(size)
+        if len(data) < size:
+            raise StreamTraceError(f"truncated stream trace: short read in {what}")
+        return data
+
+    def __iter__(self) -> Iterator[Coflow]:
+        if self._consumed:
+            raise RuntimeError("StreamTraceReader is forward-only; reopen to re-read")
+        self._consumed = True
+        last_arrival = float("-inf")
+        for index in range(self.num_coflows):
+            head = self._read_exact(_RECORD_HEAD.size, f"record {index} header")
+            coflow_id, arrival, num_flows = _RECORD_HEAD.unpack(head)
+            if arrival < last_arrival:
+                raise StreamTraceError(
+                    f"coflow {coflow_id} arrives at {arrival} before previous "
+                    f"arrival {last_arrival}; stream traces must be sorted by "
+                    "arrival time"
+                )
+            flows: List[Flow] = []
+            remaining = num_flows
+            while remaining > 0:
+                batch = min(remaining, _FLOW_BATCH)
+                blob = self._read_exact(
+                    _FLOW.size * batch, f"flows of coflow {coflow_id}"
+                )
+                for src, dst, size_bytes in _FLOW.iter_unpack(blob):
+                    if src >= self.num_ports or dst >= self.num_ports:
+                        raise StreamTraceError(
+                            f"coflow {coflow_id} uses port ({src}, {dst}) outside "
+                            f"a {self.num_ports}-port fabric"
+                        )
+                    flows.append(Flow(src=src, dst=dst, size_bytes=size_bytes))
+                remaining -= batch
+            yield Coflow(coflow_id=coflow_id, arrival_time=arrival, flows=flows)
+            last_arrival = arrival
+        trailing = self._stream.read(1)
+        if trailing:
+            raise StreamTraceError(
+                f"trailing bytes after {self.num_coflows} promised coflows"
+            )
+
+
+@dataclass
+class ArrivalStream:
+    """A lazy, arrival-ordered Coflow source over a fixed fabric.
+
+    The streaming analogue of :class:`~repro.core.coflow.CoflowTrace`:
+    what the facade hands to the streaming simulator.  ``coflows`` may be
+    any single-pass iterable (a :class:`StreamTraceReader`, a generator,
+    or a plain list); ``length_hint`` is advisory (progress reporting,
+    benchmark labels) and may be ``None`` for unbounded sources.
+    """
+
+    num_ports: int
+    coflows: Iterable[Coflow] = field(repr=False)
+    length_hint: Optional[int] = None
+
+    def __iter__(self) -> Iterator[Coflow]:
+        return iter(self.coflows)
+
+    def close(self) -> None:
+        """Release the underlying source (a no-op for plain iterables)."""
+        closer = getattr(self.coflows, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "ArrivalStream":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors and adapters
+# ----------------------------------------------------------------------
+def write_stream_trace(
+    destination: Union[str, Path, BinaryIO],
+    coflows: Iterable[Coflow],
+    num_ports: int,
+) -> int:
+    """Write an iterable of Coflows as a binary stream trace; returns count."""
+    with StreamTraceWriter(destination, num_ports=num_ports) as writer:
+        return writer.write_all(coflows)
+
+
+def open_stream_trace(source: Union[str, Path, BinaryIO]) -> ArrivalStream:
+    """Open a binary trace as an :class:`ArrivalStream` (lazy records)."""
+    reader = StreamTraceReader(source)
+    return ArrivalStream(
+        num_ports=reader.num_ports,
+        coflows=reader,
+        length_hint=reader.num_coflows,
+    )
+
+
+def read_stream_trace(source: Union[str, Path, BinaryIO]) -> CoflowTrace:
+    """Materialize a binary stream trace (small traces, tests, conversion)."""
+    with StreamTraceReader(source) as reader:
+        trace = CoflowTrace(num_ports=reader.num_ports)
+        for coflow in reader:
+            trace.add(coflow)
+    return trace
+
+
+def convert_text_trace(
+    source,
+    destination: Union[str, Path, BinaryIO],
+) -> int:
+    """Convert a text coflow-benchmark trace to the binary format, streaming.
+
+    Both sides are incremental, so the conversion itself runs in O(1)
+    memory.  Returns the number of Coflows converted.
+    """
+    from repro.workloads.facebook import TraceReader
+
+    with TraceReader.open(source) as reader:
+        with StreamTraceWriter(destination, num_ports=reader.num_ports) as writer:
+            return writer.write_all(reader)
+
+
+def stream_synthetic(config=None) -> ArrivalStream:
+    """Stream the Facebook-like synthetic workload without materializing it.
+
+    Wraps :meth:`FacebookLikeTraceGenerator.iter_coflows`, whose draws are
+    bit-identical to :meth:`generate` — the differential suites rely on
+    this adapter and the in-memory trace agreeing Coflow for Coflow.
+    """
+    from repro.workloads.synthetic import FacebookLikeTraceGenerator, GeneratorConfig
+
+    generator = FacebookLikeTraceGenerator(config if config is not None else GeneratorConfig())
+    return ArrivalStream(
+        num_ports=generator.config.num_ports,
+        coflows=generator.iter_coflows(),
+        length_hint=generator.config.num_coflows,
+    )
+
+
+def stream_facebook(source) -> ArrivalStream:
+    """Stream a text coflow-benchmark trace file (header read eagerly)."""
+    from repro.workloads.facebook import TraceReader
+
+    reader = TraceReader.open(source)
+    return ArrivalStream(
+        num_ports=reader.num_ports,
+        coflows=reader,
+        length_hint=reader.num_coflows,
+    )
+
+
+def is_stream_trace(path: Union[str, Path]) -> bool:
+    """True when ``path`` starts with the binary trace magic."""
+    try:
+        with open(path, "rb") as stream:
+            return stream.read(len(STREAM_TRACE_MAGIC)) == STREAM_TRACE_MAGIC
+    except OSError:
+        return False
+
+
+def open_any_trace(path: Union[str, Path]) -> ArrivalStream:
+    """Open a trace file of either format as a lazy :class:`ArrivalStream`.
+
+    Sniffs the binary magic; anything else is parsed as the text
+    coflow-benchmark format.
+    """
+    if is_stream_trace(path):
+        return open_stream_trace(path)
+    return stream_facebook(path)
+
+
+def iter_chunks(coflows: Iterable[Coflow], chunk_size: int) -> Iterator[List[Coflow]]:
+    """Group a Coflow iterable into lists of at most ``chunk_size``.
+
+    For callers that batch work per chunk (bulk conversion, sharded
+    preprocessing).  The replay engine itself consumes one Coflow at a
+    time and does not need chunking.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk size must be positive, got {chunk_size!r}")
+    chunk: List[Coflow] = []
+    for coflow in coflows:
+        chunk.append(coflow)
+        if len(chunk) >= chunk_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+__all__ = [
+    "STREAM_TRACE_MAGIC",
+    "STREAM_TRACE_VERSION",
+    "StreamTraceError",
+    "StreamTraceWriter",
+    "StreamTraceReader",
+    "ArrivalStream",
+    "write_stream_trace",
+    "open_stream_trace",
+    "read_stream_trace",
+    "convert_text_trace",
+    "stream_synthetic",
+    "stream_facebook",
+    "is_stream_trace",
+    "open_any_trace",
+    "iter_chunks",
+]

@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.coflow import Coflow, CoflowCategory, CoflowTrace, Flow
 from repro.units import MB
@@ -104,15 +104,28 @@ class FacebookLikeTraceGenerator:
 
     def generate(self) -> CoflowTrace:
         """Generate a full trace (sorted by arrival, ids are 1-based)."""
+        trace = CoflowTrace(num_ports=self.config.num_ports)
+        for coflow in self.iter_coflows():
+            trace.add(coflow)
+        return trace
+
+    def iter_coflows(self) -> Iterator[Coflow]:
+        """Yield the trace's Coflows one at a time, in arrival order.
+
+        Streaming twin of :meth:`generate`: the RNG draw sequence is
+        identical, so the two produce bit-identical Coflows — only the
+        memory profile differs.  Per-Coflow state is O(1); the category
+        list drawn up front is O(num_coflows) enum references (a few MB
+        at a million Coflows), kept so the draw order — and therefore the
+        RNG stream — matches :meth:`generate` exactly.
+        """
         config = self.config
         rng = random.Random(config.seed)
-        trace = CoflowTrace(num_ports=config.num_ports)
         arrival = 0.0
         categories = self._draw_categories(rng)
         for coflow_id, category in enumerate(categories, start=1):
             arrival += rng.expovariate(1.0 / config.mean_interarrival)
-            trace.add(self._draw_coflow(rng, coflow_id, arrival, category))
-        return trace
+            yield self._draw_coflow(rng, coflow_id, arrival, category)
 
     # ------------------------------------------------------------------
     def _draw_categories(self, rng: random.Random) -> List[CoflowCategory]:

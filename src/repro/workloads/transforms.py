@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
@@ -60,6 +60,35 @@ def perturb_sizes(
         return max(min_bytes, flow.size_bytes * factor)
 
     return trace.map_sizes(noisy)
+
+
+def perturb_sizes_iter(
+    coflows: Iterable[Coflow],
+    fraction: float = 0.05,
+    min_bytes: float = 1 * MB,
+    seed: int = 0,
+) -> Iterator[Coflow]:
+    """Streaming twin of :func:`perturb_sizes` — O(1) memory.
+
+    Walks one RNG over Coflows in iteration order and flows in flow order,
+    exactly as :func:`perturb_sizes` does over a materialized trace, so
+    both produce bit-identical sizes for the same Coflow sequence; the
+    streaming facade relies on this to keep perturbed replays comparable
+    with the in-memory path.
+    """
+    if not 0 <= fraction < 1:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction!r}")
+    source = random.Random(seed)
+    from repro.core.coflow import Flow
+
+    for coflow in coflows:
+        flows = []
+        for flow in coflow.flows:
+            factor = 1.0 + source.uniform(-fraction, fraction)
+            flows.append(
+                Flow(flow.src, flow.dst, max(min_bytes, flow.size_bytes * factor))
+            )
+        yield Coflow(coflow.coflow_id, coflow.arrival_time, flows)
 
 
 def scale_bytes(trace: CoflowTrace, factor: float, min_bytes: float = 0.0) -> CoflowTrace:

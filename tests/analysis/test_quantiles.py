@@ -1,0 +1,125 @@
+"""Tests for the streaming quantile sketch and its exact oracle."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.quantiles import ExactQuantiles, QuantileDigest, rank_error
+from repro.sim.results import percentile
+
+QUANTILES = (0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99)
+
+#: The documented bound the sketch meets at the default compression of
+#: 200 (see ``repro.analysis.quantiles``); measured error is ~20x lower.
+RANK_ERROR_BOUND = 0.02
+
+
+def heavy_tailed(n, seed=7):
+    """Deterministic lognormal-ish values, shaped like CCT distributions."""
+    rng = random.Random(seed)
+    return [math.exp(rng.gauss(0.0, 2.0)) for _ in range(n)]
+
+
+class TestSingletonRegimeExactness:
+    """Below ~2*compression/pi points no centroids merge, so the digest
+    must reproduce the in-memory ``percentile`` bit-for-bit."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 120])
+    def test_matches_percentile_exactly(self, n):
+        values = heavy_tailed(n)
+        digest = QuantileDigest(compression=200)
+        digest.extend(values)
+        for q in QUANTILES:
+            assert digest.quantile(q) == percentile(values, q * 100.0)
+
+    def test_min_max_always_exact(self):
+        values = heavy_tailed(5000)
+        digest = QuantileDigest(compression=200)
+        digest.extend(values)
+        assert digest.min == min(values)
+        assert digest.max == max(values)
+        assert digest.quantile(0.0) == min(values)
+        assert digest.quantile(1.0) == max(values)
+
+
+class TestRankErrorBound:
+    @pytest.mark.parametrize("n", [1000, 5000, 50000])
+    def test_within_documented_bound(self, n):
+        digest = QuantileDigest(compression=200)
+        oracle = ExactQuantiles()
+        for value in heavy_tailed(n):
+            digest.add(value)
+            oracle.add(value)
+        for q in QUANTILES:
+            assert rank_error(oracle, digest.quantile(q), q) <= RANK_ERROR_BOUND
+
+    def test_merge_stays_within_bound(self):
+        values = heavy_tailed(8000, seed=3)
+        left = QuantileDigest(compression=200)
+        right = QuantileDigest(compression=200)
+        oracle = ExactQuantiles()
+        for i, value in enumerate(values):
+            (left if i % 2 else right).add(value)
+            oracle.add(value)
+        left.merge(right)
+        assert left.count == len(values)
+        for q in QUANTILES:
+            assert rank_error(oracle, left.quantile(q), q) <= RANK_ERROR_BOUND
+
+    def test_memory_stays_bounded(self):
+        digest = QuantileDigest(compression=100)
+        digest.extend(heavy_tailed(50000))
+        digest.quantile(0.5)  # flush the buffer
+        assert digest.num_centroids() <= 2 * digest.compression
+
+
+class TestDeterminism:
+    def test_same_stream_same_estimates(self):
+        values = heavy_tailed(3000)
+        first = QuantileDigest(compression=50)
+        second = QuantileDigest(compression=50)
+        first.extend(values)
+        second.extend(values)
+        for q in QUANTILES:
+            assert first.quantile(q) == second.quantile(q)
+        assert first.compressions == second.compressions
+
+
+class TestValidation:
+    def test_rejects_small_compression(self):
+        with pytest.raises(ValueError, match="compression"):
+            QuantileDigest(compression=10)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            QuantileDigest().add(float("nan"))
+
+    def test_empty_sketch_has_no_quantile(self):
+        with pytest.raises(ValueError, match="empty"):
+            QuantileDigest().quantile(0.5)
+
+    def test_rejects_out_of_range_quantile(self):
+        digest = QuantileDigest()
+        digest.add(1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            digest.quantile(1.5)
+        with pytest.raises(ValueError, match="percentile"):
+            digest.percentile(-1.0)
+
+
+class TestExactOracle:
+    def test_matches_results_percentile(self):
+        values = heavy_tailed(321)
+        oracle = ExactQuantiles()
+        oracle.extend(values)
+        for q in QUANTILES:
+            assert oracle.quantile(q) == percentile(values, q * 100.0)
+
+    def test_rank_of_widens_over_duplicates(self):
+        oracle = ExactQuantiles()
+        oracle.extend([1.0, 2.0, 2.0, 2.0, 3.0])
+        lo, hi = oracle.rank_of(2.0)
+        assert (lo, hi) == (0.2, 0.8)
+        assert rank_error(oracle, 2.0, 0.5) == 0.0
+        assert rank_error(oracle, 2.0, 0.9) == pytest.approx(0.1)

@@ -1,0 +1,90 @@
+"""Tests for the ``stream=True`` spec/facade surface."""
+
+import pytest
+
+from repro.api import (
+    NetworkSpec,
+    SimulationSpec,
+    TraceSpec,
+    simulate,
+    spec_from_payload,
+    spec_to_payload,
+)
+from repro.sim.streaming import StreamingReport, StreamingResult
+from repro.workloads import paper_trace
+
+
+@pytest.fixture(scope="module")
+def trace_spec():
+    return TraceSpec(num_coflows=60, num_ports=24, max_width=8, seed=6, perturb=0.05)
+
+
+class TestFacade:
+    def test_returns_streaming_result(self, trace_spec):
+        result = simulate(
+            SimulationSpec(trace=trace_spec, mode="inter", scheduler="sunflow", stream=True)
+        )
+        assert isinstance(result, StreamingResult)
+        assert isinstance(result.report, StreamingReport)
+
+    def test_aggregates_match_in_memory(self, trace_spec):
+        base = SimulationSpec(trace=trace_spec, mode="inter", scheduler="sunflow")
+        memory_report = simulate(base)
+        result = simulate(
+            SimulationSpec(trace=trace_spec, mode="inter", scheduler="sunflow", stream=True)
+        )
+        assert result.report.count == len(memory_report.records)
+        assert result.report.average_cct() == memory_report.average_cct()
+        assert result.report.max_cct == max(memory_report.ccts())
+
+    def test_inline_trace_streams(self):
+        trace = paper_trace(num_coflows=30, num_ports=20, seed=3)
+        memory_report = simulate(
+            SimulationSpec(trace=trace, mode="inter", scheduler="sunflow")
+        )
+        result = simulate(
+            SimulationSpec(trace=trace, mode="inter", scheduler="sunflow", stream=True)
+        )
+        assert result.report.count == len(memory_report.records)
+        assert result.report.average_cct() == memory_report.average_cct()
+
+
+class TestPayload:
+    def test_legacy_payload_byte_identity(self, trace_spec):
+        """Non-stream specs must not grow a ``stream`` key — the sweep
+        cache hashes payloads, so a new default key would invalidate
+        every committed cache entry."""
+        base = SimulationSpec(trace=trace_spec, mode="inter", scheduler="sunflow")
+        payload = spec_to_payload(base)
+        assert "stream" not in payload
+        assert spec_from_payload(payload) == base
+
+    def test_stream_payload_round_trips(self, trace_spec):
+        spec = SimulationSpec(
+            trace=trace_spec, mode="inter", scheduler="sunflow", stream=True
+        )
+        payload = spec_to_payload(spec)
+        assert payload["stream"] is True
+        assert spec_from_payload(payload) == spec
+
+
+class TestValidation:
+    def test_requires_inter_sunflow(self, trace_spec):
+        with pytest.raises(ValueError, match="stream=True requires"):
+            SimulationSpec(
+                trace=trace_spec, mode="intra", scheduler="sunflow", stream=True
+            )
+        with pytest.raises(ValueError, match="stream=True requires"):
+            SimulationSpec(
+                trace=trace_spec, mode="inter", scheduler="varys", stream=True
+            )
+
+    def test_rejects_multicore(self, trace_spec):
+        with pytest.raises(ValueError, match="K-core"):
+            SimulationSpec(
+                trace=trace_spec,
+                mode="inter",
+                scheduler="sunflow",
+                network=NetworkSpec(num_cores=2),
+                stream=True,
+            )

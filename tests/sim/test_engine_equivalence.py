@@ -352,7 +352,9 @@ class TestSingleEventLoop:
         import repro.core as core_pkg
         import repro.sim as sim_pkg
 
-        pattern = "while index < total or host.has_active()"
+        # The loop now lives in ``run_replay_stream`` (one-arrival
+        # lookahead, O(active) memory); ``run_replay`` delegates to it.
+        pattern = "while pending is not _END or host.has_active()"
         loop_files = []
         for pkg in (sim_pkg, core_pkg):
             pkg_dir = pathlib.Path(pkg.__file__).parent
