@@ -52,6 +52,7 @@ def _compare_backends(args, run_trace_replay) -> dict:
         comparison[backend] = {
             "wall_s": run["wall_s"],
             "plan_timer_s": run["counters"]["timers_s"]["plan"],
+            "plan_phases_s": run["plan_phases_s"],
             "full_replan_wall_s": run["full_replan_wall_s"],
             "mismatches": run["mismatches"],
         }
@@ -164,6 +165,12 @@ def main(argv=None) -> int:
         f"incremental: {result['wall_s']:.2f}s over {result['events']} events, "
         f"{result['coflows']} coflows"
     )
+    phases = result.get("plan_phases_s", {})
+    if phases:
+        print(
+            "plan phases: "
+            + ", ".join(f"{name} {seconds:.3f}s" for name, seconds in phases.items())
+        )
     hit_rate = result["incremental_plan_cache_hit_rate"]
     skips_only = " (skips only)" if result["incremental_plan_cache_skips_only"] else ""
     kept = result.get("plans_kept_per_computed")

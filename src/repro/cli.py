@@ -305,7 +305,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 limit = 25
             stats = pstats.Stats(profiler, stream=sys.stderr)
             stats.sort_stats("cumulative").print_stats(limit)
+            _print_plan_subtimers()
     return _dispatch(args)
+
+
+def _print_plan_subtimers() -> None:
+    """Append the replan-transaction phase breakdown to a profile report.
+
+    cProfile attributes native-kernel time to opaque built-in frames; the
+    ``plan.*`` sub-timers recover the phase structure (packing, rollback,
+    replay, kernel, continuation transforms) regardless of backend.
+    """
+    from repro.perf import PLAN_SUBTIMERS, process_timers
+
+    timers = process_timers()
+    rows = [(name, timers[name]) for name in PLAN_SUBTIMERS if name in timers]
+    if not rows:
+        return
+    print("plan phase breakdown (s):", file=sys.stderr)
+    for name, seconds in rows:
+        print(f"  {name:<16} {seconds:10.4f}", file=sys.stderr)
 
 
 def _dispatch(args: argparse.Namespace) -> int:

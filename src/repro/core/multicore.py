@@ -58,6 +58,7 @@ from repro.core.sunflow import (
     ReservationOrder,
     SunflowScheduler,
     _Entry,
+    make_entries,
 )
 from repro.units import (
     BITS_PER_BYTE,
@@ -627,22 +628,17 @@ class MultiCoreSunflowScheduler:
 
     # ------------------------------------------------------------------
     def _make_entries(self, demand_bytes: Mapping[Circuit, float]) -> List[_Entry]:
-        """Demand entries (remaining in *bytes*) in consideration order."""
-        entries = [
-            _Entry(src, dst, size)
-            for (src, dst), size in demand_bytes.items()
-            if size > self._byte_eps
-        ]
-        if self.order is ReservationOrder.ORDERED_PORT:
-            entries.sort(key=lambda e: (e.src, e.dst))
-        elif self.order is ReservationOrder.RANDOM:
-            entries.sort(key=lambda e: (e.src, e.dst))
-            self._rng.shuffle(entries)
-        else:
-            entries.sort(key=lambda e: (-e.remaining, e.src, e.dst))
-        for index, entry in enumerate(entries):
-            entry.order_index = index
-        return entries
+        """Demand entries (remaining in *bytes*) in consideration order.
+
+        Delegates to the shared :func:`repro.core.sunflow.make_entries`
+        packing helper (with this planner's byte-denominated epsilon), so
+        K-core planning rides the same packed-demand and sorted-items
+        fast paths as the single-switch scheduler instead of keeping its
+        own copy of the ordering rules.
+        """
+        return make_entries(
+            demand_bytes, self.order, self._rng, eps=self._byte_eps
+        )
 
     def _reserve_first_fit(
         self,

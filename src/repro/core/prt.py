@@ -37,6 +37,8 @@ two are differentially fuzzed against each other.
 
 from __future__ import annotations
 
+import os
+import warnings
 from array import array
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
@@ -54,6 +56,55 @@ TIME_EPS = 1e-9
 #: build is refused (``repro.core.sunflow`` falls back to pure Python)
 #: instead of corrupting tables.
 PRT_LAYOUT_VERSION = 1
+
+# Optional compiled transaction kernels (`repro._native`): batched
+# rollback and batched replay implemented directly against the per-port
+# array buffers, one C call per transaction instead of one Python-level
+# bisect/insert (or slice surgery) per reservation.  This gate is
+# independent of the planner's (`repro.core.sunflow`) — the two modules
+# degrade separately, each with its own one-time warning — but enforces
+# the same layout-version contract: a build compiled against a different
+# storage layout is treated as absent.
+try:
+    from repro import _native
+except ImportError:  # pragma: no cover - depends on the build environment
+    _native = None
+if _native is not None and getattr(_native, "LAYOUT_VERSION", None) != PRT_LAYOUT_VERSION:
+    _native = None  # pragma: no cover - stale build artifact
+if _native is not None and not hasattr(_native, "prt_rollback"):
+    _native = None  # pragma: no cover - pre-transaction build artifact
+
+#: Same environment variable :mod:`repro.kernels` dispatches on.
+_BACKEND_ENV = "REPRO_KERNEL"
+
+_warned_native_missing = False
+
+
+def native_transactions_available() -> bool:
+    """True when the compiled PRT transaction kernels are importable and
+    layout-compatible."""
+    return _native is not None
+
+
+def _use_native() -> bool:
+    if os.environ.get(_BACKEND_ENV, "").strip().lower() != "native":
+        return False
+    if _native is None:
+        global _warned_native_missing
+        if not _warned_native_missing:
+            _warned_native_missing = True
+            warnings.warn(
+                "REPRO_KERNEL=native requested but the repro._native "
+                "extension is not available; using the pure-Python PRT "
+                "transaction paths (build it with `python setup.py "
+                "build_ext --inplace` or by installing the package with a "
+                "C compiler present)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return False
+    return True
+
 
 #: Profile of a port with no (future) reservations; shared singleton.
 _EMPTY_PROFILE: Tuple[float, ...] = (0,)
@@ -569,6 +620,13 @@ class PortReservationTable:
         Insertion is batched per port — the replayed items are merged
         into each boundary array in one pass instead of paying a bisect
         plus three mid-array inserts per reservation.
+
+        Under ``REPRO_KERNEL=native`` the whole transaction (grouping,
+        validation, merge, journal/ends bookkeeping) is one C call into
+        :mod:`repro._native`; the staging there never mutates the table,
+        so on a conflict the call reports failure and this method falls
+        through to the pure-Python twin, which re-derives and raises the
+        byte-identical :class:`PortConflictError`.
         """
         n = len(reservations)
         if n == 0:
@@ -576,6 +634,13 @@ class PortReservationTable:
         if n == 1:
             self._insert(reservations[0])
             return
+        if _use_native() and _native.prt_replay(self, reservations, TIME_EPS):
+            return
+        self._replay_python(reservations)
+
+    def _replay_python(self, reservations: Sequence[Reservation]) -> None:
+        """Pure-Python batched replay (n >= 2); the native kernel's twin
+        and the conflict-path error oracle."""
         base = len(self._reservations)
         in_groups: Dict[int, List[Tuple[float, float, int]]] = {}
         out_groups: Dict[int, List[Tuple[float, float, int]]] = {}
@@ -707,7 +772,25 @@ class PortReservationTable:
         The end-time column is in journal order, so the whole undone
         suffix is dropped with one slice deletion instead of a bisect +
         ``del`` per reservation.
+
+        Under ``REPRO_KERNEL=native`` the whole transaction (per-port
+        counting, tail strips or rebuilds, journal/ends truncation) is
+        one C call; removal involves no float arithmetic, so the two
+        paths are trivially bit-identical.
         """
+        if _use_native():
+            try:
+                return _native.prt_rollback(self, token)
+            except OverflowError:
+                # Ports outside the kernel's int32 hashing range; the
+                # kernel scans the whole undone suffix before mutating
+                # anything, so the table is intact and the Python twin
+                # can take over.
+                pass
+        return self._rollback_python(token)
+
+    def _rollback_python(self, token: int) -> int:
+        """Pure-Python rollback twin (kept as the differential oracle)."""
         journal = self._reservations
         if token < 0 or token > len(journal):
             raise ValueError(
@@ -942,4 +1025,5 @@ __all__ = [
     "PortConflictError",
     "PortReservationTable",
     "CoreReservationTables",
+    "native_transactions_available",
 ]

@@ -44,9 +44,11 @@ import os
 import random
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from time import perf_counter
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.coflow import Coflow
+from repro.core.demand import PackedDemand
 from repro.core.plan_cache import PlanCache, PlanProbe
 from repro.core.prt import (
     PRT_LAYOUT_VERSION,
@@ -317,6 +319,73 @@ class _Entry:
         )
 
 
+def make_entries(
+    demand_times: Mapping[Tuple[int, int], float],
+    order: ReservationOrder,
+    rng: random.Random,
+    *,
+    eps: float = TIME_EPS,
+    quantize: Optional[Callable[[float], float]] = None,
+) -> List[_Entry]:
+    """Demand entries in consideration order — the shared packing helper.
+
+    Both the single-switch :class:`SunflowScheduler` and the K-core
+    :class:`repro.core.multicore.MultiCoreSunflowScheduler` delegate here
+    (the latter with its byte-denominated ``eps`` and no quantizer), so
+    every planner rides the same fast paths:
+
+    * ``ORDERED_PORT`` with no quantizer and a valid
+      :class:`~repro.core.demand.PackedDemand` reads the pre-sorted
+      packed columns — no per-plan sort at all;
+    * ``ORDERED_PORT`` over a plain mapping sorts the raw dict items
+      (unique ``(src, dst)`` keys ⇒ key-tuple comparison only);
+    * the remaining orders build entries first, then sort (``RANDOM``
+      shuffles the canonical order so rng streams stay reproducible).
+    """
+    if order is ReservationOrder.ORDERED_PORT and quantize is None:
+        entries = []
+        index = 0
+        if isinstance(demand_times, PackedDemand) and demand_times.packed_ok:
+            for src, dst, p in demand_times.iter_packed():
+                if p > eps:
+                    entry = _Entry(src, dst, p)
+                    entry.order_index = index
+                    index += 1
+                    entries.append(entry)
+            return entries
+        for (src, dst), p in sorted(demand_times.items()):
+            if p > eps:
+                entry = _Entry(src, dst, p)
+                entry.order_index = index
+                index += 1
+                entries.append(entry)
+        return entries
+    if quantize is None:
+        entries = [
+            _Entry(src, dst, p)
+            for (src, dst), p in demand_times.items()
+            if p > eps
+        ]
+    else:
+        entries = [
+            _Entry(src, dst, quantize(p))
+            for (src, dst), p in demand_times.items()
+            if p > eps
+        ]
+    if order is ReservationOrder.ORDERED_PORT:
+        entries.sort(key=lambda e: (e.src, e.dst))
+    elif order is ReservationOrder.RANDOM:
+        entries.sort(key=lambda e: (e.src, e.dst))  # canonical base order
+        rng.shuffle(entries)
+    elif order is ReservationOrder.SORTED_DEMAND:
+        entries.sort(key=lambda e: (-e.remaining, e.src, e.dst))
+    else:  # pragma: no cover - enum is exhaustive
+        raise AssertionError(f"unknown order {order!r}")
+    for index, entry in enumerate(entries):
+        entry.order_index = index
+    return entries
+
+
 class SunflowScheduler:
     """Plans circuit reservations per Algorithm 1.
 
@@ -371,6 +440,11 @@ class SunflowScheduler:
             self._cache_config = (delta, order.value, quantum)
         else:
             self._cache_config = (delta, order.value, quantum, ("core", cache_scope))
+        #: Optional :class:`~repro.perf.PerfCounters` sink for the
+        #: ``plan.pack`` / ``plan.kernel`` sub-timers; the inter-Coflow
+        #: simulator wires its own counters in here so the monolithic
+        #: ``plan`` timer decomposes.  Left ``None``, timing is skipped.
+        self.perf = None
 
     # ------------------------------------------------------------------
     # Intra-Coflow scheduling (Algorithm 1, IntraCoflow + MakeReservation)
@@ -444,33 +518,80 @@ class SunflowScheduler:
                     )
 
         schedule = CoflowSchedule(coflow_id=coflow_id, start_time=start_time)
+        perf = self.perf
         if _use_native():
             # Compiled twin of ``_plan_python``: the same event loop with
             # verbatim float expressions, mutating the same PRT arrays in
             # place through the buffer protocol.
-            if self.order is ReservationOrder.ORDERED_PORT and self.quantum is None:
-                packed = _pack_demand(demand_times, established)
-            else:
-                # RANDOM must still shuffle through ``_make_entries`` so
-                # the rng stream advances exactly as in the Python loop.
-                packed = _pack_entries(self._make_entries(demand_times), established)
-            if not packed:
-                return schedule
-            _native.schedule_demand(
-                prt,
-                Reservation,
-                coflow_id,
-                start_time,
-                self.delta,
-                TIME_EPS,
-                bool(established),
-                packed,
-                schedule.reservations,
+            fast = (
+                self.order is ReservationOrder.ORDERED_PORT
+                and self.quantum is None
             )
+            if (
+                fast
+                and isinstance(demand_times, PackedDemand)
+                and demand_times.packed_ok
+            ):
+                # Fused fast path: the Coflow's pre-sorted demand columns
+                # go straight to C — filtering, established lookup, and
+                # the event loop in one call, no per-plan sort or tuple
+                # packing on the Python side.
+                srcs, dsts, vals = demand_times.columns
+                t0 = perf_counter()
+                kept = _native.schedule_demand_packed(
+                    prt,
+                    Reservation,
+                    coflow_id,
+                    start_time,
+                    self.delta,
+                    TIME_EPS,
+                    srcs,
+                    dsts,
+                    vals,
+                    established if established else None,
+                    schedule.reservations,
+                )
+                if perf is not None:
+                    perf.add_time("plan.kernel", perf_counter() - t0)
+                if not kept:
+                    return schedule
+            else:
+                t0 = perf_counter()
+                if fast:
+                    packed = _pack_demand(demand_times, established)
+                else:
+                    # RANDOM must still shuffle through ``_make_entries``
+                    # so the rng stream advances exactly as in the Python
+                    # loop.
+                    packed = _pack_entries(
+                        self._make_entries(demand_times), established
+                    )
+                if perf is not None:
+                    perf.add_time("plan.pack", perf_counter() - t0)
+                if not packed:
+                    return schedule
+                t0 = perf_counter()
+                _native.schedule_demand(
+                    prt,
+                    Reservation,
+                    coflow_id,
+                    start_time,
+                    self.delta,
+                    TIME_EPS,
+                    bool(established),
+                    packed,
+                    schedule.reservations,
+                )
+                if perf is not None:
+                    perf.add_time("plan.kernel", perf_counter() - t0)
         else:
+            t0 = perf_counter()
             entries = self._make_entries(demand_times)
+            if perf is not None:
+                perf.add_time("plan.pack", perf_counter() - t0)
             if not entries:
                 return schedule
+            t0 = perf_counter()
             self._plan_python(
                 prt,
                 coflow_id,
@@ -479,6 +600,8 @@ class SunflowScheduler:
                 established,
                 schedule.reservations,
             )
+            if perf is not None:
+                perf.add_time("plan.kernel", perf_counter() - t0)
         if probe is not None:
             cache.store(probe, schedule.reservations, schedule.first_start())
         return schedule
@@ -957,45 +1080,12 @@ class SunflowScheduler:
     def _make_entries(
         self, demand_times: Mapping[Tuple[int, int], float]
     ) -> List[_Entry]:
-        if self.order is ReservationOrder.ORDERED_PORT and self.quantum is None:
-            # Hot path (the incremental replayer's configuration): the
-            # demand keys are unique ``(src, dst)`` pairs, so sorting the
-            # raw dict items compares key tuples only — the same order the
-            # lambda below produces, minus 2n Python-level key calls — and
-            # the consideration indices follow from the single pass.
-            entries = []
-            index = 0
-            for (src, dst), p in sorted(demand_times.items()):
-                if p > TIME_EPS:
-                    entry = _Entry(src, dst, p)
-                    entry.order_index = index
-                    index += 1
-                    entries.append(entry)
-            return entries
-        if self.quantum is None:
-            entries = [
-                _Entry(src, dst, p)
-                for (src, dst), p in demand_times.items()
-                if p > TIME_EPS
-            ]
-        else:
-            entries = [
-                _Entry(src, dst, self._quantize(p))
-                for (src, dst), p in demand_times.items()
-                if p > TIME_EPS
-            ]
-        if self.order is ReservationOrder.ORDERED_PORT:
-            entries.sort(key=lambda e: (e.src, e.dst))
-        elif self.order is ReservationOrder.RANDOM:
-            entries.sort(key=lambda e: (e.src, e.dst))  # canonical base order
-            self._rng.shuffle(entries)
-        elif self.order is ReservationOrder.SORTED_DEMAND:
-            entries.sort(key=lambda e: (-e.remaining, e.src, e.dst))
-        else:  # pragma: no cover - enum is exhaustive
-            raise AssertionError(f"unknown order {self.order!r}")
-        for index, entry in enumerate(entries):
-            entry.order_index = index
-        return entries
+        return make_entries(
+            demand_times,
+            self.order,
+            self._rng,
+            quantize=None if self.quantum is None else self._quantize,
+        )
 
     def _make_reservation(
         self,

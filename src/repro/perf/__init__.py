@@ -22,7 +22,12 @@
 
 from typing import Any, Dict, Optional
 
-from repro.perf.counters import PerfCounters
+from repro.perf.counters import (
+    PLAN_SUBTIMERS,
+    PerfCounters,
+    process_timers,
+    reset_process_timers,
+)
 
 
 def peak_rss_bytes() -> Optional[int]:
@@ -125,10 +130,13 @@ scheduler_counters = PerfCounters()
 packet_counters = PerfCounters()
 
 __all__ = [
+    "PLAN_SUBTIMERS",
     "PerfCounters",
     "bench_provenance",
     "peak_rss_bytes",
     "current_rss_bytes",
+    "process_timers",
+    "reset_process_timers",
     "scheduler_counters",
     "packet_counters",
 ]

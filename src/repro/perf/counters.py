@@ -15,6 +15,37 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
+#: The replan-transaction phase timers every instrumented run reports.
+#: ``plan.pack`` (demand → planner entries), ``plan.rollback`` (PRT
+#: journal truncation), ``plan.replay`` (verbatim re-insertion of cached
+#: plans), ``plan.kernel`` (Algorithm 1 proper) and ``plan.transform``
+#: (continuation-plan proofs) partition the Python-side cost of the
+#: ``plan`` timer; the bench smoke checks assert their presence so a
+#: refactor cannot silently drop the instrumentation.
+PLAN_SUBTIMERS = (
+    "plan.pack",
+    "plan.rollback",
+    "plan.replay",
+    "plan.kernel",
+    "plan.transform",
+)
+
+#: Process-wide accumulation of every :meth:`PerfCounters.add_time` call,
+#: keyed by timer name.  Commands that bury their counter instance inside
+#: a simulator (the CLI's ``--profile`` report) read the totals from here
+#: instead of threading the instance out.
+_process_timers_s: Dict[str, float] = {}
+
+
+def process_timers() -> Dict[str, float]:
+    """Copy of the process-wide timer totals (seconds by timer name)."""
+    return dict(_process_timers_s)
+
+
+def reset_process_timers() -> None:
+    """Zero the process-wide timer totals (benchmarks isolate runs)."""
+    _process_timers_s.clear()
+
 
 class PerfCounters:
     """Named integer counters plus named wall-clock phase timers.
@@ -55,6 +86,7 @@ class PerfCounters:
 
     def add_time(self, name: str, seconds: float) -> None:
         self.timers_s[name] = self.timers_s.get(name, 0.0) + seconds
+        _process_timers_s[name] = _process_timers_s.get(name, 0.0) + seconds
 
     def time(self, name: str) -> float:
         return self.timers_s.get(name, 0.0)
@@ -78,7 +110,9 @@ class PerfCounters:
         for name, value in other.counts.items():
             self.inc(name, value)
         for name, value in other.timers_s.items():
-            self.add_time(name, value)
+            # Straight into the instance dict: the source counters already
+            # fed the process-wide totals when the time was first recorded.
+            self.timers_s[name] = self.timers_s.get(name, 0.0) + value
 
     def snapshot(self) -> Dict[str, Dict[str, float]]:
         """JSON-ready copy of the current counter and timer values."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Optional, Tuple
 
-from repro.perf.counters import PerfCounters
+from repro.perf.counters import PLAN_SUBTIMERS, PerfCounters
 
 
 def _cache_hit_rate(perf: PerfCounters) -> Tuple[float, bool]:
@@ -112,6 +112,12 @@ def run_trace_replay(
         ),
         "plans_transformed": perf_inc.count("plans_transformed"),
         "plans_reused": perf_inc.count("plans_reused"),
+        # Where the ``plan`` timer's time actually went (see
+        # ``PLAN_SUBTIMERS``): packing demand, PRT rollback/replay, the
+        # planner kernel, and continuation-transform proofs.  Keys are
+        # always present (0.0 when a phase never ran) so smoke checks can
+        # assert the instrumentation survived refactors.
+        "plan_phases_s": {name: perf_inc.time(name) for name in PLAN_SUBTIMERS},
         "counters": perf_inc.snapshot(),
     }
 

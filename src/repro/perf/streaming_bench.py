@@ -29,7 +29,7 @@ import time
 from typing import Any, Dict, Optional
 
 from repro.perf import current_rss_bytes
-from repro.perf.counters import PerfCounters
+from repro.perf.counters import PLAN_SUBTIMERS, PerfCounters
 
 #: Rank-error bound the quantile sketch is documented (and asserted) to
 #: meet at the default compression of 200.  See
@@ -127,6 +127,11 @@ def run_streaming_bench(
         "prt_compactions": counts.get("prt_compactions", 0),
         "sketch_merges": counts.get("sketch_merges", 0),
         "order_reuses": counts.get("order_reuses", 0),
+        # Same replan-transaction phase breakdown the trace-replay bench
+        # reports — the streaming engine shares the hot path, so a phase
+        # regressing here without regressing there points at the stream
+        # loop, not the planner.
+        "plan_phases_s": {name: perf.time(name) for name in PLAN_SUBTIMERS},
         "digest_centroids": result.report.digest.num_centroids(),
         "rss_samples": samples,
     }

@@ -27,11 +27,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.coflow import Coflow, CoflowTrace
+from repro.core.demand import PackedDemand
 from repro.core.policies import CoflowView, Policy, ShortestFirst
 from repro.core.plan_cache import PlanCache
+from repro.core import prt as prt_mod
 from repro.core.prt import (
     PortConflictError,
     PortReservationTable,
@@ -233,6 +236,9 @@ class InterCoflowSimulator:
         )
         self.incremental = incremental
         self.perf = perf if perf is not None else PerfCounters()
+        # Let the scheduler charge its packing / kernel time to the same
+        # counters so the ``plan.*`` sub-timers land in one snapshot.
+        self.scheduler.perf = self.perf
         # Incremental-replan state: a persistent layered PRT plus the plan
         # stack it currently holds, in planning (priority) order.
         self._prt = PortReservationTable()
@@ -310,7 +316,7 @@ class InterCoflowSimulator:
     def admit(self, coflow: Coflow, now: float) -> None:
         self._active[coflow.coflow_id] = _ActiveCoflow(
             coflow=coflow,
-            remaining=dict(coflow.processing_times(self.bandwidth_bps)),
+            remaining=PackedDemand(coflow.processing_times(self.bandwidth_bps)),
         )
 
     def plan(self, now: float, next_arrival: float) -> float:
@@ -517,9 +523,11 @@ class InterCoflowSimulator:
                 # that is provable, swap in the continuation plan and keep
                 # the layer's reservations in place (no rollback, no
                 # replanning).
+                _t0 = perf_counter()
                 transformed = self._transform_continuation(
                     layer.plan, active[layer.coflow_id], now, above_ids
                 )
+                perf.add_time("plan.transform", perf_counter() - _t0)
                 if transformed is None:
                     perf.inc("transform_fallbacks")
                     break
@@ -545,7 +553,10 @@ class InterCoflowSimulator:
                 layers.clear()
                 self._dead_layers = 0
         elif dropped:
-            perf.inc("reservations_rolled_back", prt.rollback(dropped[0].token))
+            _t0 = perf_counter()
+            undone = prt.rollback(dropped[0].token)
+            perf.add_time("plan.rollback", perf_counter() - _t0)
+            perf.inc("reservations_rolled_back", undone)
             del layers[keep:]
         perf.inc("plans_kept", ptr)
         perf.inc("replans_avoided", ptr)
@@ -622,8 +633,16 @@ class InterCoflowSimulator:
                     old_plan.first_start() >= now - TIME_EPS
                     and not state.established
                 ):
+                    _t0 = perf_counter()
                     try:
                         prt.replay(old_plan.reservations)
+                    except PortConflictError:
+                        perf.add_time("plan.replay", perf_counter() - _t0)
+                        perf.inc(
+                            "reservations_rolled_back", prt.rollback(token)
+                        )
+                    else:
+                        perf.add_time("plan.replay", perf_counter() - _t0)
                         plan = old_plan
                         perf.inc("plans_reused")
                         perf.inc("replans_avoided")
@@ -634,21 +653,32 @@ class InterCoflowSimulator:
                             cache.store(
                                 probe, plan.reservations, plan.first_start()
                             )
-                    except PortConflictError:
-                        perf.inc(
-                            "reservations_rolled_back", prt.rollback(token)
-                        )
                 elif old_plan.first_start() < now - TIME_EPS:
                     # A served Coflow displaced by the reorder: its
                     # continuation plan is still provable the same way as
                     # in the prefix walk; replaying it performs the fit
                     # test against the layers now above it.
+                    _t0 = perf_counter()
                     transformed = self._transform_continuation(
                         old_plan, state, now, None
                     )
+                    perf.add_time("plan.transform", perf_counter() - _t0)
                     if transformed is not None:
+                        _t0 = perf_counter()
                         try:
                             prt.replay(transformed.reservations)
+                        except PortConflictError:
+                            perf.add_time(
+                                "plan.replay", perf_counter() - _t0
+                            )
+                            perf.inc(
+                                "reservations_rolled_back",
+                                prt.rollback(token),
+                            )
+                        else:
+                            perf.add_time(
+                                "plan.replay", perf_counter() - _t0
+                            )
                             plan = transformed
                             perf.inc("plans_transformed")
                             perf.inc("replans_avoided")
@@ -662,11 +692,6 @@ class InterCoflowSimulator:
                                     plan.reservations,
                                     plan.first_start(),
                                 )
-                        except PortConflictError:
-                            perf.inc(
-                                "reservations_rolled_back",
-                                prt.rollback(token),
-                            )
             if plan is None:
                 plan = scheduler.schedule_demand(
                     prt,
@@ -756,6 +781,36 @@ class InterCoflowSimulator:
         delta = scheduler.delta
         cutoff = plan.index_at_or_after(now)
         cid = plan.coflow_id
+
+        if prt_mod._use_native():
+            # One C call runs the whole proof (heads, blocked-at-now walk,
+            # coverage) against the PRT's array buffers.  It returns the
+            # rebuilt heads on success, ``None`` when a proof obligation
+            # fails, and ``False`` when it declines (ports outside int64
+            # hashing range, foreign reservation types) — only then does
+            # the pure-Python twin below run.
+            result = prt_mod._native.transform_continuation(
+                prt,
+                Reservation,
+                cid,
+                now,
+                delta,
+                TIME_EPS,
+                reservations,
+                cutoff,
+                established,
+                remaining,
+                state.banked_circuits,
+                above_ids,
+            )
+            if result is not False:
+                if result is None:
+                    return None
+                return CoflowSchedule(
+                    coflow_id=cid,
+                    start_time=now,
+                    reservations=result + reservations[cutoff:],
+                )
 
         heads: List[Reservation] = []
         #: Established heads are pairwise port-disjoint (their reservations

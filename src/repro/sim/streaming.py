@@ -184,8 +184,12 @@ def simulate_inter_sunflow_stream(
     Returns:
         :class:`StreamingResult` with the report, the number of events
         processed, and the run's perf counters (including
-        ``prt_compactions``, ``sketch_merges``, and a ``peak_rss_bytes``
-        high-water mark).
+        ``prt_compactions``, ``sketch_merges``, the ``plan.*``
+        replan-transaction phase sub-timers, and a ``peak_rss_bytes``
+        high-water mark).  The simulator's per-Coflow demand state rides
+        the same :class:`~repro.core.demand.PackedDemand` columns as the
+        in-memory engine, so the streaming path shares the packed replan
+        transaction bit-for-bit.
     """
     if num_ports is None:
         num_ports = getattr(arrivals, "num_ports", None)

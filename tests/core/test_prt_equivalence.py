@@ -11,12 +11,22 @@ reserve / query / checkpoint / rollback / replay sequences and compare
 every outcome exactly.
 """
 
+import os
 import random
+import warnings
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+import repro.core.prt as prt_mod
 from repro.core.prt import PortConflictError, PortReservationTable
 from repro.core.prt_reference import ReferencePortReservationTable
+
+#: The extension module as imported (possibly ``None``); the churn fuzz
+#: swaps ``prt_mod._native`` between this and ``None`` mid-run to model
+#: a layout-version gate flipping the kernel off.
+_REAL_NATIVE = prt_mod._native
 
 
 def res_key(reservation):
@@ -169,6 +179,23 @@ class TestDifferentialFuzz:
             ref.reserve(0, 2, 1.5, 2.5, 2, 0.1)
         assert str(fast_exc.value) == str(ref_exc.value)
 
+    def test_rollback_overflow_ports_fall_back_to_python(self, monkeypatch):
+        """Port indexes beyond the native kernel's int32 hashing range:
+        the kernel refuses before mutating anything and the dispatcher
+        finishes the rollback on the Python twin."""
+        fast = PortReservationTable()
+        ref = ReferencePortReservationTable()
+        big = 2**40
+        try_reserve(fast, ref, big, 0, 0.0, 1.0, 1, 0.1)
+        token_fast, token_ref = fast.checkpoint(), ref.checkpoint()
+        for step in range(2, 8):
+            try_reserve(fast, ref, big, 0, float(step), step + 0.5, step, 0.1)
+        monkeypatch.setenv("REPRO_KERNEL", "native")
+        assert fast.rollback(token_fast) == ref.rollback(token_ref)
+        monkeypatch.delenv("REPRO_KERNEL")
+        assert sorted(map(res_key, fast)) == sorted(map(res_key, ref))
+        fast.validate()
+
     def test_rollback_restores_identical_state(self):
         rng = random.Random(3)
         fast = PortReservationTable()
@@ -190,3 +217,180 @@ class TestDifferentialFuzz:
         assert sorted(map(res_key, fast)) == before
         assert sorted(map(res_key, ref)) == before
         assert_same_state(fast, ref, rng, num_ports=4, horizon=6.0)
+
+
+# ----------------------------------------------------------------------
+# Replan-transaction fuzz: batched rollback/replay as whole transactions,
+# interleaved with journal compaction and (when the extension is built)
+# backend / layout-gate churn.  The native kernels promise bitwise
+# identity with the Python twins, so mixing the two mid-run on the SAME
+# table must be unobservable — that is exactly what the churn mode does.
+# ----------------------------------------------------------------------
+
+_PORT_S = st.integers(min_value=0, max_value=5)
+_START_S = st.floats(
+    min_value=0.0, max_value=8.0, allow_nan=False, allow_infinity=False
+)
+_LEN_S = st.floats(
+    min_value=0.01, max_value=1.2, allow_nan=False, allow_infinity=False
+)
+
+_TXN_OP = st.one_of(
+    st.tuples(st.just("reserve"), _PORT_S, _PORT_S, _START_S, _LEN_S),
+    st.tuples(st.just("checkpoint")),
+    st.tuples(st.just("rollback"), st.integers(min_value=0, max_value=7)),
+    st.tuples(
+        st.just("replay"),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=2, max_value=6),
+    ),
+    st.tuples(st.just("compact")),
+    st.tuples(st.just("churn")),
+)
+
+_TXN_MODES = ["python"] + (
+    ["native", "churn"] if prt_mod.native_transactions_available() else []
+)
+
+#: Layout churn cycle: kernel on, kernel off via env, kernel "stale"
+#: (the layout-version gate nulls the module, env still asks for it).
+_CHURN_STATES = (("native", True), ("python", True), ("native", False))
+
+
+class TestTransactionFuzz:
+    @pytest.mark.parametrize("mode", _TXN_MODES)
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=st.lists(_TXN_OP, min_size=15, max_size=90))
+    def test_batched_transactions_with_compaction(self, mode, ops):
+        saved_env = os.environ.get("REPRO_KERNEL")
+        saved_warned = prt_mod._warned_native_missing
+        prt_mod._warned_native_missing = True  # churn mutes the gate warning
+        os.environ["REPRO_KERNEL"] = "python" if mode == "churn" else mode
+        try:
+            self._run(mode, ops)
+        finally:
+            prt_mod._native = _REAL_NATIVE
+            prt_mod._warned_native_missing = saved_warned
+            if saved_env is None:
+                os.environ.pop("REPRO_KERNEL", None)
+            else:
+                os.environ["REPRO_KERNEL"] = saved_env
+
+    @staticmethod
+    def _run(mode, ops):
+        fast = PortReservationTable()
+        ref = ReferencePortReservationTable()
+        tokens = []
+        accepted = []
+        churn = 0
+        for step, op in enumerate(ops):
+            kind = op[0]
+            if kind == "reserve":
+                _, src, dst, start, length = op
+                res = try_reserve(
+                    fast,
+                    ref,
+                    src,
+                    dst,
+                    start,
+                    start + length,
+                    step,
+                    min(0.05, length / 2),
+                )
+                if res is not None:
+                    accepted.append(res)
+            elif kind == "checkpoint":
+                tokens.append(
+                    (fast.checkpoint(), ref.checkpoint(), len(accepted))
+                )
+            elif kind == "rollback":
+                if tokens:
+                    take = op[1] % len(tokens)
+                    fast_token, ref_token, journal_len = tokens[take]
+                    del tokens[take:]
+                    assert fast.rollback(fast_token) == ref.rollback(ref_token)
+                    del accepted[journal_len:]
+            elif kind == "replay":
+                if len(accepted) >= 2:
+                    lo = op[1] % len(accepted)
+                    batch = accepted[lo : lo + op[2]]
+                    if len(batch) >= 2:
+                        fast_err = ref_err = None
+                        try:
+                            fast.replay(batch)
+                        except PortConflictError as exc:
+                            fast_err = exc
+                        try:
+                            ref.replay(batch)
+                        except PortConflictError as exc:
+                            ref_err = exc
+                        assert (fast_err is None) == (ref_err is None)
+            elif kind == "compact":
+                # Journal compaction: the incremental replanner clears a
+                # semantically-empty table in place; checkpoints taken
+                # before the compaction are dead with it.
+                fast.clear()
+                ref.clear()
+                tokens.clear()
+                accepted.clear()
+            elif kind == "churn" and mode == "churn":
+                env, kernel_on = _CHURN_STATES[churn % len(_CHURN_STATES)]
+                churn += 1
+                os.environ["REPRO_KERNEL"] = env
+                prt_mod._native = _REAL_NATIVE if kernel_on else None
+            if step % 30 == 29:
+                rng = random.Random(step)
+                assert_same_state(fast, ref, rng, num_ports=6, horizon=9.5)
+        assert_same_state(
+            fast, ref, random.Random(len(ops)), num_ports=6, horizon=9.5
+        )
+
+
+class TestTransactionFallback:
+    def test_missing_kernel_falls_back_with_one_warning(self, monkeypatch):
+        """``REPRO_KERNEL=native`` without the extension: rollback and
+        batched replay run the Python twins, warning exactly once."""
+        monkeypatch.setattr(prt_mod, "_native", None)
+        monkeypatch.setattr(prt_mod, "_warned_native_missing", False)
+        monkeypatch.setenv("REPRO_KERNEL", "native")
+        assert not prt_mod.native_transactions_available()
+
+        fast = PortReservationTable()
+        ref = ReferencePortReservationTable()
+        for step in range(6):
+            try_reserve(fast, ref, step % 3, (step + 1) % 3, float(step), step + 0.9, step, 0.05)
+        token_fast, token_ref = fast.checkpoint(), ref.checkpoint()
+        batch = list(fast)[:3]
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fast.replay(batch[:0])  # empty: no dispatch, no warning
+            fast_err = ref_err = None
+            try:
+                fast.replay(batch)
+            except PortConflictError as exc:
+                fast_err = exc
+            try:
+                ref.replay(batch)
+            except PortConflictError as exc:
+                ref_err = exc
+            assert (fast_err is None) == (ref_err is None)
+            assert fast.rollback(token_fast) == ref.rollback(token_ref)
+        native_warnings = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(native_warnings) == 1
+        assert "pure-Python PRT transaction paths" in str(
+            native_warnings[0].message
+        )
+        assert sorted(map(res_key, fast)) == sorted(map(res_key, ref))
+
+        # Once per process, not once per call.
+        with warnings.catch_warnings(record=True) as again:
+            warnings.simplefilter("always")
+            fast.rollback(fast.checkpoint())
+        assert not [w for w in again if issubclass(w.category, RuntimeWarning)]
